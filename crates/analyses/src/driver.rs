@@ -1,0 +1,362 @@
+//! Whole-program drivers: run the five analyses together, either through
+//! the Rust relational implementations or through the mini-Jedd sources
+//! executed by `jeddc` — the full system of the paper, end to end.
+
+use crate::facts::Facts;
+use crate::ir::Program;
+use crate::{callgraph, hierarchy, jedd_src, pointsto, sideeffect};
+use jedd_core::JeddError;
+use jeddc::{ExecError, Executor};
+
+/// The combined results of the five analyses (Rust relational versions).
+pub struct WholeProgram {
+    /// The fact base and universe.
+    pub facts: Facts,
+    /// Hierarchy closure.
+    pub hierarchy: hierarchy::Hierarchy,
+    /// Points-to result (includes the call-site targets).
+    pub points_to: pointsto::PointsTo,
+    /// Call graph.
+    pub call_graph: callgraph::CallGraph,
+    /// Side effects.
+    pub side_effects: sideeffect::SideEffects,
+}
+
+/// Runs all five analyses on a program.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn run(p: &Program) -> Result<WholeProgram, JeddError> {
+    let facts = Facts::load(p)?;
+    let hierarchy = hierarchy::compute(&facts)?;
+    let points_to = pointsto::analyze(&facts, pointsto::CallGraphMode::OnTheFly)?;
+    let call_graph = callgraph::build(&facts, &points_to.cg)?;
+    let side_effects = sideeffect::compute(&facts, &points_to.pt, &call_graph.edges)?;
+    Ok(WholeProgram {
+        facts,
+        hierarchy,
+        points_to,
+        call_graph,
+        side_effects,
+    })
+}
+
+/// Runs the combined **mini-Jedd** program on `p` through the jeddc
+/// executor: loads the fact relations, then iterates the module rules
+/// (`ptInit`, then `ptStep`/`mkSiteTypes`/`vcr`/`cgBuild`/`cgParamEdges`
+/// to mutual fixpoint, then `hierarchy` and `sideEffects`).
+///
+/// Returns the executor with all result relations populated.
+///
+/// # Errors
+///
+/// Returns compile or runtime errors from the jeddc pipeline.
+pub fn run_jedd(p: &Program) -> Result<Executor, Box<dyn std::error::Error>> {
+    run_jedd_impl(p, false)
+}
+
+/// Like [`run_jedd`], with declared-type filtering enabled (the `ptFilter`
+/// rules of the points-to module, fed by the hierarchy closure).
+///
+/// # Errors
+///
+/// Same conditions as [`run_jedd`].
+pub fn run_jedd_typed(p: &Program) -> Result<Executor, Box<dyn std::error::Error>> {
+    run_jedd_impl(p, true)
+}
+
+fn run_jedd_impl(p: &Program, typed: bool) -> Result<Executor, Box<dyn std::error::Error>> {
+    let compiled = jeddc::compile(&jedd_src::combined())?;
+    let mut exec = Executor::new(&compiled)?;
+    exec.bind_domain_size("Type", p.types.max(1) as u64)?;
+    exec.bind_domain_size("Signature", p.sigs.max(1) as u64)?;
+    exec.bind_domain_size("Method", p.methods.max(1) as u64)?;
+    exec.bind_domain_size("Field", p.fields.max(1) as u64)?;
+    exec.bind_domain_size("Var", p.vars.max(1) as u64)?;
+    exec.bind_domain_size("Obj", p.allocs.max(1) as u64)?;
+    exec.bind_domain_size("Site", p.call_sites.max(1) as u64)?;
+    let max_idx = p
+        .method_params
+        .iter()
+        .map(|&(_, i, _)| i + 1)
+        .max()
+        .unwrap_or(1);
+    exec.bind_domain_size("ParamIdx", max_idx.max(1) as u64)?;
+
+    let t2 = |v: &[(u32, u32)]| -> Vec<Vec<u64>> {
+        v.iter().map(|&(a, b)| vec![a as u64, b as u64]).collect()
+    };
+    exec.set_input("extend", &t2(&p.extend))?;
+    exec.set_input(
+        "declaresMethod",
+        &p.declares
+            .iter()
+            .map(|&(t, s, m)| vec![t as u64, s as u64, m as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input("objType", &t2(&p.alloc_type))?;
+    exec.set_input(
+        "news",
+        &p.news
+            .iter()
+            .map(|&(_, v, a)| vec![v as u64, a as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "assigns",
+        &p.assigns
+            .iter()
+            .map(|&(_, d, s)| vec![d as u64, s as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "loads",
+        &p.loads
+            .iter()
+            .map(|&(_, d, b, f)| vec![d as u64, b as u64, f as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "stores",
+        &p.stores
+            .iter()
+            .map(|&(_, b, f, s)| vec![b as u64, f as u64, s as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "siteCaller",
+        &p.calls
+            .iter()
+            .map(|c| vec![c.site as u64, c.caller as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "siteRecv",
+        &p.calls
+            .iter()
+            .map(|c| vec![c.site as u64, c.recv as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "siteSig",
+        &p.calls
+            .iter()
+            .map(|c| vec![c.site as u64, c.sig as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    let mut args = Vec::new();
+    for c in &p.calls {
+        for (i, &a) in c.args.iter().enumerate() {
+            args.push(vec![c.site as u64, i as u64, a as u64]);
+        }
+    }
+    exec.set_input("siteArg", &args)?;
+    exec.set_input(
+        "siteRet",
+        &p.calls
+            .iter()
+            .filter_map(|c| c.ret.map(|r| vec![c.site as u64, r as u64]))
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input("methodThis", &t2(&p.method_this))?;
+    exec.set_input(
+        "methodParam",
+        &p.method_params
+            .iter()
+            .map(|&(m, i, v)| vec![m as u64, i as u64, v as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input("methodRet", &t2(&p.method_ret))?;
+    exec.set_input(
+        "entry",
+        &p.entry_points
+            .iter()
+            .map(|&m| vec![m as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "loadIn",
+        &p.loads
+            .iter()
+            .map(|&(m, _, b, f)| vec![m as u64, b as u64, f as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "storeIn",
+        &p.stores
+            .iter()
+            .map(|&(m, b, f, _)| vec![m as u64, b as u64, f as u64])
+            .collect::<Vec<_>>(),
+    )?;
+    exec.set_input(
+        "typeIdentity",
+        &(0..p.types as u64).map(|t| vec![t, t]).collect::<Vec<_>>(),
+    )?;
+    // Declared types; unlisted variables default to the root.
+    let mut vt: Vec<Vec<u64>> = p
+        .var_type
+        .iter()
+        .map(|&(v, t)| vec![v as u64, t as u64])
+        .collect();
+    let listed: std::collections::BTreeSet<u32> = p.var_type.iter().map(|&(v, _)| v).collect();
+    for v in 0..p.vars as u32 {
+        if !listed.contains(&v) {
+            vt.push(vec![v as u64, 0]);
+        }
+    }
+    exec.set_input("varType", &vt)?;
+
+    // Run the modules: hierarchy once, then the points-to / call-graph
+    // fixpoint, then side effects.
+    exec.run("hierarchy")?;
+    exec.run("ptInit")?;
+    if typed {
+        exec.run("ptFilterInit")?;
+        exec.run("ptFilter")?;
+    }
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let before = (
+            exec.relation("pt")?.size(),
+            exec.relation("edges")?.size(),
+            exec.relation("siteTarget")?.size(),
+        );
+        if typed {
+            exec.run("ptStepTyped")?;
+        } else {
+            exec.run("ptStep")?;
+        }
+        exec.run("mkSiteTypes")?;
+        exec.run("vcr")?;
+        exec.run("cgBuild")?;
+        exec.run("cgParamEdges")?;
+        let after = (
+            exec.relation("pt")?.size(),
+            exec.relation("edges")?.size(),
+            exec.relation("siteTarget")?.size(),
+        );
+        if before == after {
+            break;
+        }
+        if rounds > 1000 {
+            return Err(Box::new(ExecError {
+                message: "whole-program fixpoint failed to converge".into(),
+            }));
+        }
+    }
+    exec.run("sideEffects")?;
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_sets;
+    use crate::synth::Benchmark;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rust_driver_runs_all_five() {
+        let p = Benchmark::Tiny.generate();
+        let r = run(&p).unwrap();
+        assert!(r.hierarchy.subtype_of.size() >= p.types as u64);
+        assert!(r.points_to.pt.size() > 0);
+        assert!(r.side_effects.reads_star.size() >= r.side_effects.reads.size());
+        let _ = (&r.call_graph.reachable, &r.facts);
+    }
+
+    #[test]
+    fn jedd_language_driver_matches_set_baseline() {
+        let p = Benchmark::Tiny.generate();
+        let exec = run_jedd(&p).expect("mini-Jedd whole-program run");
+        let sets = baseline_sets::points_to(&p);
+
+        // pt column order is (var, obj).
+        let got_pt: BTreeSet<(u64, u64)> = exec
+            .tuples("pt")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t[0], t[1]))
+            .collect();
+        let expect_pt: BTreeSet<(u64, u64)> = sets
+            .pt
+            .iter()
+            .map(|&(v, o)| (v as u64, o as u64))
+            .collect();
+        assert_eq!(got_pt, expect_pt, "pt through the Jedd language");
+
+        // siteTarget columns are (site, method) as declared.
+        let got_cg: BTreeSet<(u64, u64)> = exec
+            .tuples("siteTarget")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t[0], t[1]))
+            .collect();
+        let expect_cg: BTreeSet<(u64, u64)> = sets
+            .cg
+            .iter()
+            .map(|&(s, m)| (s as u64, m as u64))
+            .collect();
+        assert_eq!(got_cg, expect_cg, "call graph through the Jedd language");
+    }
+
+    #[test]
+    fn jedd_language_hierarchy_matches() {
+        let p = Benchmark::Tiny.generate();
+        let exec = run_jedd(&p).unwrap();
+        let expect = baseline_sets::hierarchy(&p);
+        let got: BTreeSet<(u32, u32)> = exec
+            .tuples("subtypeOf")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t[0] as u32, t[1] as u32))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn jedd_language_side_effects_match() {
+        let p = Benchmark::Tiny.generate();
+        let exec = run_jedd(&p).unwrap();
+        let sets_pt = baseline_sets::points_to(&p);
+        let sets_se = baseline_sets::side_effects(&p, &sets_pt);
+        // readsStar columns are (method, baseobj, field) as declared.
+        let got: BTreeSet<(u32, u32, u32)> = exec
+            .tuples("readsStar")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t[0] as u32, t[1] as u32, t[2] as u32))
+            .collect();
+        let expect: BTreeSet<(u32, u32, u32)> = sets_se.reads_star.iter().copied().collect();
+        assert_eq!(got, expect, "transitive reads through the Jedd language");
+    }
+}
+
+#[cfg(test)]
+mod typed_driver_tests {
+    use super::*;
+    use crate::baseline_sets;
+    use crate::synth::Benchmark;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn jedd_language_typed_driver_matches_typed_baseline() {
+        let p = Benchmark::Tiny.generate();
+        let exec = run_jedd_typed(&p).expect("typed mini-Jedd run");
+        let sets = baseline_sets::points_to_typed(&p);
+        let got: BTreeSet<(u64, u64)> = exec
+            .tuples("pt")
+            .unwrap()
+            .into_iter()
+            .map(|t| (t[0], t[1]))
+            .collect();
+        let expect: BTreeSet<(u64, u64)> = sets
+            .pt
+            .iter()
+            .map(|&(v, o)| (v as u64, o as u64))
+            .collect();
+        assert_eq!(got, expect, "typed pt through the Jedd language");
+    }
+}

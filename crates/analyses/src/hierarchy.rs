@@ -1,0 +1,95 @@
+//! The Hierarchy module (paper Fig. 2): reflexive-transitive subtype
+//! closure of the `extend` relation.
+
+use crate::facts::Facts;
+use jedd_core::{JeddError, Relation};
+
+/// The computed hierarchy relations.
+pub struct Hierarchy {
+    /// `(subtype, supertype)` — reflexive-transitive subtyping.
+    pub subtype_of: Relation,
+}
+
+/// Computes the subtype closure:
+/// `subtypeOf = identity ∪ extend ∪ (subtypeOf ∘ extend)` to fixpoint.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn compute(f: &Facts) -> Result<Hierarchy, JeddError> {
+    f.u.set_site("hierarchy");
+    let mut closure = f.type_identity()?.union(&f.extend)?;
+    loop {
+        // step(subtype, supertype) = ∃m. closure(subtype, m) ∧ extend(m, supertype).
+        // Move the middle onto T3 so the composition has three distinct
+        // domains (the standard closure layout).
+        let hop = closure
+            .rename(f.supertype, f.tgttype)?
+            .with_assignment(&[(f.tgttype, f.t3)])?;
+        let ext_mid = f.extend.rename(f.subtype, f.tgttype)?;
+        let step = hop.compose(&[f.tgttype], &ext_mid, &[f.tgttype])?;
+        let next = closure.union(&step)?;
+        if next.equals(&closure)? {
+            return Ok(Hierarchy { subtype_of: next });
+        }
+        closure = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Program;
+    use crate::synth::Benchmark;
+
+    fn chain_program(n: u32) -> Program {
+        Program {
+            types: n as usize,
+            sigs: 1,
+            methods: 1,
+            fields: 1,
+            vars: 1,
+            allocs: 1,
+            call_sites: 0,
+            extend: (1..n).map(|t| (t, t - 1)).collect(),
+            declares: vec![(0, 0, 0)],
+            alloc_type: vec![(0, 0)],
+            method_this: vec![(0, 0)],
+            entry_points: vec![0],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn chain_closure_is_triangular() {
+        let p = chain_program(6);
+        let f = Facts::load(&p).unwrap();
+        let h = compute(&f).unwrap();
+        // Chain 0 <- 1 <- ... <- 5: closure size = 6 + 5 + ... + 1 = 21.
+        assert_eq!(h.subtype_of.size(), 21);
+        assert!(h.subtype_of.contains(&[5, 0]));
+        assert!(h.subtype_of.contains(&[3, 3]));
+        assert!(!h.subtype_of.contains(&[0, 5]));
+    }
+
+    #[test]
+    fn closure_matches_reference_on_benchmark() {
+        let p = Benchmark::Tiny.generate();
+        let f = Facts::load(&p).unwrap();
+        let h = compute(&f).unwrap();
+        for t in 0..p.types as u32 {
+            for sup in p.supertype_chain(t) {
+                assert!(
+                    h.subtype_of.contains(&[t as u64, sup as u64]),
+                    "{t} <: {sup} missing"
+                );
+            }
+        }
+        // Count must equal the sum of chain lengths (trees have unique
+        // paths).
+        let expect: usize = (0..p.types as u32)
+            .map(|t| p.supertype_chain(t).len())
+            .sum();
+        assert_eq!(h.subtype_of.size() as usize, expect);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jedd-analyses
+//!
+//! The five interrelated whole-program analyses of the Jedd paper
+//! (Lhoták & Hendren, PLDI 2004, Fig. 2 and §5), over a mini Java IR:
+//!
+//! * [`hierarchy`] — subtype closure of the `extend` relation;
+//! * [`vcr`] — virtual call resolution, the paper's Fig. 4 algorithm;
+//! * [`pointsto`] — subset-based points-to analysis with an on-the-fly
+//!   call graph (Berndl et al. \[5\]);
+//! * [`callgraph`] — method-level call edges and reachability;
+//! * [`sideeffect`] — direct and transitive read/write sets.
+//!
+//! Substrates:
+//!
+//! * [`ir`] — the fact-based program representation;
+//! * [`synth`] — seeded synthetic program generation at benchmark scales
+//!   named after the paper's Table 2 benchmarks;
+//! * [`facts`] — loading programs into Jedd relations;
+//! * [`baseline_sets`] — explicit-set reference implementations (ground
+//!   truth, and the "pure Java" side of the paper's §5 code-size claim);
+//! * [`baseline_bdd`] — the hand-coded direct-BDD points-to analysis that
+//!   plays the paper's Table 2 C++ baseline;
+//! * [`driver`] — runs all five analyses together;
+//! * [`jedd_src`] — the analyses as mini-Jedd sources compiled by
+//!   `jeddc` (the input to the paper's Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline_bdd;
+pub mod baseline_sets;
+pub mod callgraph;
+pub mod driver;
+pub mod facts;
+pub mod hierarchy;
+pub mod ir;
+pub mod jedd_src;
+pub mod pointsto;
+pub mod sideeffect;
+pub mod synth;
+pub mod vcr;

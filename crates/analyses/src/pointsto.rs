@@ -1,0 +1,383 @@
+//! The Points-to Analysis module (paper Fig. 2; algorithm of Berndl et
+//! al., PLDI 2003 \[5\]): a flow-insensitive, field-sensitive, subset-based
+//! points-to analysis over BDD relations, with an on-the-fly call graph
+//! built through virtual call resolution — the "interrelated" part of the
+//! paper's five analyses.
+
+use crate::facts::Facts;
+use crate::vcr;
+use jedd_core::{JeddError, Relation};
+
+/// How receiver types are determined for call-graph construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallGraphMode {
+    /// Resolve receivers from the current points-to sets, iterating the
+    /// two analyses to a mutual fixpoint (the paper's configuration).
+    OnTheFly,
+    /// Assume every type reaches every receiver (a CHA-like
+    /// over-approximation); one pass, no iteration.
+    AllTypes,
+}
+
+/// The result of the points-to analysis.
+pub struct PointsTo {
+    /// `(var, obj)` points-to pairs.
+    pub pt: Relation,
+    /// `(baseobj, field, obj)` field points-to pairs.
+    pub field_pt: Relation,
+    /// `(site, method)` call edges discovered.
+    pub cg: Relation,
+    /// Outer fixpoint iterations.
+    pub iterations: usize,
+}
+
+/// Runs the analysis to fixpoint.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn analyze(f: &Facts, mode: CallGraphMode) -> Result<PointsTo, JeddError> {
+    analyze_impl(f, mode, None)
+}
+
+/// Runs the analysis with declared-type filtering: a variable may only
+/// point to objects whose class is a subtype of the variable's declared
+/// type. This consumes the Hierarchy module's `subtypeOf` closure — the
+/// Fig. 2 arrow from Hierarchy into Points-to Analysis.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn analyze_typed(
+    f: &Facts,
+    mode: CallGraphMode,
+    subtype_of: &Relation,
+) -> Result<PointsTo, JeddError> {
+    // allowed(var, obj): the object's class is a subtype of the variable's
+    // declared type.
+    f.u.set_site("pointsto-filter");
+    // (obj, ty) with ty renamed to subtype (already at a T domain).
+    let obj_sub = f.objtype.rename(f.ty, f.subtype)?.with_assignment(&[(f.subtype, f.t1)])?;
+    // (obj, supertype) = obj_sub{subtype} <> subtypeOf{subtype}
+    let obj_sup = obj_sub.compose(&[f.subtype], subtype_of, &[f.subtype])?;
+    // (obj, ty) at T2, matching var_type's type position.
+    let obj_ok = obj_sup
+        .rename(f.supertype, f.ty)?
+        .with_assignment(&[(f.ty, f.t2)])?;
+    // (var, obj) = var_type{ty} <> obj_ok{ty}
+    let allowed = f.var_type.compose(&[f.ty], &obj_ok, &[f.ty])?;
+    analyze_impl(f, mode, Some(&allowed))
+}
+
+fn analyze_impl(
+    f: &Facts,
+    mode: CallGraphMode,
+    allowed: Option<&Relation>,
+) -> Result<PointsTo, JeddError> {
+    f.u.set_site("pointsto");
+    let filter = |r: Relation| -> Result<Relation, JeddError> {
+        match allowed {
+            Some(a) => r.intersect(a),
+            None => Ok(r),
+        }
+    };
+    let mut pt = filter(f.news.clone())?;
+    let mut field_pt = Relation::empty(
+        &f.u,
+        &[(f.baseobj, f.h2), (f.field, f.f1), (f.obj, f.h1)],
+    )?;
+    let mut cg = Relation::empty(&f.u, &[(f.site, f.c1), (f.method, f.m1)])?;
+    let mut edges = f.assigns.clone();
+
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // --- 1. Copy propagation to a local fixpoint. ---
+        loop {
+            // step(dst, obj) = ∃src. edges(dst, src) ∧ pt(src, obj)
+            let step = edges.compose(&[f.src], &pt, &[f.var])?;
+            let step = step
+                .rename(f.dst, f.var)?
+                .with_assignment(&[(f.var, f.v1)])?;
+            let next = filter(pt.union(&step)?)?;
+            if next.equals(&pt)? {
+                break;
+            }
+            pt = next;
+        }
+
+        // pt with the object moved aside and named baseobj, for matching
+        // base variables of loads/stores.
+        let pt_base = pt
+            .rename(f.obj, f.baseobj)?
+            .with_assignment(&[(f.baseobj, f.h2)])?;
+
+        // --- 2. Stores: base.field = src. ---
+        // (field, src, baseobj) = stores{base} <> pt_base{var}
+        let st = f.stores.compose(&[f.base], &pt_base, &[f.var])?;
+        // (field, baseobj, obj) = st{src} <> pt{var}
+        let st = st.compose(&[f.src], &pt, &[f.var])?;
+        field_pt = field_pt.union(&st)?;
+
+        // --- 3. Loads: dst = base.field. ---
+        // (dst, field, baseobj) = loads{base} <> pt_base{var}
+        let ld = f.loads.compose(&[f.base], &pt_base, &[f.var])?;
+        // (dst, obj) = ld{baseobj, field} <> field_pt{baseobj, field}
+        let ld = ld.compose(&[f.baseobj, f.field], &field_pt, &[f.baseobj, f.field])?;
+        let ld = ld.rename(f.dst, f.var)?.with_assignment(&[(f.var, f.v1)])?;
+        let pt_next = filter(pt.union(&ld)?)?;
+
+        // --- 4. Call graph. ---
+        let site_types = match mode {
+            CallGraphMode::OnTheFly => {
+                // (site, obj) = site_recv{var} <> pt{var}
+                let site_objs = f.site_recv.compose(&[f.var], &pt_next, &[f.var])?;
+                // (site, type) = site_objs{obj} <> objtype{obj}
+                site_objs.compose(&[f.obj], &f.objtype, &[f.obj])?
+            }
+            CallGraphMode::AllTypes => {
+                Relation::full(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?
+            }
+        };
+        let cg_next = vcr::resolve(f, &site_types)?;
+        f.u.set_site("pointsto");
+
+        // --- 5. Interprocedural assignment edges from call edges. ---
+        // this-parameter: this(callee) := recv(site).
+        let this_edges = cg_next
+            .join(&[f.method], &f.method_this, &[f.method])?
+            .rename(f.var, f.dst)?
+            .join(&[f.site], &f.site_recv, &[f.site])?
+            .rename(f.var, f.src)?
+            .project_onto(&[f.dst, f.src])?;
+        // parameters: param(callee, i) := arg(site, i).
+        let param_edges = cg_next
+            .join(&[f.method], &f.method_param, &[f.method])?
+            .rename(f.var, f.dst)?
+            .join(&[f.site, f.idx], &f.site_arg, &[f.site, f.idx])?
+            .rename(f.var, f.src)?
+            .project_onto(&[f.dst, f.src])?;
+        // returns: ret(site) := retvar(callee).
+        let ret_edges = cg_next
+            .join(&[f.method], &f.method_ret, &[f.method])?
+            .rename(f.var, f.src)?
+            .join(&[f.site], &f.site_ret, &[f.site])?
+            .rename(f.var, f.dst)?
+            .project_onto(&[f.dst, f.src])?;
+        let new_edges = this_edges.union(&param_edges)?.union(&ret_edges)?;
+        let edges_next = edges.union(&new_edges)?;
+
+        let done = pt_next.equals(&pt)?
+            && cg_next.equals(&cg)?
+            && edges_next.equals(&edges)?;
+        pt = pt_next;
+        cg = cg_next;
+        edges = edges_next;
+        if done {
+            // One more propagation round ran with no change anywhere.
+            return Ok(PointsTo {
+                pt,
+                field_pt,
+                cg,
+                iterations,
+            });
+        }
+        assert!(iterations < 10_000, "points-to failed to converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_sets;
+    use crate::ir::{Call, Program};
+    use crate::synth::Benchmark;
+
+    /// v0 = new A (h0); v1 = v0; v1.f = v0; v2 = v1.f.
+    fn store_load_program() -> Program {
+        Program {
+            types: 2,
+            sigs: 1,
+            methods: 1,
+            fields: 1,
+            vars: 3,
+            allocs: 1,
+            call_sites: 0,
+            extend: vec![(1, 0)],
+            declares: vec![(1, 0, 0)],
+            alloc_type: vec![(0, 1)],
+            news: vec![(0, 0, 0)],
+            assigns: vec![(0, 1, 0)],
+            loads: vec![(0, 2, 1, 0)],
+            stores: vec![(0, 1, 0, 0)],
+            method_this: vec![(0, 0)],
+            entry_points: vec![0],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn store_then_load_flows() {
+        let p = store_load_program();
+        let f = Facts::load(&p).unwrap();
+        let r = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        // v0 -> h0 (new), v1 -> h0 (copy), v2 -> h0 (load of stored).
+        assert!(r.pt.contains(&[0, 0]));
+        assert!(r.pt.contains(&[1, 0]));
+        assert!(r.pt.contains(&[2, 0]));
+        assert_eq!(r.pt.size(), 3);
+        // fieldPt: (h0, f0, h0).
+        assert_eq!(r.field_pt.size(), 1);
+        assert!(r.field_pt.contains(&[0, 0, 0]));
+    }
+
+    /// A virtual call whose resolution creates the flow: caller passes an
+    /// object to the callee's this-parameter.
+    fn call_program() -> Program {
+        // Types: Object(0), A(1). A declares sig0 via m1. Caller m0.
+        // m0: v0 = new A (h0); v0.sig0() [site 0, recv v0]
+        // m1: this = v1. No body.
+        Program {
+            types: 2,
+            sigs: 1,
+            methods: 2,
+            fields: 1,
+            vars: 2,
+            allocs: 1,
+            call_sites: 1,
+            extend: vec![(1, 0)],
+            declares: vec![(1, 0, 1)],
+            alloc_type: vec![(0, 1)],
+            news: vec![(0, 0, 0)],
+            method_this: vec![(1, 1)],
+            calls: vec![Call {
+                caller: 0,
+                site: 0,
+                recv: 0,
+                sig: 0,
+                args: vec![],
+                ret: None,
+            }],
+            entry_points: vec![0],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn call_graph_feeds_this_parameter() {
+        let p = call_program();
+        let f = Facts::load(&p).unwrap();
+        let r = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        // The call resolves to m1 and h0 flows into m1's this (v1).
+        // cg column order is (method, site).
+        assert!(r.cg.contains(&[1, 0]), "site 0 -> m1");
+        assert!(r.pt.contains(&[1, 0]), "this of m1 points to h0");
+    }
+
+    #[test]
+    fn matches_set_baseline_on_benchmarks() {
+        for b in [Benchmark::Tiny, Benchmark::Compress] {
+            let p = b.generate();
+            let f = Facts::load(&p).unwrap();
+            let bdd = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+            let sets = baseline_sets::points_to(&p);
+            let got: std::collections::BTreeSet<(u64, u64)> = bdd
+                .pt
+                .tuples()
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect();
+            let expect: std::collections::BTreeSet<(u64, u64)> = sets
+                .pt
+                .iter()
+                .map(|&(v, o)| (v as u64, o as u64))
+                .collect();
+            assert_eq!(got, expect, "pt mismatch on {}", b.name());
+            // cg column order is (method, site); normalise to (site, method).
+            let got_cg: std::collections::BTreeSet<(u64, u64)> = bdd
+                .cg
+                .tuples()
+                .into_iter()
+                .map(|t| (t[1], t[0]))
+                .collect();
+            let expect_cg: std::collections::BTreeSet<(u64, u64)> = sets
+                .cg
+                .iter()
+                .map(|&(s, m)| (s as u64, m as u64))
+                .collect();
+            assert_eq!(got_cg, expect_cg, "cg mismatch on {}", b.name());
+        }
+    }
+
+    #[test]
+    fn all_types_mode_over_approximates() {
+        let p = Benchmark::Tiny.generate();
+        let f = Facts::load(&p).unwrap();
+        let precise = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        let f2 = Facts::load(&p).unwrap();
+        let cha = analyze(&f2, CallGraphMode::AllTypes).unwrap();
+        // Every precise edge is also a CHA edge.
+        for t in precise.cg.tuples() {
+            assert!(
+                cha.cg.contains(&t),
+                "CHA must include on-the-fly edge {t:?}"
+            );
+        }
+        assert!(cha.cg.size() >= precise.cg.size());
+        assert!(cha.pt.size() >= precise.pt.size());
+    }
+}
+
+#[cfg(test)]
+mod typed_tests {
+    use super::*;
+    use crate::baseline_sets;
+    use crate::hierarchy;
+    use crate::synth::Benchmark;
+    use crate::facts::Facts;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn typed_matches_set_baseline() {
+        for b in [Benchmark::Tiny, Benchmark::Compress] {
+            let p = b.generate();
+            let f = Facts::load(&p).unwrap();
+            let h = hierarchy::compute(&f).unwrap();
+            let typed = analyze_typed(&f, CallGraphMode::OnTheFly, &h.subtype_of).unwrap();
+            let sets = baseline_sets::points_to_typed(&p);
+            let got: BTreeSet<(u64, u64)> = typed
+                .pt
+                .tuples()
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect();
+            let expect: BTreeSet<(u64, u64)> = sets
+                .pt
+                .iter()
+                .map(|&(v, o)| (v as u64, o as u64))
+                .collect();
+            assert_eq!(got, expect, "typed pt mismatch on {}", b.name());
+        }
+    }
+
+    #[test]
+    fn typed_is_subset_of_untyped() {
+        let p = Benchmark::Compress.generate();
+        let f = Facts::load(&p).unwrap();
+        let h = hierarchy::compute(&f).unwrap();
+        let untyped = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        let f2 = Facts::load(&p).unwrap();
+        let h2 = hierarchy::compute(&f2).unwrap();
+        let _ = h;
+        let typed = analyze_typed(&f2, CallGraphMode::OnTheFly, &h2.subtype_of).unwrap();
+        // Compare as tuple sets (separate universes).
+        let t: BTreeSet<Vec<u64>> = typed.pt.tuples().into_iter().collect();
+        let u: BTreeSet<Vec<u64>> = untyped.pt.tuples().into_iter().collect();
+        assert!(t.is_subset(&u), "filtering must only remove pairs");
+        assert!(t.len() < u.len(), "the filter should remove something");
+        // Call graphs shrink too (or stay equal).
+        let tc: BTreeSet<Vec<u64>> = typed.cg.tuples().into_iter().collect();
+        let uc: BTreeSet<Vec<u64>> = untyped.cg.tuples().into_iter().collect();
+        assert!(tc.is_subset(&uc));
+    }
+}

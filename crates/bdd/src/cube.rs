@@ -1,0 +1,82 @@
+//! Enumeration of satisfying assignments restricted to a variable list.
+
+use crate::table::Inner;
+
+impl Inner {
+    /// Calls `cb` once per satisfying assignment of `f` over exactly the
+    /// variables in `vars` (sorted ascending). Variables of `vars` not in
+    /// the support of `f` are expanded to both values, so the callback sees
+    /// every concrete assignment. Returning `false` from the callback stops
+    /// the enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support of `f` is not a subset of `vars` (callers must
+    /// project other variables away first), or `vars` is not sorted.
+    pub(crate) fn foreach_sat(&self, f: u32, vars: &[u32], cb: &mut dyn FnMut(&[bool]) -> bool) {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+        let support = self.support(f);
+        for v in &support {
+            assert!(
+                vars.binary_search(v).is_ok(),
+                "foreach_sat: support variable {v} not in the enumeration set"
+            );
+        }
+        // The recursion walks levels in ascending order; the caller's
+        // positions are by variable. Sort the levels, remembering where
+        // each writes its bit.
+        let mut by_level: Vec<(u32, usize)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.level_of_var(v), i))
+            .collect();
+        by_level.sort_unstable_by_key(|&(l, _)| l);
+        let levels: Vec<u32> = by_level.iter().map(|&(l, _)| l).collect();
+        let positions: Vec<usize> = by_level.iter().map(|&(_, i)| i).collect();
+        let mut level_buf = vec![false; vars.len()];
+        let mut var_buf = vec![false; vars.len()];
+        let mut shim = |a: &[bool]| -> bool {
+            for (k, &pos) in positions.iter().enumerate() {
+                var_buf[pos] = a[k];
+            }
+            cb(&var_buf)
+        };
+        self.sat_rec(f, &levels, 0, &mut level_buf, &mut shim);
+    }
+
+    /// Returns `true` to continue enumeration.
+    fn sat_rec(
+        &self,
+        f: u32,
+        vars: &[u32],
+        idx: usize,
+        buf: &mut [bool],
+        cb: &mut dyn FnMut(&[bool]) -> bool,
+    ) -> bool {
+        if f == 0 {
+            return true;
+        }
+        if idx == vars.len() {
+            debug_assert_eq!(f, 1, "support must be within vars");
+            return cb(buf);
+        }
+        let v = vars[idx];
+        if f > 1 && self.level(f) == v {
+            let (lo, hi) = (self.low(f), self.high(f));
+            buf[idx] = false;
+            if !self.sat_rec(lo, vars, idx + 1, buf, cb) {
+                return false;
+            }
+            buf[idx] = true;
+            self.sat_rec(hi, vars, idx + 1, buf, cb)
+        } else {
+            debug_assert!(f <= 1 || self.level(f) > v);
+            buf[idx] = false;
+            if !self.sat_rec(f, vars, idx + 1, buf, cb) {
+                return false;
+            }
+            buf[idx] = true;
+            self.sat_rec(f, vars, idx + 1, buf, cb)
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! # jedd-bdd
+//!
+//! From-scratch reduced ordered binary decision diagram (ROBDD) and
+//! zero-suppressed decision diagram (ZDD) kernels, built as the backend
+//! substrate for the Jedd relational system (Lhoták & Hendren, PLDI 2004).
+//!
+//! The BDD kernel provides everything the original Jedd runtime obtained
+//! from BuDDy/CUDD through JNI:
+//!
+//! * hash-consed nodes with a growable unique table and operation cache,
+//! * the boolean operations `and`/`or`/`diff`/`xor`/`biimp`/`not`/`ite`,
+//! * existential and universal quantification ([`Bdd::exists`],
+//!   [`Bdd::forall`]),
+//! * the fused relational product [`Bdd::and_exists`] (BuDDy's
+//!   `bdd_appex`, used for Jedd's composition operator `<>`),
+//! * variable permutation [`Bdd::replace`] (BuDDy `bdd_replace`, CUDD
+//!   `SwapVariables`) for moving relations between physical domains,
+//! * model counting ([`Bdd::satcount`]) and assignment enumeration for the
+//!   relation iterators,
+//! * reference-counted external handles with mark-and-sweep garbage
+//!   collection (paper §4.2), and
+//! * per-level shape statistics (paper §4.3's profiler views).
+//!
+//! The ZDD kernel ([`ZddManager`]) realises the paper's §4.1 future-work
+//! backend for sparse tuple sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use jedd_bdd::{BddManager, Permutation};
+//!
+//! let mgr = BddManager::new(4);
+//! // A relation over two 2-bit fields: {(1, 2)}.
+//! let tuple = mgr.encode_value(&[0, 1], 1).and(&mgr.encode_value(&[2, 3], 2));
+//! assert_eq!(tuple.satcount(), 1.0);
+//!
+//! // Move the first field onto the second field's bits.
+//! let moved = tuple
+//!     .exists(&mgr.cube(&[2, 3]))
+//!     .replace(&Permutation::from_pairs(&[(0, 2), (1, 3)]));
+//! assert_eq!(moved, mgr.encode_value(&[2, 3], 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod cube;
+mod extras;
+mod manager;
+mod node;
+mod ops;
+mod permute;
+mod quant;
+mod reorder;
+mod table;
+mod zdd;
+
+pub use manager::{Bdd, BddManager};
+pub use node::{NodeId, Permutation};
+pub use table::KernelStats;
+pub use zdd::{ZddId, ZddManager};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> BddManager {
+        BddManager::new(8)
+    }
+
+    #[test]
+    fn constants() {
+        let m = mgr();
+        assert!(m.constant_false().is_false());
+        assert!(m.constant_true().is_true());
+        assert_eq!(m.constant_false().satcount(), 0.0);
+        assert_eq!(m.constant_true().satcount(), 256.0);
+    }
+
+    #[test]
+    fn var_and_nvar() {
+        let m = mgr();
+        let v = m.var(3);
+        let nv = m.nvar(3);
+        assert_eq!(v.satcount(), 128.0);
+        assert_eq!(v.and(&nv).satcount(), 0.0);
+        assert_eq!(v.or(&nv), m.constant_true());
+        assert_eq!(v.not(), nv);
+    }
+
+    #[test]
+    fn and_or_diff_xor_laws() {
+        let m = mgr();
+        let a = m.var(0).or(&m.var(1));
+        let b = m.var(1).or(&m.var(2));
+        assert_eq!(a.and(&b), b.and(&a));
+        assert_eq!(a.or(&b), b.or(&a));
+        assert_eq!(a.diff(&b), a.and(&b.not()));
+        assert_eq!(a.xor(&b), a.diff(&b).or(&b.diff(&a)));
+        assert_eq!(a.and(&a), a);
+        assert_eq!(a.or(&a), a);
+        assert_eq!(a.diff(&a).satcount(), 0.0);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let m = mgr();
+        let a = m.var(0).and(&m.var(5));
+        let b = m.var(2).xor(&m.var(3));
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn ite_equivalences() {
+        let m = mgr();
+        let f = m.var(0);
+        let g = m.var(1);
+        let h = m.var(2);
+        let ite = f.ite(&g, &h);
+        let manual = f.and(&g).or(&f.not().and(&h));
+        assert_eq!(ite, manual);
+        assert_eq!(f.ite(&m.constant_true(), &m.constant_false()), f);
+    }
+
+    #[test]
+    fn biimp_and_implies() {
+        let m = mgr();
+        let a = m.var(1);
+        let b = m.var(4);
+        assert_eq!(a.biimp(&b), a.and(&b).or(&a.not().and(&b.not())));
+        assert_eq!(a.implies(&b), a.not().or(&b));
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1));
+        let e = f.exists(&m.cube(&[0]));
+        assert_eq!(e, m.var(1));
+        let e2 = f.exists(&m.cube(&[0, 1]));
+        assert!(e2.is_true());
+        // exists over a non-support variable is the identity.
+        assert_eq!(f.exists(&m.cube(&[7])), f);
+    }
+
+    #[test]
+    fn forall_quantifies() {
+        let m = mgr();
+        let f = m.var(0).or(&m.var(1));
+        assert_eq!(f.forall(&m.cube(&[0])), m.var(1));
+        assert!(m.constant_true().forall(&m.cube(&[0, 1])).is_true());
+    }
+
+    #[test]
+    fn and_exists_equals_and_then_exists() {
+        let m = mgr();
+        let f = m.var(0).biimp(&m.var(2));
+        let g = m.var(2).biimp(&m.var(4));
+        let cube = m.cube(&[2]);
+        let fused = f.and_exists(&g, &cube);
+        let manual = f.and(&g).exists(&cube);
+        assert_eq!(fused, manual);
+        // Composition of equality relations is equality.
+        assert_eq!(fused, m.var(0).biimp(&m.var(4)));
+    }
+
+    #[test]
+    fn replace_moves_variables() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1).not());
+        let p = Permutation::from_pairs(&[(0, 4), (1, 5)]);
+        let g = f.replace(&p);
+        assert_eq!(g, m.var(4).and(&m.var(5).not()));
+        assert_eq!(g.replace(&p.inverse()), f);
+    }
+
+    #[test]
+    fn replace_order_reversing() {
+        let m = mgr();
+        let f = m.var(1).and(&m.var(2).not());
+        let p = Permutation::from_pairs(&[(1, 2), (2, 1)]);
+        let g = f.replace(&p);
+        assert_eq!(g, m.var(2).and(&m.var(1).not()));
+    }
+
+    #[test]
+    fn replace_identity_is_noop() {
+        let m = mgr();
+        let f = m.var(3).xor(&m.var(6));
+        assert_eq!(f.replace(&Permutation::identity()), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "same target")]
+    fn replace_rejects_collisions() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1));
+        let p = Permutation::from_pairs(&[(0, 2), (1, 2)]);
+        let _ = f.replace(&p);
+    }
+
+    #[test]
+    fn encode_value_msb_first() {
+        let m = mgr();
+        let f = m.encode_value(&[0, 1, 2], 0b101);
+        let expect = m.var(0).and(&m.nvar(1)).and(&m.var(2));
+        assert_eq!(f, expect);
+        assert_eq!(f.satcount(), 32.0);
+    }
+
+    #[test]
+    fn encode_value_zero_and_max() {
+        let m = mgr();
+        let zero = m.encode_value(&[4, 5], 0);
+        assert_eq!(zero, m.nvar(4).and(&m.nvar(5)));
+        let max = m.encode_value(&[4, 5], 3);
+        assert_eq!(max, m.var(4).and(&m.var(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn encode_value_rejects_overflow() {
+        let m = mgr();
+        let _ = m.encode_value(&[0, 1], 4);
+    }
+
+    #[test]
+    fn equal_vectors_counts() {
+        let m = mgr();
+        let eq = m.equal_vectors(&[0, 1], &[2, 3]);
+        // 4 equal pairs * 16 free assignments of v4..v7.
+        assert_eq!(eq.satcount(), 64.0);
+        for v in 0..4u64 {
+            let both = m.encode_value(&[0, 1], v).and(&m.encode_value(&[2, 3], v));
+            assert_eq!(both.and(&eq), both);
+        }
+    }
+
+    #[test]
+    fn less_than_bounds() {
+        let m = mgr();
+        let bits = [0u32, 1, 2];
+        for bound in 0..=8u64 {
+            let f = m.less_than(&bits, bound);
+            let count = f.satcount_over(&bits);
+            assert_eq!(count, bound.min(8) as f64, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn satcount_over_subset() {
+        let m = mgr();
+        let f = m.encode_value(&[0, 1], 2);
+        assert_eq!(f.satcount_over(&[0, 1]), 1.0);
+        assert_eq!(f.satcount_over(&[0, 1, 2]), 2.0);
+    }
+
+    #[test]
+    fn node_count_and_shape() {
+        let m = mgr();
+        let f = m.var(0).xor(&m.var(1)).xor(&m.var(2));
+        assert_eq!(f.node_count(), 1 + 2 + 2);
+        let shape = f.shape();
+        assert_eq!(shape[0], 1);
+        assert_eq!(shape[1], 2);
+        assert_eq!(shape[2], 2);
+        assert_eq!(shape[3], 0);
+    }
+
+    #[test]
+    fn support_reports_levels() {
+        let m = mgr();
+        let f = m.var(1).and(&m.var(6));
+        assert_eq!(f.support(), vec![1, 6]);
+        assert!(m.constant_true().support().is_empty());
+    }
+
+    #[test]
+    fn foreach_sat_enumerates_with_wildcards() {
+        let m = mgr();
+        let f = m.var(0); // v1 unconstrained over vars [0, 1]
+        let sats = f.sat_assignments(&[0, 1]);
+        assert_eq!(sats, vec![vec![true, false], vec![true, true]]);
+    }
+
+    #[test]
+    fn foreach_sat_early_stop() {
+        let m = mgr();
+        let f = m.constant_true();
+        let mut n = 0;
+        f.foreach_sat(&[0, 1, 2], |_| {
+            n += 1;
+            n < 3
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn gc_reclaims_dead_nodes() {
+        let m = BddManager::new(16);
+        let keep = m.var(0).and(&m.var(1));
+        {
+            let mut junk = m.constant_false();
+            for i in 0..14 {
+                junk = junk.or(&m.var(i).and(&m.var(i + 1)));
+            }
+            assert!(m.live_nodes() > keep.node_count() + 2);
+        }
+        let reclaimed = m.gc();
+        assert!(reclaimed > 0, "expected dead nodes to be reclaimed");
+        assert_eq!(keep.satcount(), (2f64).powi(14));
+        assert_eq!(keep, m.var(0).and(&m.var(1)));
+    }
+
+    #[test]
+    fn gc_preserves_semantics_under_churn() {
+        let m = BddManager::new(12);
+        let mut acc = m.constant_false();
+        for round in 0..50u64 {
+            let bits: Vec<u32> = (0..12).collect();
+            let t = m.encode_value(&bits, (round * 37) % 4096);
+            acc = acc.or(&t);
+            if round % 10 == 9 {
+                m.gc();
+            }
+        }
+        assert_eq!(acc.satcount(), 50.0);
+    }
+
+    #[test]
+    fn kernel_stats_progress() {
+        let m = mgr();
+        let before = m.kernel_stats();
+        let _ = m.var(0).and(&m.var(1));
+        let after = m.kernel_stats();
+        assert!(after.nodes_created > before.nodes_created);
+    }
+
+    #[test]
+    #[should_panic(expected = "different managers")]
+    fn cross_manager_ops_panic() {
+        let a = BddManager::new(4);
+        let b = BddManager::new(4);
+        let _ = a.var(0).and(&b.var(0));
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        let m = mgr();
+        let f = m.var(0).or(&m.var(1));
+        let g = m.var(1).or(&m.var(0));
+        assert_eq!(f, g);
+        assert_eq!(f.raw_id(), g.raw_id());
+    }
+
+    #[test]
+    fn add_vars_extends_range() {
+        let m = BddManager::new(2);
+        assert_eq!(m.num_vars(), 2);
+        let r = m.add_vars(3);
+        assert_eq!(r, 2..5);
+        assert_eq!(m.num_vars(), 5);
+        let v = m.var(4);
+        assert_eq!(v.satcount(), 16.0);
+    }
+}

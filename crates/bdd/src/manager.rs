@@ -1,0 +1,509 @@
+//! The public BDD manager and handle types.
+
+use crate::node::{NodeId, Permutation};
+use crate::ops::BinOp;
+use crate::table::{Inner, KernelStats};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A shared, reference-counted BDD kernel.
+///
+/// All [`Bdd`] handles created from one manager share a node arena, a unique
+/// table and an operation cache. The manager is cheap to clone (it is a
+/// reference-counted handle). Operations between BDDs of *different*
+/// managers panic.
+///
+/// Garbage collection runs automatically between top-level operations once
+/// the arena grows large; dropped [`Bdd`] handles release their nodes for
+/// the next collection, mirroring the reference-counting discipline Jedd
+/// generates for BuDDy/CUDD (paper §4.2).
+///
+/// # Examples
+///
+/// ```
+/// use jedd_bdd::BddManager;
+/// let mgr = BddManager::new(3);
+/// let f = mgr.var(0).or(&mgr.var(1));
+/// let g = f.and(&mgr.nvar(2));
+/// assert_eq!(g.satcount(), 3.0); // 110, 010, 100 over (v0,v1,v2)
+/// ```
+#[derive(Clone)]
+pub struct BddManager {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("BddManager")
+            .field("num_vars", &inner.num_vars())
+            .field("live_nodes", &inner.live_nodes())
+            .finish()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with `num_vars` boolean variables, at levels
+    /// `0..num_vars` (level order == variable order).
+    pub fn new(num_vars: usize) -> BddManager {
+        BddManager {
+            inner: Rc::new(RefCell::new(Inner::new(num_vars as u32))),
+        }
+    }
+
+    /// Number of variables currently allocated.
+    pub fn num_vars(&self) -> usize {
+        self.inner.borrow().num_vars() as usize
+    }
+
+    /// Allocates `n` additional variables at the bottom of the order and
+    /// returns their level range.
+    pub fn add_vars(&self, n: usize) -> std::ops::Range<u32> {
+        self.inner.borrow_mut().add_vars(n as u32)
+    }
+
+    /// The constant `false` / empty-set BDD.
+    pub fn constant_false(&self) -> Bdd {
+        self.wrap(NodeId::FALSE.0)
+    }
+
+    /// The constant `true` / full-set BDD.
+    pub fn constant_true(&self) -> Bdd {
+        self.wrap(NodeId::TRUE.0)
+    }
+
+    /// The BDD testing variable `var` positively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&self, var: u32) -> Bdd {
+        let id = self.inner.borrow_mut().mk_var(var);
+        self.wrap(id)
+    }
+
+    /// The BDD testing variable `var` negatively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn nvar(&self, var: u32) -> Bdd {
+        let id = self.inner.borrow_mut().mk_nvar(var);
+        self.wrap(id)
+    }
+
+    /// A positive cube (conjunction) of the given variables, used as the
+    /// quantification set of [`Bdd::exists`] and [`Bdd::and_exists`].
+    pub fn cube(&self, vars: &[u32]) -> Bdd {
+        let id = self.inner.borrow_mut().mk_cube(vars);
+        self.wrap(id)
+    }
+
+    /// Encodes `value` in binary over `bits` (most significant bit first):
+    /// the conjunction of the corresponding literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `bits.len()` bits.
+    pub fn encode_value(&self, bits: &[u32], value: u64) -> Bdd {
+        assert!(
+            bits.len() >= 64 || value < (1u64 << bits.len()),
+            "value {value} does not fit in {} bits",
+            bits.len()
+        );
+        let mut inner = self.inner.borrow_mut();
+        inner.maybe_gc();
+        // Build bottom-up in level order for linear-time construction.
+        let mut lits: Vec<(u32, bool)> = Vec::with_capacity(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            let bit_set = (value >> (bits.len() - 1 - i)) & 1 == 1;
+            lits.push((inner.level_of_var(b), bit_set));
+        }
+        lits.sort_unstable_by_key(|&(l, _)| l);
+        let mut acc = NodeId::TRUE.0;
+        for &(level, pos) in lits.iter().rev() {
+            acc = if pos {
+                inner.mk(level, NodeId::FALSE.0, acc)
+            } else {
+                inner.mk(level, acc, NodeId::FALSE.0)
+            };
+        }
+        drop(inner);
+        self.wrap(acc)
+    }
+
+    /// The BDD asserting that the bit vectors `xs` and `ys` (MSB first, same
+    /// length) hold equal values: `AND_i (xs[i] <-> ys[i])`.
+    ///
+    /// Used for Jedd's attribute-copy operation and for select-style joins.
+    pub fn equal_vectors(&self, xs: &[u32], ys: &[u32]) -> Bdd {
+        assert_eq!(xs.len(), ys.len(), "bit vectors must have equal length");
+        let mut inner = self.inner.borrow_mut();
+        inner.maybe_gc();
+        let mut acc = NodeId::TRUE.0;
+        // Conjunction built from the bottom pair upward keeps intermediate
+        // BDDs small when the vectors are interleaved.
+        let mut pairs: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        pairs.sort_unstable_by_key(|&(a, b)| std::cmp::Reverse(a.max(b)));
+        for (x, y) in pairs {
+            let vx = inner.mk_var(x);
+            let vy = inner.mk_var(y);
+            let eq = inner.apply(BinOp::Biimp, vx, vy);
+            acc = inner.apply(BinOp::And, acc, eq);
+        }
+        drop(inner);
+        self.wrap(acc)
+    }
+
+    /// The BDD containing exactly the bit strings whose value over `bits`
+    /// (MSB first) is strictly less than `bound`. Used to restrict a
+    /// physical domain to the valid codes of a domain whose size is not a
+    /// power of two.
+    pub fn less_than(&self, bits: &[u32], bound: u64) -> Bdd {
+        if bits.len() < 64 && bound >= (1u64 << bits.len()) {
+            return self.constant_true();
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.maybe_gc();
+        // Standard comparator: walk MSB to LSB accumulating "already less".
+        let mut acc = NodeId::FALSE.0; // strings equal so far that are < bound: none yet
+        // Process LSB first building a function eq_suffix -> handled
+        // iteratively instead: f = OR over positions where bound bit is 1 of
+        // (prefix equal so far) AND (bit i = 0).
+        let n = bits.len();
+        let mut prefix_eq = NodeId::TRUE.0;
+        for i in 0..n {
+            let b = (bound >> (n - 1 - i)) & 1;
+            let var = bits[i];
+            if b == 1 {
+                let nv = inner.mk_nvar(var);
+                let t = inner.apply(BinOp::And, prefix_eq, nv);
+                acc = inner.apply(BinOp::Or, acc, t);
+                let pv = inner.mk_var(var);
+                prefix_eq = inner.apply(BinOp::And, prefix_eq, pv);
+            } else {
+                let nv = inner.mk_nvar(var);
+                prefix_eq = inner.apply(BinOp::And, prefix_eq, nv);
+            }
+        }
+        drop(inner);
+        self.wrap(acc)
+    }
+
+    /// Total number of live nodes in the arena (all BDDs, including
+    /// terminals).
+    pub fn live_nodes(&self) -> usize {
+        self.inner.borrow().live_nodes()
+    }
+
+    /// Forces a full garbage collection and returns the number of reclaimed
+    /// nodes.
+    pub fn gc(&self) -> usize {
+        self.inner.borrow_mut().gc()
+    }
+
+    /// Enables or disables automatic garbage collection (enabled by
+    /// default). Useful in benchmarks that measure raw operation cost.
+    pub fn set_gc_enabled(&self, enabled: bool) {
+        self.inner.borrow_mut().gc_enabled = enabled;
+    }
+
+    /// Snapshot of kernel activity counters.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.inner.borrow().stats
+    }
+
+    /// Runs Rudell sifting: every variable is moved to its locally optimal
+    /// level position (the dynamic-reordering facility of BuDDy/CUDD; the
+    /// paper's §4.3 profiler exists to guide this tuning by hand).
+    ///
+    /// Returns `(nodes_before, nodes_after)`. All existing [`Bdd`] handles
+    /// remain valid and keep denoting the same boolean functions over the
+    /// same variables; only the internal level ordering changes.
+    ///
+    /// This is an expensive, stop-the-world operation — call it between
+    /// analysis phases, not inside hot loops.
+    pub fn reorder_sift(&self) -> (usize, usize) {
+        self.inner.borrow_mut().reorder_sift()
+    }
+
+    /// The current variable order: the variable at each level position,
+    /// top to bottom.
+    pub fn current_order(&self) -> Vec<u32> {
+        self.inner.borrow().level2var.clone()
+    }
+
+    /// The level position currently holding `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn level_of_var(&self, var: u32) -> u32 {
+        self.inner.borrow().level_of_var(var)
+    }
+
+    /// Returns `true` if `a` and `b` were created by this manager.
+    pub fn owns(&self, b: &Bdd) -> bool {
+        Rc::ptr_eq(&self.inner, &b.mgr)
+    }
+
+    pub(crate) fn wrap(&self, id: u32) -> Bdd {
+        self.inner.borrow_mut().inc_ref(id);
+        Bdd {
+            mgr: Rc::clone(&self.inner),
+            id,
+        }
+    }
+}
+
+/// A handle to a BDD node, keeping the node (and everything it reaches)
+/// alive until dropped.
+///
+/// Cloning a `Bdd` is cheap (a refcount bump). Equality compares the
+/// canonical node identity, so it is constant time — the property the paper
+/// relies on for relation comparison (§2.2.1).
+pub struct Bdd {
+    pub(crate) mgr: Rc<RefCell<Inner>>,
+    pub(crate) id: u32,
+}
+
+impl Clone for Bdd {
+    fn clone(&self) -> Bdd {
+        self.mgr.borrow_mut().inc_ref(self.id);
+        Bdd {
+            mgr: Rc::clone(&self.mgr),
+            id: self.id,
+        }
+    }
+}
+
+impl Drop for Bdd {
+    fn drop(&mut self) {
+        self.mgr.borrow_mut().dec_ref(self.id);
+    }
+}
+
+impl PartialEq for Bdd {
+    fn eq(&self, other: &Bdd) -> bool {
+        Rc::ptr_eq(&self.mgr, &other.mgr) && self.id == other.id
+    }
+}
+
+impl Eq for Bdd {}
+
+impl std::hash::Hash for Bdd {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bdd")
+            .field("id", &self.id)
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+impl Bdd {
+    fn check_same_mgr(&self, other: &Bdd) {
+        assert!(
+            Rc::ptr_eq(&self.mgr, &other.mgr),
+            "BDD operands belong to different managers"
+        );
+    }
+
+    fn binop(&self, other: &Bdd, op: BinOp) -> Bdd {
+        self.check_same_mgr(other);
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.apply(op, self.id, other.id)
+        };
+        self.wrap(id)
+    }
+
+    pub(crate) fn wrap(&self, id: u32) -> Bdd {
+        self.mgr.borrow_mut().inc_ref(id);
+        Bdd {
+            mgr: Rc::clone(&self.mgr),
+            id,
+        }
+    }
+
+    /// The manager this BDD belongs to.
+    pub fn manager(&self) -> BddManager {
+        BddManager {
+            inner: Rc::clone(&self.mgr),
+        }
+    }
+
+    /// Conjunction (set intersection).
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.binop(other, BinOp::And)
+    }
+
+    /// Disjunction (set union).
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.binop(other, BinOp::Or)
+    }
+
+    /// Difference `self & !other` (set difference).
+    pub fn diff(&self, other: &Bdd) -> Bdd {
+        self.binop(other, BinOp::Diff)
+    }
+
+    /// Exclusive or (symmetric difference).
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.binop(other, BinOp::Xor)
+    }
+
+    /// Biimplication `self <-> other`.
+    pub fn biimp(&self, other: &Bdd) -> Bdd {
+        self.binop(other, BinOp::Biimp)
+    }
+
+    /// Implication `self -> other`.
+    pub fn implies(&self, other: &Bdd) -> Bdd {
+        self.not().or(other)
+    }
+
+    /// Negation (set complement).
+    pub fn not(&self) -> Bdd {
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.not(self.id)
+        };
+        self.wrap(id)
+    }
+
+    /// If-then-else `self ? g : h`.
+    pub fn ite(&self, g: &Bdd, h: &Bdd) -> Bdd {
+        self.check_same_mgr(g);
+        self.check_same_mgr(h);
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.ite(self.id, g.id, h.id)
+        };
+        self.wrap(id)
+    }
+
+    /// Existential quantification over the variables of the positive cube
+    /// `cube` (build one with [`BddManager::cube`]).
+    pub fn exists(&self, cube: &Bdd) -> Bdd {
+        self.check_same_mgr(cube);
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.exists(self.id, cube.id)
+        };
+        self.wrap(id)
+    }
+
+    /// Universal quantification over the variables of `cube`.
+    pub fn forall(&self, cube: &Bdd) -> Bdd {
+        self.check_same_mgr(cube);
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.forall(self.id, cube.id)
+        };
+        self.wrap(id)
+    }
+
+    /// Fused relational product `exists cube. (self & other)` — the
+    /// primitive behind Jedd's composition operator.
+    pub fn and_exists(&self, other: &Bdd, cube: &Bdd) -> Bdd {
+        self.check_same_mgr(other);
+        self.check_same_mgr(cube);
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.and_exists(self.id, other.id, cube.id)
+        };
+        self.wrap(id)
+    }
+
+    /// Variable replacement (BuDDy `replace`, CUDD `SwapVariables`):
+    /// rewrites this BDD under the given variable permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation is not injective on the support of `self`
+    /// or maps outside the variable range.
+    pub fn replace(&self, perm: &Permutation) -> Bdd {
+        let id = {
+            let mut inner = self.mgr.borrow_mut();
+            inner.maybe_gc();
+            inner.replace(self.id, perm)
+        };
+        self.wrap(id)
+    }
+
+    /// Number of satisfying assignments over all manager variables.
+    pub fn satcount(&self) -> f64 {
+        self.mgr.borrow().satcount(self.id)
+    }
+
+    /// Number of satisfying assignments counting only the given variables
+    /// (which must include the support).
+    pub fn satcount_over(&self, vars: &[u32]) -> f64 {
+        self.mgr.borrow().satcount_over(self.id, vars)
+    }
+
+    /// Number of decision nodes in this BDD (terminals excluded).
+    pub fn node_count(&self) -> usize {
+        self.mgr.borrow().node_count(self.id)
+    }
+
+    /// Nodes per level — the "shape" plotted by the Jedd profiler (§4.3).
+    pub fn shape(&self) -> Vec<usize> {
+        self.mgr.borrow().shape(self.id)
+    }
+
+    /// The sorted set of variables this BDD depends on.
+    pub fn support(&self) -> Vec<u32> {
+        self.mgr.borrow().support(self.id)
+    }
+
+    /// `true` if this is the constant false/empty BDD (`0B` in Jedd).
+    pub fn is_false(&self) -> bool {
+        self.id == NodeId::FALSE.0
+    }
+
+    /// `true` if this is the constant true/full BDD (`1B` in Jedd).
+    pub fn is_true(&self) -> bool {
+        self.id == NodeId::TRUE.0
+    }
+
+    /// Enumerates satisfying assignments over exactly `vars` (sorted); see
+    /// the relation iterators in `jedd-core` for the high-level version.
+    /// The callback returns `false` to stop early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support is not contained in `vars`.
+    pub fn foreach_sat(&self, vars: &[u32], mut cb: impl FnMut(&[bool]) -> bool) {
+        self.mgr.borrow().foreach_sat(self.id, vars, &mut cb);
+    }
+
+    /// Collects all satisfying assignments over `vars` as bit vectors.
+    /// Intended for tests and small relations.
+    pub fn sat_assignments(&self, vars: &[u32]) -> Vec<Vec<bool>> {
+        let mut out = Vec::new();
+        self.foreach_sat(vars, |a| {
+            out.push(a.to_vec());
+            true
+        });
+        out
+    }
+
+    /// The raw node id, for diagnostics and tests.
+    pub fn raw_id(&self) -> NodeId {
+        NodeId(self.id)
+    }
+}

@@ -1,0 +1,174 @@
+//! Binary and ternary boolean operations on the node table.
+
+use crate::node::NodeId;
+use crate::table::{CacheOp, Inner};
+
+const F: u32 = NodeId::FALSE.0;
+const T: u32 = NodeId::TRUE.0;
+
+/// Binary boolean operators supported by [`Inner::apply`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BinOp {
+    And,
+    Or,
+    Diff,
+    Xor,
+    Biimp,
+}
+
+impl BinOp {
+    fn cache_op(self) -> CacheOp {
+        match self {
+            BinOp::And => CacheOp::And,
+            BinOp::Or => CacheOp::Or,
+            BinOp::Diff => CacheOp::Diff,
+            BinOp::Xor => CacheOp::Xor,
+            BinOp::Biimp => CacheOp::Biimp,
+        }
+    }
+
+    /// Commutative operators may sort their cache keys.
+    fn commutative(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Biimp)
+    }
+
+    /// Resolves the operation when at least one argument is terminal (or the
+    /// arguments are equal). Returns `None` when recursion is required.
+    fn terminal_case(self, a: u32, b: u32) -> Option<u32> {
+        match self {
+            BinOp::And => {
+                if a == F || b == F {
+                    Some(F)
+                } else if a == T {
+                    Some(b)
+                } else if b == T || a == b {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BinOp::Or => {
+                if a == T || b == T {
+                    Some(T)
+                } else if a == F {
+                    Some(b)
+                } else if b == F || a == b {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BinOp::Diff => {
+                if a == F || b == T || a == b {
+                    Some(F)
+                } else if b == F {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    Some(F)
+                } else if a == F {
+                    Some(b)
+                } else if b == F {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+            BinOp::Biimp => {
+                if a == b {
+                    Some(T)
+                } else if a == T {
+                    Some(b)
+                } else if b == T {
+                    Some(a)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Inner {
+    /// The standard Bryant `apply` with memoisation.
+    pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> u32 {
+        if let Some(r) = op.terminal_case(a, b) {
+            return r;
+        }
+        let (ka, kb) = if op.commutative() && a > b {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        if let Some(r) = self.cache_lookup(op.cache_op(), ka, kb, 0) {
+            return r;
+        }
+        let (la, lb) = (self.level(a), self.level(b));
+        let m = la.min(lb);
+        let (a0, a1) = if la == m {
+            (self.low(a), self.high(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if lb == m {
+            (self.low(b), self.high(b))
+        } else {
+            (b, b)
+        };
+        let r0 = self.apply(op, a0, b0);
+        let r1 = self.apply(op, a1, b1);
+        let r = self.mk(m, r0, r1);
+        self.cache_store(op.cache_op(), ka, kb, 0, r);
+        r
+    }
+
+    /// Negation, implemented as `true - f` (set complement).
+    pub(crate) fn not(&mut self, a: u32) -> u32 {
+        self.apply(BinOp::Diff, T, a)
+    }
+
+    /// If-then-else: `f ? g : h`.
+    pub(crate) fn ite(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        if f == T {
+            return g;
+        }
+        if f == F {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == T && h == F {
+            return f;
+        }
+        if let Some(r) = self.cache_lookup(CacheOp::Ite, f, g, h) {
+            return r;
+        }
+        let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
+        let m = lf.min(lg).min(lh);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let (h0, h1) = if lh == m {
+            (self.low(h), self.high(h))
+        } else {
+            (h, h)
+        };
+        let r0 = self.ite(f0, g0, h0);
+        let r1 = self.ite(f1, g1, h1);
+        let r = self.mk(m, r0, r1);
+        self.cache_store(CacheOp::Ite, f, g, h, r);
+        r
+    }
+}

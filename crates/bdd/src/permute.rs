@@ -1,0 +1,64 @@
+//! Variable permutation (the BuDDy `replace` / CUDD `SwapVariables`
+//! operation) used when a relation changes physical domains.
+
+use crate::node::Permutation;
+use crate::table::Inner;
+use std::collections::HashMap;
+
+impl Inner {
+    /// Rewrites `f` with every variable `v` replaced by `perm.apply(v)`.
+    ///
+    /// Correct for arbitrary permutations, including order-reversing ones:
+    /// each node is rebuilt with `ite(newvar, high', low')`, which re-sorts
+    /// the result into canonical variable order. Memoised per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two distinct support variables of `f` would map to the same
+    /// target variable, or a target variable is out of range.
+    pub(crate) fn replace(&mut self, f: u32, perm: &Permutation) -> u32 {
+        if perm.is_identity() || f <= 1 {
+            return f;
+        }
+        // Validate injectivity on the support.
+        let support = self.support(f);
+        let mut targets: Vec<u32> = support.iter().map(|&v| perm.apply(v)).collect();
+        targets.sort_unstable();
+        for w in targets.windows(2) {
+            assert!(
+                w[0] != w[1],
+                "replace: two support variables map to the same target {}",
+                w[0]
+            );
+        }
+        for &t in &targets {
+            assert!(
+                t < self.num_vars(),
+                "replace: target variable {t} out of range"
+            );
+        }
+        let mut memo: HashMap<u32, u32> = HashMap::new();
+        self.replace_rec(f, perm, &mut memo)
+    }
+
+    fn replace_rec(&mut self, f: u32, perm: &Permutation, memo: &mut HashMap<u32, u32>) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let level = self.level(f);
+        let lo = self.low(f);
+        let hi = self.high(f);
+        let lo2 = self.replace_rec(lo, perm, memo);
+        let hi2 = self.replace_rec(hi, perm, memo);
+        let new_var = perm.apply(self.var_at_level(level));
+        // `ite(var, hi2, lo2)` places the new variable at its canonical
+        // level even when the permutation reorders the support.
+        let var = self.mk_var(new_var);
+        let r = self.ite(var, hi2, lo2);
+        memo.insert(f, r);
+        r
+    }
+}

@@ -1,0 +1,192 @@
+//! Dynamic variable reordering by sifting (Rudell's algorithm) — the
+//! BuDDy/CUDD facility behind the paper's §4.3 concern that "the ordering
+//! of bits in a BDD determines its size".
+//!
+//! Each variable in turn is moved through every level position by
+//! adjacent-level swaps; it is parked at the position minimising the total
+//! live node count. Swaps are performed in place: every node id keeps the
+//! boolean function it denoted, so external [`crate::Bdd`] handles and the
+//! operation cache stay valid throughout.
+
+use crate::node::{FREE_LEVEL, TERMINAL_LEVEL};
+use crate::table::Inner;
+
+impl Inner {
+    /// Swaps the variables at `level` and `level + 1`.
+    ///
+    /// In-place Rudell swap: nodes at `level` that depend on the lower
+    /// variable are rewritten (same id, same function); independent nodes
+    /// are relabelled across the boundary. Every node id's function is
+    /// preserved.
+    pub(crate) fn swap_adjacent(&mut self, level: u32) {
+        let l0 = level;
+        let l1 = level + 1;
+        debug_assert!(l1 < self.num_vars());
+
+        // Collect the nodes at both levels.
+        let mut at0: Vec<u32> = Vec::new();
+        let mut at1: Vec<u32> = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.level == l0 {
+                at0.push(i as u32);
+            } else if n.level == l1 {
+                at1.push(i as u32);
+            }
+        }
+
+        // Remove them from the unique table: rebuild the buckets without
+        // both levels (simple and safe; swaps are rare relative to mk).
+        self.in_swap = true;
+        self.rebuild_buckets_excluding(l0, l1);
+
+        // Swap the variable <-> level maps first, so mk at these levels
+        // during the rewrite sees the final geometry.
+        let v0 = self.level2var[l0 as usize];
+        let v1 = self.level2var[l1 as usize];
+        self.level2var[l0 as usize] = v1;
+        self.level2var[l1 as usize] = v0;
+        self.var2level[v0 as usize] = l1;
+        self.var2level[v1 as usize] = l0;
+
+        // Pass 1: nodes at l0 NOT depending on l1 move down to l1
+        // unchanged (they test the same variable, which now lives at l1).
+        // They must be inserted before any `mk` can try to recreate them.
+        let mut dependent: Vec<u32> = Vec::new();
+        for &id in &at0 {
+            let (lo, hi) = (self.nodes[id as usize].low, self.nodes[id as usize].high);
+            let lo_l = self.nodes[lo as usize].level;
+            let hi_l = self.nodes[hi as usize].level;
+            if lo_l == l1 || hi_l == l1 {
+                dependent.push(id);
+            } else {
+                self.nodes[id as usize].level = l1;
+                self.insert_unique(id);
+            }
+        }
+        // Pass 2: nodes at l1 move up to l0 (same variable, new position).
+        // Their children are strictly below l1, so ordering holds. They
+        // may become garbage if only the rewritten nodes referenced them;
+        // GC collects them later.
+        for &id in &at1 {
+            self.nodes[id as usize].level = l0;
+            self.insert_unique(id);
+        }
+        // Pass 3: rewrite the dependent nodes in place:
+        //   N = (x, (y A B), (y C D))  =>  N' = (y, (x A C), (x B D))
+        // with the convention that a child not testing y contributes
+        // itself to both cofactors. x now lives at l1, y at l0.
+        for &id in &dependent {
+            let (lo, hi) = (self.nodes[id as usize].low, self.nodes[id as usize].high);
+            // The old l1 nodes now carry level l0 (relabelled above).
+            let (a, b) = if self.nodes[lo as usize].level == l0 {
+                (self.nodes[lo as usize].low, self.nodes[lo as usize].high)
+            } else {
+                (lo, lo)
+            };
+            let (c, d) = if self.nodes[hi as usize].level == l0 {
+                (self.nodes[hi as usize].low, self.nodes[hi as usize].high)
+            } else {
+                (hi, hi)
+            };
+            let new_lo = self.mk(l1, a, c);
+            let new_hi = self.mk(l1, b, d);
+            debug_assert_ne!(new_lo, new_hi, "swap of a reduced node cannot collapse");
+            let n = &mut self.nodes[id as usize];
+            n.level = l0;
+            n.low = new_lo;
+            n.high = new_hi;
+            self.insert_unique(id);
+        }
+        self.in_swap = false;
+    }
+
+    /// Rebuilds the unique-table buckets, leaving out nodes at the two
+    /// given levels (they are re-inserted by the swap).
+    fn rebuild_buckets_excluding(&mut self, l0: u32, l1: u32) {
+        let len = self.buckets_len();
+        self.reset_buckets(len);
+        for i in 2..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.level == TERMINAL_LEVEL
+                || n.level == FREE_LEVEL
+                || n.level == l0
+                || n.level == l1
+            {
+                continue;
+            }
+            self.insert_unique(i as u32);
+        }
+    }
+
+    /// Total live decision nodes (excluding terminals and free slots).
+    fn live_decision_nodes(&self) -> usize {
+        self.live_nodes() - 2
+    }
+
+    /// Sifts every variable to its locally optimal position, largest
+    /// levels first. Returns the node count before and after.
+    ///
+    /// Must be called at a safe point (no recursion in flight); external
+    /// handles stay valid.
+    pub(crate) fn reorder_sift(&mut self) -> (usize, usize) {
+        // Start clean: collect garbage so counts reflect live nodes, and
+        // clear the cache once at the end (entries stay *valid* across
+        // swaps, but a stale cache can hold dead ids across a later GC).
+        self.gc();
+        let before = self.live_decision_nodes();
+        let n = self.num_vars();
+        if n < 2 {
+            return (before, before);
+        }
+        // Process variables by descending population of their level.
+        let mut pop = vec![0usize; n as usize];
+        for node in self.nodes.iter().skip(2) {
+            if node.level != FREE_LEVEL && node.level != TERMINAL_LEVEL {
+                pop[node.level as usize] += 1;
+            }
+        }
+        let mut vars: Vec<u32> = (0..n).collect();
+        vars.sort_by_key(|&v| std::cmp::Reverse(pop[self.var2level[v as usize] as usize]));
+
+        for v in vars {
+            let start_level = self.var2level[v as usize];
+            let mut best_count = self.live_decision_nodes();
+            let mut best_level = start_level;
+            // Walk down to the bottom. A collection after each swap keeps
+            // the node counts exact (swaps orphan the old lower-level
+            // nodes); this is what makes sifting a deliberate, expensive
+            // operation in every BDD library.
+            let mut cur = start_level;
+            while cur + 1 < n {
+                self.swap_adjacent(cur);
+                self.gc();
+                cur += 1;
+                let count = self.live_decision_nodes();
+                if count < best_count {
+                    best_count = count;
+                    best_level = cur;
+                }
+            }
+            // Walk up to the top.
+            while cur > 0 {
+                self.swap_adjacent(cur - 1);
+                self.gc();
+                cur -= 1;
+                let count = self.live_decision_nodes();
+                if count < best_count {
+                    best_count = count;
+                    best_level = cur;
+                }
+            }
+            // Park at the best position.
+            while cur < best_level {
+                self.swap_adjacent(cur);
+                cur += 1;
+            }
+            self.gc();
+        }
+        self.clear_cache();
+        self.gc();
+        (before, self.live_decision_nodes())
+    }
+}

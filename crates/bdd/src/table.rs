@@ -1,0 +1,456 @@
+//! The node arena, unique table, operation cache and garbage collector.
+
+use crate::node::{Node, NodeId, FREE_LEVEL, NIL, TERMINAL_LEVEL};
+
+/// Operation tags used as part of cache keys.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub(crate) enum CacheOp {
+    And = 1,
+    Or = 2,
+    Diff = 3,
+    Xor = 4,
+    Ite = 5,
+    Exists = 6,
+    AndExists = 7,
+    Biimp = 8,
+    None = 0,
+}
+
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    op: CacheOp,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+}
+
+impl CacheEntry {
+    const EMPTY: CacheEntry = CacheEntry {
+        op: CacheOp::None,
+        a: NIL,
+        b: NIL,
+        c: NIL,
+        result: NIL,
+    };
+}
+
+/// Counters describing kernel activity, exposed through
+/// [`crate::BddManager::kernel_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Nodes created since the manager was built (including reclaimed ones).
+    pub nodes_created: u64,
+    /// Unique-table hits in `mk` (node already existed).
+    pub unique_hits: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Operation-cache lookups.
+    pub cache_lookups: u64,
+    /// Completed garbage collections.
+    pub gc_runs: u64,
+    /// Nodes reclaimed over all garbage collections.
+    pub gc_reclaimed: u64,
+}
+
+/// Mutable kernel state shared by all handles of one manager.
+pub(crate) struct Inner {
+    pub(crate) nodes: Vec<Node>,
+    /// Unique-table bucket heads; chained through `Node::next`.
+    buckets: Vec<u32>,
+    bucket_mask: usize,
+    free_head: u32,
+    free_count: usize,
+    cache: Vec<CacheEntry>,
+    cache_mask: usize,
+    num_vars: u32,
+    /// Variable -> level position in the current order.
+    pub(crate) var2level: Vec<u32>,
+    /// Level position -> variable.
+    pub(crate) level2var: Vec<u32>,
+    pub(crate) stats: KernelStats,
+    /// Arena occupancy threshold that triggers a GC attempt at the next
+    /// top-level operation.
+    gc_hint: usize,
+    /// When true, a GC may run at the next safe point.
+    pub(crate) gc_enabled: bool,
+    /// Set during an adjacent-level swap: bucket growth is deferred
+    /// because some nodes are temporarily out of the table.
+    pub(crate) in_swap: bool,
+}
+
+const INITIAL_BUCKETS: usize = 1 << 12;
+const INITIAL_CACHE: usize = 1 << 14;
+const MAX_CACHE: usize = 1 << 22;
+
+#[inline]
+fn triple_hash(level: u32, low: u32, high: u32) -> u64 {
+    // Fibonacci-style mixing of the triple; cheap and well distributed.
+    let mut h = (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= (low as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= (high as u64).wrapping_mul(0x1656_67b1_9e37_79f9);
+    h ^= h >> 29;
+    h
+}
+
+impl Inner {
+    pub(crate) fn new(num_vars: u32) -> Inner {
+        let mut nodes = Vec::with_capacity(1024);
+        nodes.push(Node::terminal()); // FALSE
+        nodes.push(Node::terminal()); // TRUE
+        Inner {
+            nodes,
+            buckets: vec![NIL; INITIAL_BUCKETS],
+            bucket_mask: INITIAL_BUCKETS - 1,
+            free_head: NIL,
+            free_count: 0,
+            cache: vec![CacheEntry::EMPTY; INITIAL_CACHE],
+            cache_mask: INITIAL_CACHE - 1,
+            num_vars,
+            var2level: (0..num_vars).collect(),
+            level2var: (0..num_vars).collect(),
+            stats: KernelStats::default(),
+            gc_hint: 1 << 16,
+            gc_enabled: true,
+            in_swap: false,
+        }
+    }
+
+    /// The level holding `var` in the current order.
+    #[inline]
+    pub(crate) fn level_of_var(&self, var: u32) -> u32 {
+        self.var2level[var as usize]
+    }
+
+    /// The variable sitting at `level`.
+    #[inline]
+    pub(crate) fn var_at_level(&self, level: u32) -> u32 {
+        self.level2var[level as usize]
+    }
+
+    #[inline]
+    pub(crate) fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    pub(crate) fn add_vars(&mut self, n: u32) -> std::ops::Range<u32> {
+        let start = self.num_vars;
+        self.num_vars += n;
+        for v in start..self.num_vars {
+            self.var2level.push(v);
+            self.level2var.push(v);
+        }
+        start..self.num_vars
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, id: u32) -> u32 {
+        self.nodes[id as usize].level
+    }
+
+    #[inline]
+    pub(crate) fn low(&self, id: u32) -> u32 {
+        self.nodes[id as usize].low
+    }
+
+    #[inline]
+    pub(crate) fn high(&self, id: u32) -> u32 {
+        self.nodes[id as usize].high
+    }
+
+    /// Number of live (allocated, non-free) nodes including terminals.
+    pub(crate) fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free_count
+    }
+
+    /// Creates or finds the node `(level, low, high)`, applying the
+    /// reduction rule `low == high => low`.
+    pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        if low == high {
+            return low;
+        }
+        debug_assert!(level < self.num_vars, "mk: level {level} out of range");
+        debug_assert!(
+            self.nodes[low as usize].level > level && self.nodes[high as usize].level > level,
+            "mk: ordering violation at level {level}"
+        );
+        let h = triple_hash(level, low, high) as usize & self.bucket_mask;
+        let mut cur = self.buckets[h];
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if n.level == level && n.low == low && n.high == high {
+                self.stats.unique_hits += 1;
+                return cur;
+            }
+            cur = n.next;
+        }
+        // Allocate.
+        let id = if self.free_head != NIL {
+            let id = self.free_head;
+            self.free_head = self.nodes[id as usize].low;
+            self.free_count -= 1;
+            id
+        } else {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node::terminal());
+            id
+        };
+        self.stats.nodes_created += 1;
+        let next = self.buckets[h];
+        self.nodes[id as usize] = Node {
+            level,
+            low,
+            high,
+            next,
+            ext_refs: 0,
+            mark: false,
+        };
+        self.buckets[h] = id;
+        if !self.in_swap && self.live_nodes() * 2 > self.buckets.len() * 3 {
+            self.grow_buckets();
+        }
+        id
+    }
+
+    /// Number of unique-table buckets.
+    pub(crate) fn buckets_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Clears the buckets to the given size (a power of two).
+    pub(crate) fn reset_buckets(&mut self, len: usize) {
+        debug_assert!(len.is_power_of_two());
+        self.buckets.clear();
+        self.buckets.resize(len, NIL);
+        self.bucket_mask = len - 1;
+    }
+
+    /// Inserts node `id` into its unique-table bucket (no duplicate-id
+    /// check for distinct ids; re-inserting the same id is a no-op).
+    pub(crate) fn insert_unique(&mut self, id: u32) {
+        let n = self.nodes[id as usize];
+        let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+        // Idempotence: skip if this id is already chained here.
+        let mut cur = self.buckets[h];
+        while cur != NIL {
+            if cur == id {
+                return;
+            }
+            cur = self.nodes[cur as usize].next;
+        }
+        self.nodes[id as usize].next = self.buckets[h];
+        self.buckets[h] = id;
+    }
+
+    fn grow_buckets(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        self.buckets = vec![NIL; new_len];
+        self.bucket_mask = new_len - 1;
+        for i in 0..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.level == TERMINAL_LEVEL || n.level == FREE_LEVEL {
+                continue;
+            }
+            let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+            self.nodes[i].next = self.buckets[h];
+            self.buckets[h] = i as u32;
+        }
+        // Grow the cache alongside the table, up to a limit.
+        if self.cache.len() < MAX_CACHE && self.cache.len() < new_len {
+            let target = (self.cache.len() * 2).min(MAX_CACHE);
+            self.cache = vec![CacheEntry::EMPTY; target];
+            self.cache_mask = target - 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_lookup(&mut self, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
+        self.stats.cache_lookups += 1;
+        let h = triple_hash(a ^ ((op as u32) << 24), b, c) as usize & self.cache_mask;
+        let e = &self.cache[h];
+        if e.op == op && e.a == a && e.b == b && e.c == c {
+            self.stats.cache_hits += 1;
+            Some(e.result)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cache_store(&mut self, op: CacheOp, a: u32, b: u32, c: u32, result: u32) {
+        let h = triple_hash(a ^ ((op as u32) << 24), b, c) as usize & self.cache_mask;
+        self.cache[h] = CacheEntry {
+            op,
+            a,
+            b,
+            c,
+            result,
+        };
+    }
+
+    pub(crate) fn clear_cache(&mut self) {
+        self.cache.fill(CacheEntry::EMPTY);
+    }
+
+    #[inline]
+    pub(crate) fn inc_ref(&mut self, id: u32) {
+        self.nodes[id as usize].ext_refs += 1;
+    }
+
+    #[inline]
+    pub(crate) fn dec_ref(&mut self, id: u32) {
+        let r = &mut self.nodes[id as usize].ext_refs;
+        debug_assert!(*r > 0, "dec_ref on node with zero refcount");
+        *r -= 1;
+    }
+
+    /// Runs a GC if the arena has grown past the current hint. Must only be
+    /// called at a safe point (no in-flight recursion results).
+    pub(crate) fn maybe_gc(&mut self) {
+        if self.gc_enabled && self.live_nodes() > self.gc_hint {
+            let reclaimed = self.gc();
+            // If less than a quarter was reclaimed, raise the bar so we do
+            // not thrash.
+            if reclaimed * 4 < self.gc_hint {
+                self.gc_hint *= 2;
+            }
+        }
+    }
+
+    /// Mark-and-sweep collection from externally referenced roots.
+    /// Returns the number of reclaimed nodes.
+    pub(crate) fn gc(&mut self) -> usize {
+        // Mark phase: roots are nodes with ext_refs > 0.
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.level != FREE_LEVEL && n.ext_refs > 0 && !n.mark {
+                stack.push(i as u32);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            let n = &mut self.nodes[id as usize];
+            if n.mark || n.level == TERMINAL_LEVEL {
+                continue;
+            }
+            n.mark = true;
+            let (lo, hi) = (n.low, n.high);
+            if lo > 1 {
+                stack.push(lo);
+            }
+            if hi > 1 {
+                stack.push(hi);
+            }
+        }
+        // Sweep phase: rebuild unique table with only marked nodes.
+        self.buckets.fill(NIL);
+        let mut reclaimed = 0usize;
+        for i in 2..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.level == FREE_LEVEL {
+                continue;
+            }
+            if n.mark {
+                let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+                let node = &mut self.nodes[i];
+                node.mark = false;
+                node.next = self.buckets[h];
+                self.buckets[h] = i as u32;
+            } else {
+                let node = &mut self.nodes[i];
+                node.level = FREE_LEVEL;
+                node.low = self.free_head;
+                node.next = NIL;
+                self.free_head = i as u32;
+                self.free_count += 1;
+                reclaimed += 1;
+            }
+        }
+        self.clear_cache();
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed += reclaimed as u64;
+        reclaimed
+    }
+
+    /// Returns the BDD of a single positive variable.
+    pub(crate) fn mk_var(&mut self, var: u32) -> u32 {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let level = self.level_of_var(var);
+        self.mk(level, NodeId::FALSE.0, NodeId::TRUE.0)
+    }
+
+    /// Returns the negated variable BDD.
+    pub(crate) fn mk_nvar(&mut self, var: u32) -> u32 {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        let level = self.level_of_var(var);
+        self.mk(level, NodeId::TRUE.0, NodeId::FALSE.0)
+    }
+
+    /// Builds a positive cube (conjunction) over distinct variables.
+    pub(crate) fn mk_cube(&mut self, vars: &[u32]) -> u32 {
+        let mut levels: Vec<u32> = vars.iter().map(|&v| self.level_of_var(v)).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let mut acc = NodeId::TRUE.0;
+        for &lvl in levels.iter().rev() {
+            acc = self.mk(lvl, NodeId::FALSE.0, acc);
+        }
+        acc
+    }
+
+    /// Node count of the sub-DAG rooted at `root` (excluding terminals).
+    pub(crate) fn node_count(&self, root: u32) -> usize {
+        if root <= 1 {
+            return 0;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let n = &self.nodes[id as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len()
+    }
+
+    /// Nodes per level for the sub-DAG rooted at `root`.
+    pub(crate) fn shape(&self, root: u32) -> Vec<usize> {
+        let mut out = vec![0usize; self.num_vars as usize];
+        if root <= 1 {
+            return out;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let n = &self.nodes[id as usize];
+            out[n.level as usize] += 1;
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        out
+    }
+
+    /// The set of variables appearing in the sub-DAG rooted at `root`,
+    /// sorted by variable index.
+    pub(crate) fn support(&self, root: u32) -> Vec<u32> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let n = &self.nodes[id as usize];
+            vars.insert(self.var_at_level(n.level));
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        vars.into_iter().collect()
+    }
+}

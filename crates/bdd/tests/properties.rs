@@ -1,0 +1,190 @@
+//! Property-based tests for the BDD kernel: every BDD operation is checked
+//! against a brute-force truth-table model over a small variable universe.
+
+use jedd_bdd::{Bdd, BddManager, Permutation, ZddManager};
+use proptest::prelude::*;
+
+const NVARS: usize = 6;
+
+/// A random boolean-expression AST evaluated both as a BDD and as a truth
+/// table.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..NVARS as u32).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => (bits >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, bits),
+        Expr::And(a, b) => eval(a, bits) && eval(b, bits),
+        Expr::Or(a, b) => eval(a, bits) || eval(b, bits),
+        Expr::Xor(a, b) => eval(a, bits) != eval(b, bits),
+        Expr::Const(c) => *c,
+    }
+}
+
+fn build(mgr: &BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Not(a) => build(mgr, a).not(),
+        Expr::And(a, b) => build(mgr, a).and(&build(mgr, b)),
+        Expr::Or(a, b) => build(mgr, a).or(&build(mgr, b)),
+        Expr::Xor(a, b) => build(mgr, a).xor(&build(mgr, b)),
+        Expr::Const(true) => mgr.constant_true(),
+        Expr::Const(false) => mgr.constant_false(),
+    }
+}
+
+fn truth_table(mgr: &BddManager, f: &Bdd) -> Vec<bool> {
+    let vars: Vec<u32> = (0..NVARS as u32).collect();
+    let mut table = vec![false; 1 << NVARS];
+    f.foreach_sat(&vars, |a| {
+        let mut bits = 0u32;
+        for (i, &b) in a.iter().enumerate() {
+            if b {
+                bits |= 1 << vars[i];
+            }
+        }
+        table[bits as usize] = true;
+        true
+    });
+    let _ = mgr;
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in expr_strategy()) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &e);
+        let table = truth_table(&mgr, &f);
+        for bits in 0..(1u32 << NVARS) {
+            prop_assert_eq!(table[bits as usize], eval(&e, bits), "at assignment {:06b}", bits);
+        }
+    }
+
+    #[test]
+    fn satcount_matches_model_count(e in expr_strategy()) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &e);
+        let models = (0..(1u32 << NVARS)).filter(|&b| eval(&e, b)).count();
+        prop_assert_eq!(f.satcount(), models as f64);
+    }
+
+    #[test]
+    fn exists_matches_model(e in expr_strategy(), var in 0u32..NVARS as u32) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &e);
+        let g = f.exists(&mgr.cube(&[var]));
+        for bits in 0..(1u32 << NVARS) {
+            let lo = bits & !(1 << var);
+            let hi = bits | (1 << var);
+            let expect = eval(&e, lo) || eval(&e, hi);
+            let table = truth_table(&mgr, &g);
+            prop_assert_eq!(table[bits as usize], expect);
+        }
+    }
+
+    #[test]
+    fn and_exists_is_fused(a in expr_strategy(), b in expr_strategy(), v1 in 0u32..NVARS as u32, v2 in 0u32..NVARS as u32) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &a);
+        let g = build(&mgr, &b);
+        let cube = mgr.cube(&[v1, v2]);
+        prop_assert_eq!(f.and_exists(&g, &cube), f.and(&g).exists(&cube));
+    }
+
+    #[test]
+    fn replace_shifts_semantics(e in expr_strategy()) {
+        // Shift all variables up by NVARS in a 2*NVARS manager.
+        let mgr = BddManager::new(2 * NVARS);
+        let f = build(&mgr, &e);
+        let pairs: Vec<(u32, u32)> = (0..NVARS as u32).map(|v| (v, v + NVARS as u32)).collect();
+        let perm = Permutation::from_pairs(&pairs);
+        let g = f.replace(&perm);
+        // Check the support moved entirely.
+        for v in g.support() {
+            prop_assert!(v >= NVARS as u32);
+        }
+        // Round-trip restores f.
+        prop_assert_eq!(g.replace(&perm.inverse()), f);
+    }
+
+    #[test]
+    fn ite_matches_model(a in expr_strategy(), b in expr_strategy(), c in expr_strategy()) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &a);
+        let g = build(&mgr, &b);
+        let h = build(&mgr, &c);
+        let r = f.ite(&g, &h);
+        let table = truth_table(&mgr, &r);
+        for bits in 0..(1u32 << NVARS) {
+            let expect = if eval(&a, bits) { eval(&b, bits) } else { eval(&c, bits) };
+            prop_assert_eq!(table[bits as usize], expect);
+        }
+    }
+
+    #[test]
+    fn gc_is_transparent(e in expr_strategy()) {
+        let mgr = BddManager::new(NVARS);
+        let f = build(&mgr, &e);
+        let count_before = f.satcount();
+        let shape_before = f.shape();
+        mgr.gc();
+        prop_assert_eq!(f.satcount(), count_before);
+        prop_assert_eq!(f.shape(), shape_before);
+        // Rebuilding the same expression yields the identical node.
+        let f2 = build(&mgr, &e);
+        prop_assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn zdd_set_algebra(sets_a in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..4), 0..8),
+                       sets_b in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..4), 0..8)) {
+        use std::collections::BTreeSet;
+        let z = ZddManager::new(8);
+        let norm = |sets: &Vec<Vec<u32>>| -> BTreeSet<BTreeSet<u32>> {
+            sets.iter().map(|s| s.iter().copied().collect()).collect()
+        };
+        let (ma, mb) = (norm(&sets_a), norm(&sets_b));
+        let a = z.family(&sets_a);
+        let b = z.family(&sets_b);
+        let check = |zid, model: BTreeSet<BTreeSet<u32>>| {
+            let got: BTreeSet<BTreeSet<u32>> = z
+                .sets(zid)
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect();
+            got == model
+        };
+        prop_assert!(check(z.union(a, b), ma.union(&mb).cloned().collect()));
+        prop_assert!(check(z.intersect(a, b), ma.intersection(&mb).cloned().collect()));
+        prop_assert!(check(z.diff(a, b), ma.difference(&mb).cloned().collect()));
+        prop_assert_eq!(z.count(a), ma.len() as f64);
+    }
+}

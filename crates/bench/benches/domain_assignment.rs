@@ -1,0 +1,23 @@
+//! Criterion bench for Table 1's solve-time column: compiling each
+//! analysis module (dominated by flow-path enumeration, CNF encoding and
+//! the SAT solve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_domain_assignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("domain_assignment");
+    g.sample_size(10);
+    for (name, src) in jedd_analyses::jedd_src::modules() {
+        g.bench_function(name, |b| {
+            b.iter(|| jeddc::compile(std::hint::black_box(&src)).expect("compiles"))
+        });
+    }
+    let combined = jedd_analyses::jedd_src::combined();
+    g.bench_function("All 5 combined", |b| {
+        b.iter(|| jeddc::compile(std::hint::black_box(&combined)).expect("compiles"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_domain_assignment);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table 2: hand-coded direct-BDD points-to vs the
+//! Jedd relational version, on the `compress`-scale benchmark (kept small
+//! so the bench suite stays fast; the `table2` binary sweeps all five).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_analyses::pointsto::CallGraphMode;
+use jedd_analyses::synth::Benchmark;
+
+fn bench_pointsto(c: &mut Criterion) {
+    let p = Benchmark::Compress.generate();
+    let mut g = c.benchmark_group("pointsto_compress");
+    g.sample_size(10);
+    g.bench_function("hand_coded_bdd", |b| {
+        b.iter(|| jedd_analyses::baseline_bdd::analyze(std::hint::black_box(&p)))
+    });
+    g.bench_function("jedd_relational", |b| {
+        b.iter(|| {
+            let f = jedd_analyses::facts::Facts::load(std::hint::black_box(&p)).unwrap();
+            jedd_analyses::pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap()
+        })
+    });
+    g.bench_function("explicit_sets", |b| {
+        b.iter(|| jedd_analyses::baseline_sets::points_to(std::hint::black_box(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pointsto);
+criterion_main!(benches);

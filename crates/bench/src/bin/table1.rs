@@ -1,0 +1,21 @@
+//! Regenerates the paper's **Table 1**: size of the physical-domain-
+//! assignment problem for each analysis module and for all five combined —
+//! relational expressions, attribute occurrences, physical domains,
+//! constraint counts by type, SAT problem size, and solve time.
+//!
+//! Run with `cargo run --release -p jedd-bench --bin table1`.
+
+fn main() {
+    println!("Table 1: Size of physical domain assignment problem");
+    println!("(mini-Jedd sources of the five analyses, solved by jedd-sat)");
+    println!();
+    print!("{}", jedd_bench::format_table1());
+    println!();
+    println!(
+        "Paper reference (zchaff on a 1833 MHz Athlon): the combined row had\n\
+         613 exprs / 1586 attrs, 3544 variables, ~23k clauses, 4.6 s solve\n\
+         time, and each module solved in well under a second. The shape to\n\
+         check: per-module problems are small and solve in milliseconds;\n\
+         the combined problem is the largest but still compiles in seconds."
+    );
+}

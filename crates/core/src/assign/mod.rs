@@ -1,0 +1,296 @@
+//! The SAT-based physical-domain-assignment engine (paper §3.3).
+//!
+//! Jedd programs mention *attributes*; BDDs store values in *physical
+//! domains* (blocks of BDD variables). Completing a partial,
+//! programmer-specified attribute → physical-domain mapping into a valid
+//! global assignment is NP-complete; the paper encodes it as SAT and
+//! solves it with zchaff. This module reproduces that pipeline:
+//!
+//! 1. [`AssignmentProblem`] collects expressions, attribute occurrences,
+//!    conflict/equality/assignment constraints and the specified domains;
+//! 2. flow paths (§3.3.2) are enumerated from the specified occurrences;
+//! 3. the constraints become CNF clause types 1–7 and go to `jedd-sat`;
+//! 4. a model decodes into a [`Solution`]; an UNSAT result is turned into
+//!    the paper's conflict diagnostic via unsat-core extraction (§3.3.3).
+//!
+//! # Examples
+//!
+//! Reproducing the paper's §3.3.3 error (the compose whose result needs
+//! `rectype` and `supertype` in distinct domains but only `T1` is
+//! reachable for both):
+//!
+//! ```
+//! use jedd_core::assign::{AssignError, AssignmentProblem, SourcePos};
+//!
+//! let mut p = AssignmentProblem::new();
+//! let t1 = p.add_physdom("T1");
+//! let _t2 = p.add_physdom("T2");
+//! let _s1 = p.add_physdom("S1");
+//! let compose = p.add_expr("Compose_expression", SourcePos { line: 4, col: 25 });
+//! let rectype = p.add_occurrence(compose, "rectype");
+//! let supertype = p.add_occurrence(compose, "supertype");
+//! p.specify(rectype, t1);
+//! p.specify(supertype, t1);
+//! let err = p.solve().unwrap_err();
+//! assert!(matches!(err, AssignError::Conflict { .. }));
+//! assert!(err.to_string().contains("over physical domain T1"));
+//! ```
+
+mod encode;
+mod paths;
+mod problem;
+
+pub use problem::{
+    AssignError, AssignmentProblem, AssignmentStats, ExprId, OccId, PhysId, Solution, SourcePos,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(line: u32, col: u32) -> SourcePos {
+        SourcePos { line, col }
+    }
+
+    #[test]
+    fn single_component_takes_specified_domain() {
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let _t2 = p.add_physdom("T2");
+        let e1 = p.add_expr("a", pos(1, 1));
+        let o1 = p.add_occurrence(e1, "x");
+        let e2 = p.add_expr("b", pos(2, 1));
+        let o2 = p.add_occurrence(e2, "x");
+        p.specify(o1, t1);
+        p.add_equality(o1, o2);
+        let s = p.solve().unwrap();
+        assert_eq!(s.physdom_of(o1), t1);
+        assert_eq!(s.physdom_of(o2), t1);
+    }
+
+    #[test]
+    fn assignment_edges_prefer_same_domain() {
+        // An assignment edge that *can* stay unbroken keeps one domain.
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let _t2 = p.add_physdom("T2");
+        let e1 = p.add_expr("sub", pos(1, 1));
+        let o1 = p.add_occurrence(e1, "x");
+        let e2 = p.add_expr("replace", pos(1, 1));
+        let o2 = p.add_occurrence(e2, "x");
+        p.specify(o1, t1);
+        p.add_assignment(o1, o2);
+        let s = p.solve().unwrap();
+        assert_eq!(s.physdom_of(o2), t1);
+    }
+
+    #[test]
+    fn conflict_splits_components_across_domains() {
+        // One expression with two attributes, each pinned elsewhere via
+        // equality chains; conflict forces them apart.
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let t2 = p.add_physdom("T2");
+        let e = p.add_expr("join", pos(3, 3));
+        let a = p.add_occurrence(e, "left");
+        let b = p.add_occurrence(e, "right");
+        p.specify(a, t1);
+        p.specify(b, t2);
+        let s = p.solve().unwrap();
+        assert_eq!(s.physdom_of(a), t1);
+        assert_eq!(s.physdom_of(b), t2);
+    }
+
+    #[test]
+    fn figure7_components() {
+        // The constraint graph of Fig. 7 (paper): the join on lines 6-7 of
+        // Fig. 4. Four families of attributes must land on T1, S1, T2, M1.
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let s1 = p.add_physdom("S1");
+        let t2 = p.add_physdom("T2");
+        let m1 = p.add_physdom("M1");
+
+        // resolved (the programmer-annotated result).
+        let resolved = p.add_expr("resolved", pos(6, 9));
+        let res_rectype = p.add_occurrence(resolved, "rectype");
+        let res_signature = p.add_occurrence(resolved, "signature");
+        let res_tgttype = p.add_occurrence(resolved, "tgttype");
+        let res_method = p.add_occurrence(resolved, "method");
+        p.specify(res_rectype, t1);
+        p.specify(res_signature, s1);
+        p.specify(res_tgttype, t2);
+        p.specify(res_method, m1);
+
+        // replace wrapped around the join result.
+        let rep = p.add_expr("replace", pos(7, 9));
+        let rep_rectype = p.add_occurrence(rep, "rectype");
+        let rep_signature = p.add_occurrence(rep, "signature");
+        let rep_tgttype = p.add_occurrence(rep, "tgttype");
+        let rep_method = p.add_occurrence(rep, "method");
+        p.add_assignment(rep_rectype, res_rectype);
+        p.add_assignment(rep_signature, res_signature);
+        p.add_assignment(rep_tgttype, res_tgttype);
+        p.add_assignment(rep_method, res_method);
+
+        // the join expression.
+        let join = p.add_expr("join", pos(7, 9));
+        let join_rectype = p.add_occurrence(join, "rectype");
+        let join_signature = p.add_occurrence(join, "signature");
+        let join_tgttype = p.add_occurrence(join, "tgttype");
+        let join_method = p.add_occurrence(join, "method");
+        p.add_equality(join_rectype, rep_rectype);
+        p.add_equality(join_signature, rep_signature);
+        p.add_equality(join_tgttype, rep_tgttype);
+        p.add_equality(join_method, rep_method);
+
+        // replace around toResolve; toResolve itself.
+        let rep_tr = p.add_expr("replace", pos(7, 13));
+        let tr_rec2 = p.add_occurrence(rep_tr, "rectype");
+        let tr_sig2 = p.add_occurrence(rep_tr, "signature");
+        let tr_tgt2 = p.add_occurrence(rep_tr, "tgttype");
+        p.add_equality(tr_rec2, join_rectype);
+        p.add_equality(tr_sig2, join_signature);
+        p.add_equality(tr_tgt2, join_tgttype);
+        let toresolve = p.add_expr("toResolve", pos(7, 13));
+        let tr_rec = p.add_occurrence(toresolve, "rectype");
+        let tr_sig = p.add_occurrence(toresolve, "signature");
+        let tr_tgt = p.add_occurrence(toresolve, "tgttype");
+        p.add_assignment(tr_rec, tr_rec2);
+        p.add_assignment(tr_sig, tr_sig2);
+        p.add_assignment(tr_tgt, tr_tgt2);
+
+        // replace around declaresMethod; declaresMethod itself.
+        let rep_dm = p.add_expr("replace", pos(7, 40));
+        let dm_sig2 = p.add_occurrence(rep_dm, "signature");
+        let dm_type2 = p.add_occurrence(rep_dm, "type");
+        let dm_meth2 = p.add_occurrence(rep_dm, "method");
+        // The join matches tgttype with type and signature with signature.
+        p.add_equality(dm_type2, join_tgttype);
+        p.add_equality(dm_sig2, join_signature);
+        p.add_equality(dm_meth2, join_method);
+        let dm = p.add_expr("declaresMethod", pos(7, 40));
+        let dm_sig = p.add_occurrence(dm, "signature");
+        let dm_type = p.add_occurrence(dm, "type");
+        let dm_meth = p.add_occurrence(dm, "method");
+        p.add_assignment(dm_sig, dm_sig2);
+        p.add_assignment(dm_type, dm_type2);
+        p.add_assignment(dm_meth, dm_meth2);
+
+        let s = p.solve().unwrap();
+        // All rectype occurrences -> T1.
+        for o in [res_rectype, rep_rectype, join_rectype, tr_rec2, tr_rec] {
+            assert_eq!(s.physdom_of(o), t1, "rectype family");
+        }
+        // All signature occurrences -> S1.
+        for o in [
+            res_signature,
+            rep_signature,
+            join_signature,
+            tr_sig2,
+            tr_sig,
+            dm_sig2,
+            dm_sig,
+        ] {
+            assert_eq!(s.physdom_of(o), s1, "signature family");
+        }
+        // tgttype + type family -> T2.
+        for o in [
+            res_tgttype,
+            rep_tgttype,
+            join_tgttype,
+            tr_tgt2,
+            tr_tgt,
+            dm_type2,
+            dm_type,
+        ] {
+            assert_eq!(s.physdom_of(o), t2, "tgttype/type family");
+        }
+        // method family -> M1.
+        for o in [res_method, rep_method, join_method, dm_meth2, dm_meth] {
+            assert_eq!(s.physdom_of(o), m1, "method family");
+        }
+        let stats = s.stats();
+        assert_eq!(stats.physdoms, 4);
+        assert!(stats.sat_clauses > 0 && stats.sat_vars > 0);
+        assert_eq!(stats.equality, 10);
+        assert_eq!(stats.assignment, 10);
+    }
+
+    #[test]
+    fn unreachable_attribute_reported() {
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let e = p.add_expr("lonely", pos(9, 2));
+        let a = p.add_occurrence(e, "x");
+        let b = p.add_occurrence(e, "y");
+        p.specify(a, t1);
+        let _ = b;
+        let err = p.solve().unwrap_err();
+        match err {
+            AssignError::Unreachable { expr, attr, .. } => {
+                assert_eq!(expr, "lonely");
+                assert_eq!(attr, "y");
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn section_3_3_3_error_message_format() {
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let _t2 = p.add_physdom("T2");
+        let s1 = p.add_physdom("S1");
+        // The compose result of §3.3.3: rectype and supertype both chained
+        // to T1, in conflict within one expression; signature gets S1.
+        let compose = p.add_expr("Compose_expression", pos(4, 25));
+        let rectype = p.add_occurrence(compose, "rectype");
+        let signature = p.add_occurrence(compose, "signature");
+        let supertype = p.add_occurrence(compose, "supertype");
+        p.specify(rectype, t1);
+        p.specify(supertype, t1);
+        p.specify(signature, s1);
+        let err = p.solve().unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(
+            msg,
+            "Conflict between Compose_expression:rectype at Test.jedd:4,25 and \
+             Compose_expression:supertype at Test.jedd:4,25 over physical domain T1"
+        );
+    }
+
+    #[test]
+    fn fix_with_new_domain_resolves_conflict() {
+        // The fix the paper suggests: assign supertype to a fresh T3.
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let t3 = p.add_physdom("T3");
+        let compose = p.add_expr("Compose_expression", pos(4, 25));
+        let rectype = p.add_occurrence(compose, "rectype");
+        let supertype = p.add_occurrence(compose, "supertype");
+        p.specify(rectype, t1);
+        p.specify(supertype, t3);
+        let s = p.solve().unwrap();
+        assert_eq!(s.physdom_of(rectype), t1);
+        assert_eq!(s.physdom_of(supertype), t3);
+    }
+
+    #[test]
+    fn stats_count_constraints() {
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let e = p.add_expr("e", pos(1, 1));
+        let a = p.add_occurrence(e, "a");
+        let f = p.add_expr("f", pos(1, 2));
+        let b = p.add_occurrence(f, "b");
+        p.specify(a, t1);
+        p.specify(b, t1);
+        p.add_equality(a, b);
+        assert_eq!(p.num_conflict_edges(), 0);
+        assert_eq!(p.num_equality_edges(), 1);
+        let s = p.solve().unwrap();
+        assert_eq!(s.stats().attrs, 2);
+        assert!(s.stats().solve_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The physical-domain-assignment problem (paper §3.3).
+//!
+//! The problem is expressed over *occurrences*: attribute instances of
+//! relational (sub)expressions. Three kinds of constraints relate them:
+//!
+//! * **conflict** — all attributes of one expression must live in distinct
+//!   physical domains (implicit between all pairs within an expression);
+//! * **equality** — an operation requires two attributes of its operands
+//!   to share a physical domain (§3.2.2);
+//! * **assignment** — a dummy-replace boundary that *may* be broken,
+//!   inserting a real replace operation (§3.3.2).
+//!
+//! A subset of occurrences carries programmer-specified physical domains;
+//! the solver must extend them to a complete, valid assignment, or explain
+//! why none exists.
+
+use std::fmt;
+
+/// Index of an expression in the problem.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ExprId(pub u32);
+
+/// Index of an attribute occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OccId(pub u32);
+
+/// Index of a physical domain in the problem.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PhysId(pub u32);
+
+/// A source position for error reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SourcePos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.line, self.col)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ExprInfo {
+    pub label: String,
+    pub pos: SourcePos,
+    pub occs: Vec<OccId>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct OccInfo {
+    pub expr: ExprId,
+    pub attr: String,
+}
+
+/// A physical-domain-assignment problem under construction.
+///
+/// # Examples
+///
+/// ```
+/// use jedd_core::assign::{AssignmentProblem, SourcePos};
+/// let mut p = AssignmentProblem::new();
+/// let t1 = p.add_physdom("T1");
+/// let e = p.add_expr("toResolve", SourcePos { line: 3, col: 5 });
+/// let o = p.add_occurrence(e, "rectype");
+/// p.specify(o, t1);
+/// let solution = p.solve().unwrap();
+/// assert_eq!(solution.physdom_of(o), t1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AssignmentProblem {
+    pub(crate) file: String,
+    pub(crate) exprs: Vec<ExprInfo>,
+    pub(crate) occs: Vec<OccInfo>,
+    pub(crate) physdoms: Vec<String>,
+    pub(crate) specified: Vec<(OccId, PhysId)>,
+    pub(crate) equality: Vec<(OccId, OccId)>,
+    pub(crate) assignment: Vec<(OccId, OccId)>,
+}
+
+impl Default for AssignmentProblem {
+    fn default() -> AssignmentProblem {
+        AssignmentProblem {
+            file: "Test.jedd".to_string(),
+            exprs: Vec::new(),
+            occs: Vec::new(),
+            physdoms: Vec::new(),
+            specified: Vec::new(),
+            equality: Vec::new(),
+            assignment: Vec::new(),
+        }
+    }
+}
+
+impl AssignmentProblem {
+    /// Creates an empty problem. The source file name used in error
+    /// messages defaults to `Test.jedd` (as in the paper's example) and
+    /// can be changed with [`AssignmentProblem::set_file`].
+    pub fn new() -> AssignmentProblem {
+        AssignmentProblem::default()
+    }
+
+    /// Sets the source file name used in error messages.
+    pub fn set_file(&mut self, file: &str) {
+        self.file = file.to_string();
+    }
+
+    /// Registers a physical domain by name.
+    pub fn add_physdom(&mut self, name: &str) -> PhysId {
+        if let Some(i) = self.physdoms.iter().position(|n| n == name) {
+            return PhysId(i as u32);
+        }
+        let id = PhysId(self.physdoms.len() as u32);
+        self.physdoms.push(name.to_string());
+        id
+    }
+
+    /// Registers a relational (sub)expression.
+    pub fn add_expr(&mut self, label: &str, pos: SourcePos) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(ExprInfo {
+            label: label.to_string(),
+            pos,
+            occs: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers an attribute occurrence of an expression. Conflict edges
+    /// to the expression's other occurrences are implicit.
+    pub fn add_occurrence(&mut self, expr: ExprId, attr: &str) -> OccId {
+        let id = OccId(self.occs.len() as u32);
+        self.occs.push(OccInfo {
+            expr,
+            attr: attr.to_string(),
+        });
+        self.exprs[expr.0 as usize].occs.push(id);
+        id
+    }
+
+    /// Pins an occurrence to a programmer-specified physical domain.
+    pub fn specify(&mut self, occ: OccId, phys: PhysId) {
+        self.specified.push((occ, phys));
+    }
+
+    /// Adds an equality edge: both occurrences must share a physical
+    /// domain.
+    pub fn add_equality(&mut self, a: OccId, b: OccId) {
+        self.equality.push((a, b));
+    }
+
+    /// Adds an assignment edge (a breakable dummy-replace boundary).
+    pub fn add_assignment(&mut self, a: OccId, b: OccId) {
+        self.assignment.push((a, b));
+    }
+
+    /// Number of expressions.
+    pub fn num_exprs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Number of attribute occurrences.
+    pub fn num_occurrences(&self) -> usize {
+        self.occs.len()
+    }
+
+    /// Number of physical domains.
+    pub fn num_physdoms(&self) -> usize {
+        self.physdoms.len()
+    }
+
+    /// Number of implicit conflict edges (pairs within expressions).
+    pub fn num_conflict_edges(&self) -> usize {
+        self.exprs
+            .iter()
+            .map(|e| e.occs.len() * e.occs.len().saturating_sub(1) / 2)
+            .sum()
+    }
+
+    /// Number of equality edges.
+    pub fn num_equality_edges(&self) -> usize {
+        self.equality.len()
+    }
+
+    /// Number of assignment edges.
+    pub fn num_assignment_edges(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The display name of a physical domain.
+    pub fn physdom_name(&self, p: PhysId) -> &str {
+        &self.physdoms[p.0 as usize]
+    }
+
+    /// The label of an expression.
+    pub fn expr_label(&self, e: ExprId) -> &str {
+        &self.exprs[e.0 as usize].label
+    }
+
+    /// The source position of an expression.
+    pub fn expr_pos(&self, e: ExprId) -> SourcePos {
+        self.exprs[e.0 as usize].pos
+    }
+
+    /// The attribute name of an occurrence.
+    pub fn occ_attr(&self, o: OccId) -> &str {
+        &self.occs[o.0 as usize].attr
+    }
+
+    /// The expression an occurrence belongs to.
+    pub fn occ_expr(&self, o: OccId) -> ExprId {
+        self.occs[o.0 as usize].expr
+    }
+}
+
+/// Sizing and timing data for one assignment run — the columns of the
+/// paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AssignmentStats {
+    /// Relational expressions in the problem.
+    pub exprs: usize,
+    /// Attribute occurrences.
+    pub attrs: usize,
+    /// Physical domains.
+    pub physdoms: usize,
+    /// Conflict constraint edges.
+    pub conflict: usize,
+    /// Equality constraint edges.
+    pub equality: usize,
+    /// Assignment constraint edges.
+    pub assignment: usize,
+    /// Distinct SAT variables.
+    pub sat_vars: usize,
+    /// CNF clauses.
+    pub sat_clauses: usize,
+    /// Total CNF literals.
+    pub sat_literals: usize,
+    /// Flow paths enumerated.
+    pub flow_paths: usize,
+    /// Time spent encoding + solving, seconds.
+    pub solve_seconds: f64,
+}
+
+/// A complete, valid physical-domain assignment.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    pub(crate) assignment: Vec<PhysId>,
+    pub(crate) stats: AssignmentStats,
+}
+
+impl Solution {
+    /// The physical domain assigned to an occurrence.
+    pub fn physdom_of(&self, occ: OccId) -> PhysId {
+        self.assignment[occ.0 as usize]
+    }
+
+    /// Problem/solution statistics (Table 1 columns).
+    pub fn stats(&self) -> AssignmentStats {
+        self.stats
+    }
+}
+
+/// Why no assignment exists (paper §3.3.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssignError {
+    /// An occurrence has no flow path from any specified occurrence — its
+    /// connected component carries no physical domain. Detected while
+    /// constructing the SAT input.
+    Unreachable {
+        /// Source file name.
+        file: String,
+        /// Expression label.
+        expr: String,
+        /// Source position of the expression.
+        pos: SourcePos,
+        /// The attribute with no reachable specification.
+        attr: String,
+    },
+    /// The constraint graph cannot be partitioned: a conflict clause
+    /// appears in every unsatisfiable core. Reported in the paper's error
+    /// format.
+    Conflict {
+        /// Source file name.
+        file: String,
+        /// Label of the expression holding the first attribute.
+        expr_a: String,
+        /// Position of the first expression.
+        pos_a: SourcePos,
+        /// First conflicting attribute.
+        attr_a: String,
+        /// Label of the expression holding the second attribute.
+        expr_b: String,
+        /// Position of the second expression.
+        pos_b: SourcePos,
+        /// Second conflicting attribute.
+        attr_b: String,
+        /// The physical domain both attributes were forced into.
+        physdom: String,
+    },
+    /// Two programmer specifications (or specification-connected equality
+    /// chains) contradict each other directly, with no conflict edge
+    /// involved. jeddc-constructed problems never produce this (specified
+    /// occurrences only meet through breakable assignment edges); it can
+    /// arise through the public [`AssignmentProblem`] API.
+    Inconsistent {
+        /// Source file name.
+        file: String,
+        /// Expression of the first specification.
+        expr_a: String,
+        /// Position of the first expression.
+        pos_a: SourcePos,
+        /// First specified attribute.
+        attr_a: String,
+        /// Expression of the second specification.
+        expr_b: String,
+        /// Position of the second expression.
+        pos_b: SourcePos,
+        /// Second specified attribute.
+        attr_b: String,
+    },
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Unreachable {
+                file,
+                expr,
+                pos,
+                attr,
+            } => write!(
+                f,
+                "No physical domain reaches {expr}:{attr} at {file}:{pos}; \
+                 specify a physical domain for this attribute"
+            ),
+            AssignError::Conflict {
+                file,
+                expr_a,
+                pos_a,
+                attr_a,
+                expr_b,
+                pos_b,
+                attr_b,
+                physdom,
+            } => write!(
+                f,
+                "Conflict between {expr_a}:{attr_a} at {file}:{pos_a} and \
+                 {expr_b}:{attr_b} at {file}:{pos_b} over physical domain {physdom}"
+            ),
+            AssignError::Inconsistent {
+                file,
+                expr_a,
+                pos_a,
+                attr_a,
+                expr_b,
+                pos_b,
+                attr_b,
+            } => write!(
+                f,
+                "Contradictory physical domain specifications: {expr_a}:{attr_a} at \
+                 {file}:{pos_a} and {expr_b}:{attr_b} at {file}:{pos_b}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}

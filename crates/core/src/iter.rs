@@ -1,0 +1,190 @@
+//! Relation iterators (paper §2.3).
+//!
+//! Jedd provides two versions of `java.util.Iterator` for extracting
+//! objects from relations back into Java: one over the single objects of a
+//! unary relation, one over full tuples. These are their Rust
+//! counterparts; both are driven by the BDD assignment enumeration and
+//! respect the column convention of [`Relation::tuples`]
+//! (attribute-registration order).
+
+use crate::relation::Relation;
+use crate::universe::AttrId;
+
+/// Iterator over the object indices of a single-attribute relation.
+///
+/// Created by [`Relation::iter_objects`].
+#[derive(Debug)]
+pub struct Objects {
+    values: std::vec::IntoIter<u64>,
+}
+
+impl Iterator for Objects {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.values.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.values.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Objects {}
+
+/// Iterator over the tuples of a relation, each a `Vec<u64>` of object
+/// indices in attribute-registration order.
+///
+/// Created by [`Relation::iter_tuples`].
+#[derive(Debug)]
+pub struct Tuples {
+    tuples: std::vec::IntoIter<Vec<u64>>,
+}
+
+impl Iterator for Tuples {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        self.tuples.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.tuples.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Tuples {}
+
+impl Relation {
+    /// Iterates over the objects of a single-attribute relation — Jedd's
+    /// first iterator flavour (§2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation does not have exactly one attribute.
+    pub fn iter_objects(&self) -> Objects {
+        assert_eq!(
+            self.schema().len(),
+            1,
+            "iter_objects requires a single-attribute relation"
+        );
+        let values: Vec<u64> = self.tuples().into_iter().map(|t| t[0]).collect();
+        Objects {
+            values: values.into_iter(),
+        }
+    }
+
+    /// Iterates over full tuples — Jedd's second iterator flavour (§2.3).
+    pub fn iter_tuples(&self) -> Tuples {
+        Tuples {
+            tuples: self.tuples().into_iter(),
+        }
+    }
+
+    /// Returns the tuples with columns reordered to the given attribute
+    /// order (which must be a permutation of the schema's attributes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::JeddError::NoSuchAttribute`] if `order` is not a
+    /// permutation of the schema.
+    pub fn tuples_by(&self, order: &[AttrId]) -> Result<Vec<Vec<u64>>, crate::JeddError> {
+        let attrs = self.attributes();
+        if order.len() != attrs.len() {
+            return Err(crate::JeddError::SchemaMismatch {
+                left: attrs
+                    .iter()
+                    .map(|&a| self.universe.attribute_name(a))
+                    .collect(),
+                right: order
+                    .iter()
+                    .map(|&a| self.universe.attribute_name(a))
+                    .collect(),
+                op: "tuples_by",
+            });
+        }
+        let mut perm = Vec::with_capacity(order.len());
+        for &a in order {
+            match attrs.iter().position(|&x| x == a) {
+                Some(i) => perm.push(i),
+                None => {
+                    return Err(crate::JeddError::NoSuchAttribute {
+                        attribute: self.universe.attribute_name(a),
+                        op: "tuples_by",
+                    })
+                }
+            }
+        }
+        let mut out: Vec<Vec<u64>> = self
+            .tuples()
+            .into_iter()
+            .map(|t| perm.iter().map(|&i| t[i]).collect())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn setup() -> (Universe, Relation, AttrId, AttrId) {
+        let u = Universe::new();
+        let d = u.add_domain("D", 8);
+        let p1 = u.add_physical_domain("P1", 3);
+        let p2 = u.add_physical_domain("P2", 3);
+        let a = u.add_attribute("a", d);
+        let b = u.add_attribute("b", d);
+        let r = Relation::from_tuples(
+            &u,
+            &[(a, p1), (b, p2)],
+            &[vec![1, 2], vec![3, 4], vec![5, 6]],
+        )
+        .unwrap();
+        (u, r, a, b)
+    }
+
+    #[test]
+    fn iter_tuples_yields_all() {
+        let (_u, r, _, _) = setup();
+        let it = r.iter_tuples();
+        assert_eq!(it.len(), 3);
+        let collected: Vec<Vec<u64>> = it.collect();
+        assert_eq!(collected, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    fn iter_objects_on_unary() {
+        let (_u, r, _a, b) = setup();
+        let unary = r.project_away(&[b]).unwrap();
+        let objs: Vec<u64> = unary.iter_objects().collect();
+        assert_eq!(objs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-attribute")]
+    fn iter_objects_rejects_wide() {
+        let (_u, r, _, _) = setup();
+        let _ = r.iter_objects();
+    }
+
+    #[test]
+    fn tuples_by_reorders_columns() {
+        let (_u, r, a, b) = setup();
+        let swapped = r.tuples_by(&[b, a]).unwrap();
+        assert_eq!(swapped, vec![vec![2, 1], vec![4, 3], vec![6, 5]]);
+        let same = r.tuples_by(&[a, b]).unwrap();
+        assert_eq!(same, r.tuples());
+    }
+
+    #[test]
+    fn tuples_by_rejects_bad_order() {
+        let (u, r, a, _) = setup();
+        let d = u.add_domain("E", 2);
+        let c = u.add_attribute("c", d);
+        assert!(r.tuples_by(&[a, c]).is_err());
+        assert!(r.tuples_by(&[a]).is_err());
+    }
+}

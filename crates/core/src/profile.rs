@@ -1,0 +1,65 @@
+//! Profiling hooks.
+//!
+//! The relational layer emits one [`OpEvent`] per operation when a
+//! [`ProfileSink`] is installed on the [`crate::Universe`]. The
+//! `jedd-runtime` crate aggregates these into the browsable HTML profile
+//! the paper describes in §4.3.
+
+/// One relational operation as observed by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpEvent {
+    /// Operation name (`union`, `join`, `compose`, `replace`, ...).
+    pub op: &'static str,
+    /// The source site executing the operation (set via
+    /// [`crate::Universe::set_site`]); empty when unknown.
+    pub site: String,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+    /// Node count of the largest operand BDD.
+    pub operand_nodes: usize,
+    /// Node count of the result BDD.
+    pub result_nodes: usize,
+    /// Nodes per level of the result BDD ("shape", paper §4.3), recorded
+    /// when the sink requests shapes.
+    pub shape: Option<Vec<usize>>,
+}
+
+/// A consumer of profile events.
+pub trait ProfileSink {
+    /// Receives one event per relational operation.
+    fn record(&self, event: &OpEvent);
+
+    /// When true, the relational layer also computes and attaches the
+    /// result BDD's per-level shape (costlier).
+    fn wants_shapes(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    struct Collector(RefCell<Vec<OpEvent>>);
+    impl ProfileSink for Collector {
+        fn record(&self, event: &OpEvent) {
+            self.0.borrow_mut().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn sink_receives_events() {
+        let c = Collector(RefCell::new(Vec::new()));
+        c.record(&OpEvent {
+            op: "union",
+            site: "test".into(),
+            nanos: 5,
+            operand_nodes: 1,
+            result_nodes: 2,
+            shape: None,
+        });
+        assert_eq!(c.0.borrow().len(), 1);
+        assert!(!c.wants_shapes());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: every relational operation is cross-checked against a
+//! naive set-of-tuples model.
+
+use jedd_core::{AttrId, PhysDomId, Relation, Universe};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const DOM: u64 = 5; // every domain has 5 objects
+const BITS: usize = 3;
+
+/// The universe for the property tests: three attributes a, b, c over one
+/// domain, plus renaming targets, with one physical domain each.
+struct Ctx {
+    u: Universe,
+    attrs: Vec<AttrId>,
+    pds: Vec<PhysDomId>,
+}
+
+fn ctx() -> Ctx {
+    let u = Universe::new();
+    let d = u.add_domain("D", DOM);
+    let names = ["a", "b", "c", "x", "y"];
+    let attrs: Vec<AttrId> = names.iter().map(|n| u.add_attribute(n, d)).collect();
+    let pds: Vec<PhysDomId> = (0..6)
+        .map(|i| u.add_physical_domain(&format!("P{i}"), BITS))
+        .collect();
+    Ctx { u, attrs, pds }
+}
+
+type Model = BTreeSet<Vec<u64>>;
+
+fn tuples2() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..DOM, 2),
+        0..12,
+    )
+}
+
+fn build2(c: &Ctx, tuples: &[Vec<u64>], a0: usize, a1: usize, p0: usize, p1: usize) -> Relation {
+    Relation::from_tuples(
+        &c.u,
+        &[(c.attrs[a0], c.pds[p0]), (c.attrs[a1], c.pds[p1])],
+        tuples,
+    )
+    .unwrap()
+}
+
+fn model(tuples: &[Vec<u64>]) -> Model {
+    tuples.iter().cloned().collect()
+}
+
+fn rel_model(r: &Relation) -> Model {
+    r.tuples().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_ops_match_model(ta in tuples2(), tb in tuples2()) {
+        let c = ctx();
+        // Schema (a, b) on P0, P1 for the left; P2, P3 for the right so an
+        // auto-replace happens on every operation.
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let rb = build2(&c, &tb, 0, 1, 2, 3);
+        let (ma, mb) = (model(&ta), model(&tb));
+        prop_assert_eq!(rel_model(&ra.union(&rb).unwrap()), ma.union(&mb).cloned().collect::<Model>());
+        prop_assert_eq!(rel_model(&ra.intersect(&rb).unwrap()), ma.intersection(&mb).cloned().collect::<Model>());
+        prop_assert_eq!(rel_model(&ra.minus(&rb).unwrap()), ma.difference(&mb).cloned().collect::<Model>());
+        prop_assert_eq!(ra.equals(&rb).unwrap(), ma == mb);
+        prop_assert_eq!(ra.size(), ma.len() as u64);
+    }
+
+    #[test]
+    fn project_matches_model(ta in tuples2()) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let projected = ra.project_away(&[c.attrs[1]]).unwrap();
+        let expect: Model = model(&ta).into_iter().map(|t| vec![t[0]]).collect();
+        prop_assert_eq!(rel_model(&projected), expect);
+    }
+
+    #[test]
+    fn rename_preserves_tuples(ta in tuples2()) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        // rename b -> x; attr order in the new schema is (a, x) since
+        // AttrId order is declaration order (a < x).
+        let renamed = ra.rename(c.attrs[1], c.attrs[3]).unwrap();
+        prop_assert_eq!(rel_model(&renamed), model(&ta));
+    }
+
+    #[test]
+    fn copy_matches_model(ta in tuples2()) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        // copy a => a x : schema (a, b, x); x mirrors a.
+        let copied = ra.copy(c.attrs[0], c.attrs[0], c.attrs[3], Some(c.pds[4])).unwrap();
+        let expect: Model = model(&ta).into_iter().map(|t| vec![t[0], t[1], t[0]]).collect();
+        prop_assert_eq!(rel_model(&copied), expect);
+    }
+
+    #[test]
+    fn join_matches_model(ta in tuples2(), tb in tuples2()) {
+        let c = ctx();
+        // left: (a, b); right: (b', c) compared on b — use attrs b=1 on the
+        // left, x=3 on the right (same domain), keep c=2.
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let rb = build2(&c, &tb, 2, 3, 2, 3); // attrs (c, x), pds P2, P3
+        let joined = ra.join(&[c.attrs[1]], &rb, &[c.attrs[3]]).unwrap();
+        // model: {(a, b, c) | (a,b) in A, (c, x) in B, b == x}
+        let mut expect: Model = Model::new();
+        for l in &ta {
+            for r in &tb {
+                // rb tuples are in schema order (c, x) because attr c < x.
+                if l[1] == r[1] {
+                    expect.insert(vec![l[0], l[1], r[0]]);
+                }
+            }
+        }
+        prop_assert_eq!(rel_model(&joined), expect);
+    }
+
+    #[test]
+    fn compose_is_join_project(ta in tuples2(), tb in tuples2()) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let rb = build2(&c, &tb, 2, 3, 2, 3);
+        let composed = ra.compose(&[c.attrs[1]], &rb, &[c.attrs[3]]).unwrap();
+        let joined = ra
+            .join(&[c.attrs[1]], &rb, &[c.attrs[3]])
+            .unwrap()
+            .project_away(&[c.attrs[1]])
+            .unwrap();
+        prop_assert!(composed.equals(&joined).unwrap());
+    }
+
+    #[test]
+    fn replace_roundtrip_preserves(ta in tuples2()) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let moved = ra
+            .with_assignment(&[(c.attrs[0], c.pds[4]), (c.attrs[1], c.pds[5])])
+            .unwrap();
+        prop_assert_eq!(rel_model(&moved), model(&ta));
+        let back = moved
+            .with_assignment(&[(c.attrs[0], c.pds[0]), (c.attrs[1], c.pds[1])])
+            .unwrap();
+        prop_assert_eq!(back.bdd(), ra.bdd());
+    }
+
+    #[test]
+    fn select_matches_model(ta in tuples2(), v in 0..DOM) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        let sel = ra.select(c.attrs[0], v).unwrap();
+        let expect: Model = model(&ta).into_iter().filter(|t| t[0] == v).collect();
+        prop_assert_eq!(rel_model(&sel), expect);
+    }
+
+    #[test]
+    fn contains_matches_model(ta in tuples2(), probe in proptest::collection::vec(0..DOM, 2)) {
+        let c = ctx();
+        let ra = build2(&c, &ta, 0, 1, 0, 1);
+        prop_assert_eq!(ra.contains(&probe), model(&ta).contains(&probe));
+    }
+}

@@ -1,0 +1,292 @@
+//! Abstract syntax of the mini-Jedd language.
+//!
+//! Mirrors the productions the paper adds to Java (Fig. 5). Where the
+//! original embeds relational expressions into full Java, mini-Jedd is a
+//! standalone language of declarations and rules; the surrounding Java is
+//! played by the host program driving [`crate::Executor`].
+
+use crate::diag::Pos;
+
+/// A relation type annotation `<a:T1, b, c:T2>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaAst {
+    /// Attribute name plus optional physical-domain ascription.
+    pub attrs: Vec<(String, Option<String>)>,
+    /// Source position of the `<`.
+    pub pos: Pos,
+}
+
+/// How a domain's size is determined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DomainSpec {
+    /// `domain D;` — size bound by the host before execution.
+    Deferred,
+    /// `domain D 1024;`
+    Fixed(u64),
+    /// `domain D { A, B, C };`
+    Enumerated(Vec<String>),
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decl {
+    /// `domain Type ...;`
+    Domain {
+        /// Domain name.
+        name: String,
+        /// Size specification.
+        spec: DomainSpec,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `attribute rectype : Type;`
+    Attribute {
+        /// Attribute name.
+        name: String,
+        /// Domain name.
+        domain: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `physdom T1;` or `physdom interleaved T1, T2;`
+    Physdom {
+        /// Domain names declared together.
+        names: Vec<String>,
+        /// Whether the group's bits are interleaved in the variable order.
+        interleaved: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `relation <a:T1, b> name;` — a global relation variable.
+    Relation {
+        /// Variable name.
+        name: String,
+        /// Declared schema.
+        schema: SchemaAst,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `rule name { ... }`
+    Rule {
+        /// Rule name.
+        name: String,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// Compound assignment operators (`=`, `|=`, `&=`, `-=`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `|=`
+    Union,
+    /// `&=`
+    Intersect,
+    /// `-=`
+    Minus,
+}
+
+/// A statement inside a rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `<a:T1, b> name = expr;` — local relation declaration.
+    Local {
+        /// Variable name.
+        name: String,
+        /// Declared schema.
+        schema: SchemaAst,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `name op= expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// The assignment operator.
+        op: AssignOp,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `do { ... } while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Loop condition.
+        cond: Cond,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Optional else branch.
+        else_body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A relational comparison `expr == expr` / `expr != expr`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// Left operand.
+    pub left: Expr,
+    /// Right operand.
+    pub right: Expr,
+    /// `true` for `==`, `false` for `!=`.
+    pub eq: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One replacement inside a cast: `(a=>)`, `(a=>b)` or `(a=>b c)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// `a=>` — project `a` away.
+    Project(String),
+    /// `a=>b` — rename `a` to `b`.
+    Rename(String, String),
+    /// `a=>b c` — copy `a` into `b` and `c`.
+    Copy(String, String, String),
+}
+
+/// The binary set operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    /// `|`
+    Union,
+    /// `&`
+    Intersect,
+    /// `-`
+    Minus,
+}
+
+/// A relational expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A relation variable reference.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// The `0B` constant.
+    Empty {
+        /// Source position.
+        pos: Pos,
+    },
+    /// The `1B` constant.
+    Full {
+        /// Source position.
+        pos: Pos,
+    },
+    /// `new { obj => attr:PD, ... }`
+    Literal {
+        /// Fields: object label/index, attribute, optional physical domain.
+        fields: Vec<(LiteralObj, String, Option<String>)>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `(repl, ...) expr`
+    Replace {
+        /// The replacements applied.
+        replacements: Vec<Replacement>,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `l {attrs} >< r {attrs}` or `l {attrs} <> r {attrs}`
+    JoinLike {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Left compared attributes.
+        left_attrs: Vec<String>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Right compared attributes.
+        right_attrs: Vec<String>,
+        /// `true` for join `><`, `false` for compose `<>`.
+        is_join: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `l | r`, `l & r`, `l - r`
+    SetOp {
+        /// The operator.
+        op: SetOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// An object inside a tuple literal: a domain-element label or an index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiteralObj {
+    /// A named domain element (for enumerated domains).
+    Label(String),
+    /// An explicit object index.
+    Index(u64),
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Var { pos, .. }
+            | Expr::Empty { pos }
+            | Expr::Full { pos }
+            | Expr::Literal { pos, .. }
+            | Expr::Replace { pos, .. }
+            | Expr::JoinLike { pos, .. }
+            | Expr::SetOp { pos, .. } => *pos,
+        }
+    }
+
+    /// A short label describing the expression kind, used in assignment
+    /// diagnostics (e.g. `Compose_expression` in the paper's messages).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Expr::Var { .. } => "Var_expression",
+            Expr::Empty { .. } => "Empty_expression",
+            Expr::Full { .. } => "Full_expression",
+            Expr::Literal { .. } => "Literal_expression",
+            Expr::Replace { .. } => "Replace_expression",
+            Expr::JoinLike { is_join: true, .. } => "Join_expression",
+            Expr::JoinLike { is_join: false, .. } => "Compose_expression",
+            Expr::SetOp { .. } => "SetOp_expression",
+        }
+    }
+}
+
+/// A parsed program: declarations in source order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level declarations.
+    pub decls: Vec<Decl>,
+}

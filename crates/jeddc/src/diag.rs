@@ -1,0 +1,85 @@
+//! Source positions and compile-time diagnostics.
+
+use std::fmt;
+
+/// A 1-based line/column source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.line, self.col)
+    }
+}
+
+/// A compile-time error with its source position.
+///
+/// Covers lexical, syntactic and semantic (Fig. 6 typing) errors; the
+/// physical-domain-assignment errors of §3.3.3 are produced separately as
+/// [`jedd_core::assign::AssignError`] and wrapped by the driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Any error the jeddc driver can produce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JeddcError {
+    /// Lexical, syntactic or typing error.
+    Compile(CompileError),
+    /// Physical-domain-assignment failure (paper §3.3.3).
+    Assign(jedd_core::assign::AssignError),
+}
+
+impl fmt::Display for JeddcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JeddcError::Compile(e) => write!(f, "{e}"),
+            JeddcError::Assign(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JeddcError {}
+
+impl From<CompileError> for JeddcError {
+    fn from(e: CompileError) -> JeddcError {
+        JeddcError::Compile(e)
+    }
+}
+
+impl From<jedd_core::assign::AssignError> for JeddcError {
+    fn from(e: jedd_core::assign::AssignError) -> JeddcError {
+        JeddcError::Assign(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError {
+            pos: Pos { line: 4, col: 25 },
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "4,25: boom");
+    }
+}

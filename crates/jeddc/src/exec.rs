@@ -1,0 +1,760 @@
+//! Executing compiled mini-Jedd programs.
+//!
+//! Plays the role of the Java code jeddc generates plus the Jedd runtime
+//! library: it materialises the program's domains, attributes and physical
+//! domains into a [`jedd_core::Universe`] (sizing each physical domain to
+//! its largest assigned attribute, §3.2.1), then interprets rules over
+//! relations, inserting exactly the replace operations the physical-domain
+//! assignment dictates.
+
+use crate::assignc::Assignment;
+use crate::check::{
+    AttrIdx, PdIdx, TCond, TExpr, TExprKind, TLiteralObj, TStmt, TypedProgram, VarIdx,
+};
+use crate::diag::JeddcError;
+use jedd_core::{AttrId, DomainId, JeddError, PhysDomId, Relation, Universe};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{AssignOp, DomainSpec, SetOp};
+
+/// A fully compiled program: typed AST plus the physical-domain
+/// assignment.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The typed program.
+    pub typed: TypedProgram,
+    /// The attribute → physical-domain assignment of every expression.
+    pub assignment: Assignment,
+}
+
+/// Compiles mini-Jedd source. All connected components of the constraint
+/// graph must carry a programmer-specified physical domain, exactly as in
+/// the paper's jeddc.
+///
+/// # Errors
+///
+/// Returns lexical/syntactic/typing errors or an assignment failure
+/// ([`jedd_core::assign::AssignError`]).
+pub fn compile(src: &str) -> Result<CompiledProgram, JeddcError> {
+    compile_impl(src, false, "Test.jedd")
+}
+
+/// Like [`compile`], with an explicit source-file name used in assignment
+/// error messages.
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_named(src: &str, file: &str) -> Result<CompiledProgram, JeddcError> {
+    compile_impl(src, false, file)
+}
+
+/// Like [`compile`], but automatically pins fresh physical domains where
+/// the programmer specified none, mimicking the paper's workflow of adding
+/// "just enough" specifications guided by the error messages (§5).
+///
+/// # Errors
+///
+/// Same as [`compile`], except `Unreachable` and most `Conflict` failures
+/// are repaired automatically.
+pub fn compile_auto(src: &str) -> Result<CompiledProgram, JeddcError> {
+    compile_impl(src, true, "Test.jedd")
+}
+
+fn compile_impl(src: &str, auto_pin: bool, file: &str) -> Result<CompiledProgram, JeddcError> {
+    let ast = crate::parse::parse(src)?;
+    let typed = crate::check::check(&ast)?;
+    let assignment = crate::assignc::assign_named(&typed, auto_pin, file)?;
+    Ok(CompiledProgram { typed, assignment })
+}
+
+/// A runtime error while preparing or running a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<JeddError> for ExecError {
+    fn from(e: JeddError) -> ExecError {
+        ExecError {
+            message: e.to_string(),
+        }
+    }
+}
+
+fn exec_err(message: impl Into<String>) -> ExecError {
+    ExecError {
+        message: message.into(),
+    }
+}
+
+/// Interprets a [`CompiledProgram`] over concrete relations.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+///     domain T { A, B };
+///     attribute x : T;
+///     physdom P1;
+///     relation <x:P1> r;
+///     rule fill { r = r | new { B => x }; }
+/// ";
+/// let compiled = jeddc::compile(src)?;
+/// let mut exec = jeddc::Executor::new(&compiled)?;
+/// exec.run("fill")?;
+/// assert_eq!(exec.tuples("r")?, vec![vec![1]]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Executor {
+    compiled: CompiledProgram,
+    universe: Universe,
+    domain_sizes: Vec<Option<u64>>,
+    domain_elements: Vec<Option<Vec<String>>>,
+    domain_ids: Vec<Option<DomainId>>,
+    attr_ids: Vec<Option<AttrId>>,
+    physdom_ids: Vec<Option<PhysDomId>>,
+    env: Vec<Option<Relation>>,
+    prepared: bool,
+    /// Replace operations executed on behalf of the assignment.
+    pub replaces: u64,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("prepared", &self.prepared)
+            .field("replaces", &self.replaces)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor. Domains with fixed or enumerated sizes are
+    /// bound immediately; deferred domains must be bound with
+    /// [`Executor::bind_domain_size`] before the first run.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but reserved for future validation.
+    pub fn new(compiled: &CompiledProgram) -> Result<Executor, ExecError> {
+        let nd = compiled.typed.domains.len();
+        let mut sizes: Vec<Option<u64>> = vec![None; nd];
+        let mut elements: Vec<Option<Vec<String>>> = vec![None; nd];
+        for (i, d) in compiled.typed.domains.iter().enumerate() {
+            match &d.spec {
+                DomainSpec::Fixed(n) => sizes[i] = Some(*n),
+                DomainSpec::Enumerated(els) => {
+                    sizes[i] = Some(els.len() as u64);
+                    elements[i] = Some(els.clone());
+                }
+                DomainSpec::Deferred => {}
+            }
+        }
+        Ok(Executor {
+            compiled: compiled.clone(),
+            universe: Universe::new(),
+            domain_sizes: sizes,
+            domain_elements: elements,
+            domain_ids: vec![None; nd],
+            attr_ids: vec![None; compiled.typed.attributes.len()],
+            physdom_ids: vec![None; compiled.assignment.physdom_names.len()],
+            env: vec![None; compiled.typed.vars.len()],
+            prepared: false,
+            replaces: 0,
+        })
+    }
+
+    /// Binds the size of a deferred domain. Must be called before the
+    /// universe is prepared (i.e. before the first `set_input`/`run`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown domains or after preparation.
+    pub fn bind_domain_size(&mut self, name: &str, size: u64) -> Result<(), ExecError> {
+        if self.prepared {
+            return Err(exec_err("cannot bind domains after preparation"));
+        }
+        let Some(i) = self.compiled.typed.domain_idx(name) else {
+            return Err(exec_err(format!("unknown domain `{name}`")));
+        };
+        self.domain_sizes[i as usize] = Some(size);
+        Ok(())
+    }
+
+    /// Binds element labels (and thereby the size) of a deferred domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown domains or after preparation.
+    pub fn bind_domain_elements(&mut self, name: &str, labels: &[&str]) -> Result<(), ExecError> {
+        if self.prepared {
+            return Err(exec_err("cannot bind domains after preparation"));
+        }
+        let Some(i) = self.compiled.typed.domain_idx(name) else {
+            return Err(exec_err(format!("unknown domain `{name}`")));
+        };
+        self.domain_sizes[i as usize] = Some(labels.len() as u64);
+        self.domain_elements[i as usize] =
+            Some(labels.iter().map(|s| s.to_string()).collect());
+        Ok(())
+    }
+
+    /// Builds the universe: registers domains and attributes, computes the
+    /// width of every physical domain from the attributes assigned to it,
+    /// and allocates BDD variables (interleaving groups declared
+    /// `physdom interleaved ...`).
+    ///
+    /// Called implicitly by `set_input`/`run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a deferred domain is still unbound.
+    pub fn prepare(&mut self) -> Result<(), ExecError> {
+        if self.prepared {
+            return Ok(());
+        }
+        let typed = self.compiled.typed.clone();
+        for (i, d) in typed.domains.iter().enumerate() {
+            let Some(size) = self.domain_sizes[i] else {
+                return Err(exec_err(format!(
+                    "domain `{}` has no size; call bind_domain_size first",
+                    d.name
+                )));
+            };
+            let id = match &self.domain_elements[i] {
+                Some(els) => {
+                    let refs: Vec<&str> = els.iter().map(|s| s.as_str()).collect();
+                    self.universe.add_domain_with_elements(&d.name, &refs)
+                }
+                None => self.universe.add_domain(&d.name, size),
+            };
+            self.domain_ids[i] = Some(id);
+        }
+        for (i, a) in typed.attributes.iter().enumerate() {
+            let id = self
+                .universe
+                .add_attribute(&a.name, self.domain_ids[a.domain as usize].expect("domain"));
+            self.attr_ids[i] = Some(id);
+        }
+        // Width of each physdom = bits of the widest attribute assigned to
+        // it anywhere in the program (paper §3.2.1).
+        let widths = self.physdom_widths();
+        // Create physdoms in declaration order, materialising interleaved
+        // groups together.
+        let a = &self.compiled.assignment;
+        let mut created: Vec<bool> = vec![false; a.physdom_names.len()];
+        for i in 0..a.physdom_names.len() {
+            if created[i] {
+                continue;
+            }
+            match a.physdom_groups[i] {
+                Some(g) => {
+                    let members: Vec<usize> = (0..a.physdom_names.len())
+                        .filter(|&j| a.physdom_groups[j] == Some(g))
+                        .collect();
+                    let names: Vec<&str> =
+                        members.iter().map(|&j| a.physdom_names[j].as_str()).collect();
+                    let width = members.iter().map(|&j| widths[j]).max().unwrap_or(1);
+                    let ids = self
+                        .universe
+                        .add_physical_domains_interleaved(&names, width);
+                    for (&j, id) in members.iter().zip(ids) {
+                        self.physdom_ids[j] = Some(id);
+                        created[j] = true;
+                    }
+                }
+                None => {
+                    let id = self
+                        .universe
+                        .add_physical_domain(&a.physdom_names[i], widths[i]);
+                    self.physdom_ids[i] = Some(id);
+                    created[i] = true;
+                }
+            }
+        }
+        // Globals start empty.
+        for (vi, v) in typed.vars.iter().enumerate() {
+            if v.global {
+                let schema = self.var_schema(vi as VarIdx)?;
+                self.env[vi] = Some(Relation::empty(&self.universe, &schema)?);
+            }
+        }
+        self.prepared = true;
+        Ok(())
+    }
+
+    /// Computes the required bit width of each physical domain.
+    fn physdom_widths(&self) -> Vec<usize> {
+        let typed = &self.compiled.typed;
+        let a = &self.compiled.assignment;
+        let mut widths = vec![1usize; a.physdom_names.len()];
+        let domain_bits = |didx: u32, sizes: &[Option<u64>]| -> usize {
+            let size = sizes[didx as usize].unwrap_or(2).max(2);
+            (64 - (size - 1).leading_zeros() as usize).max(1)
+        };
+        let bump = |pd: PdIdx, attr: AttrIdx, widths: &mut Vec<usize>| {
+            let d = typed.attributes[attr as usize].domain;
+            let bits = domain_bits(d, &self.domain_sizes);
+            let w = &mut widths[pd as usize];
+            *w = (*w).max(bits);
+        };
+        for (&(_, attr), &pd) in &a.expr_pd {
+            bump(pd, attr, &mut widths);
+        }
+        for (&(v, attr), &pd) in &a.var_pd {
+            let _ = v;
+            bump(pd, attr, &mut widths);
+        }
+        // Compared (merged) occurrences of composes: find the left
+        // attribute of the pair by walking the rules.
+        let mut cmp_attr: HashMap<(u32, usize), AttrIdx> = HashMap::new();
+        for r in &typed.rules {
+            collect_cmp_attrs(&r.body, &mut cmp_attr);
+        }
+        for (&(eid, i), &pd) in &a.cmp_pd {
+            if let Some(&attr) = cmp_attr.get(&(eid, i)) {
+                bump(pd, attr, &mut widths);
+            }
+        }
+        widths
+    }
+
+    fn attr_id(&self, a: AttrIdx) -> AttrId {
+        self.attr_ids[a as usize].expect("prepared")
+    }
+
+    fn physdom_id(&self, p: PdIdx) -> PhysDomId {
+        self.physdom_ids[p as usize].expect("prepared")
+    }
+
+    /// The concrete schema of a variable under the assignment.
+    fn var_schema(&self, v: VarIdx) -> Result<Vec<(AttrId, PhysDomId)>, ExecError> {
+        let a = &self.compiled.assignment;
+        let mut out = Vec::new();
+        for &(attr, _) in &self.compiled.typed.vars[v as usize].schema {
+            let Some(&pd) = a.var_pd.get(&(v, attr)) else {
+                return Err(exec_err(format!(
+                    "no physical domain assigned for variable attribute {attr}"
+                )));
+            };
+            out.push((self.attr_id(attr), self.physdom_id(pd)));
+        }
+        Ok(out)
+    }
+
+    /// Loads tuples into a global relation. Tuple columns follow the
+    /// attribute order *as written* in the relation's declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown relations or invalid tuples.
+    pub fn set_input(&mut self, name: &str, tuples: &[Vec<u64>]) -> Result<(), ExecError> {
+        self.prepare()?;
+        let Some(v) = self.compiled.typed.global_idx(name) else {
+            return Err(exec_err(format!("unknown relation `{name}`")));
+        };
+        let schema = self.var_schema(v)?;
+        // Reorder the schema into the declaration's written order so the
+        // caller's column order matches the source text.
+        let written = self.compiled.typed.vars[v as usize].written.clone();
+        let ordered: Vec<_> = written
+            .iter()
+            .map(|&w| {
+                let aid = self.attr_id(w);
+                *schema.iter().find(|&&(a, _)| a == aid).expect("written attr")
+            })
+            .collect();
+        let rel = Relation::from_tuples(&self.universe, &ordered, tuples)?;
+        self.env[v as usize] = Some(rel);
+        Ok(())
+    }
+
+    /// Runs a rule to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown rules or runtime failures.
+    pub fn run(&mut self, rule: &str) -> Result<(), ExecError> {
+        self.prepare()?;
+        let Some(r) = self.compiled.typed.rule(rule) else {
+            return Err(exec_err(format!("unknown rule `{rule}`")));
+        };
+        let body = r.body.clone();
+        self.universe.set_site(rule);
+        self.exec_block(&body)
+    }
+
+    /// The current value of a relation variable (globals only).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown or uninitialised relations.
+    pub fn relation(&self, name: &str) -> Result<&Relation, ExecError> {
+        let Some(v) = self.compiled.typed.global_idx(name) else {
+            return Err(exec_err(format!("unknown relation `{name}`")));
+        };
+        self.env[v as usize]
+            .as_ref()
+            .ok_or_else(|| exec_err(format!("relation `{name}` has no value")))
+    }
+
+    /// The tuples of a global relation, sorted, with columns in the
+    /// attribute order *as written* in the relation's declaration.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::relation`].
+    pub fn tuples(&self, name: &str) -> Result<Vec<Vec<u64>>, ExecError> {
+        let v = self
+            .compiled
+            .typed
+            .global_idx(name)
+            .ok_or_else(|| exec_err(format!("unknown relation `{name}`")))?;
+        let rel = self.relation(name)?;
+        let sorted_attrs = rel.attributes();
+        let written = &self.compiled.typed.vars[v as usize].written;
+        // Column permutation: written position -> sorted position.
+        let perm: Vec<usize> = written
+            .iter()
+            .map(|&w| {
+                let aid = self.attr_id(w);
+                sorted_attrs
+                    .iter()
+                    .position(|&a| a == aid)
+                    .expect("written attr in schema")
+            })
+            .collect();
+        let mut out: Vec<Vec<u64>> = rel
+            .tuples()
+            .into_iter()
+            .map(|t| perm.iter().map(|&i| t[i]).collect())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// The universe backing this execution (for profiler installation and
+    /// statistics).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn exec_block(&mut self, body: &[TStmt]) -> Result<(), ExecError> {
+        for s in body {
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &TStmt) -> Result<(), ExecError> {
+        match s {
+            TStmt::Local { var, init, .. } => {
+                let schema = self.var_schema(*var)?;
+                let value = match init {
+                    Some(e) => {
+                        let r = self.eval(e)?;
+                        self.conform_to_var(r, *var)?
+                    }
+                    None => Relation::empty(&self.universe, &schema)?,
+                };
+                self.env[*var as usize] = Some(value);
+                Ok(())
+            }
+            TStmt::Assign { var, op, expr, .. } => {
+                let r = self.eval(expr)?;
+                let r = self.conform_to_var(r, *var)?;
+                let current = self.env[*var as usize].clone();
+                let next = match (op, current) {
+                    (AssignOp::Set, _) => r,
+                    (AssignOp::Union, Some(c)) => c.union(&r)?,
+                    (AssignOp::Intersect, Some(c)) => c.intersect(&r)?,
+                    (AssignOp::Minus, Some(c)) => c.minus(&r)?,
+                    (_, None) => {
+                        return Err(exec_err(
+                            "compound assignment to uninitialised relation",
+                        ))
+                    }
+                };
+                self.env[*var as usize] = Some(next);
+                Ok(())
+            }
+            TStmt::DoWhile { body, cond } => {
+                let mut fuel = 1_000_000u64;
+                loop {
+                    self.exec_block(body)?;
+                    if !self.eval_cond(cond)? {
+                        return Ok(());
+                    }
+                    fuel -= 1;
+                    if fuel == 0 {
+                        return Err(exec_err("do-while failed to converge"));
+                    }
+                }
+            }
+            TStmt::While { cond, body } => {
+                let mut fuel = 1_000_000u64;
+                while self.eval_cond(cond)? {
+                    self.exec_block(body)?;
+                    fuel -= 1;
+                    if fuel == 0 {
+                        return Err(exec_err("while failed to converge"));
+                    }
+                }
+                Ok(())
+            }
+            TStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval_cond(cond)? {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+        }
+    }
+
+    fn eval_cond(&mut self, c: &TCond) -> Result<bool, ExecError> {
+        let l = self.eval(&c.left)?;
+        let r = self.eval(&c.right)?;
+        let eq = l.equals(&r)?;
+        Ok(if c.eq { eq } else { !eq })
+    }
+
+    /// The assigned schema of an expression node.
+    fn node_schema(&self, e: &TExpr) -> Result<Vec<(AttrId, PhysDomId)>, ExecError> {
+        let a = &self.compiled.assignment;
+        let mut out = Vec::new();
+        for &attr in &e.schema {
+            let Some(&pd) = a.expr_pd.get(&(e.id, attr)) else {
+                return Err(exec_err(format!(
+                    "expression at {} has no assignment for attribute {attr}",
+                    e.pos
+                )));
+            };
+            out.push((self.attr_id(attr), self.physdom_id(pd)));
+        }
+        Ok(out)
+    }
+
+    /// Moves a relation onto an expression node's assigned physical
+    /// domains, counting any real replace work.
+    fn conform(&mut self, r: Relation, target: &[(AttrId, PhysDomId)]) -> Result<Relation, ExecError> {
+        let mut moves = Vec::new();
+        for &(a, p) in target {
+            if r.physdom_of(a) != Some(p) {
+                moves.push((a, p));
+            }
+        }
+        if moves.is_empty() {
+            return Ok(r);
+        }
+        self.replaces += 1;
+        Ok(r.with_assignment(&moves)?)
+    }
+
+    fn conform_to_var(&mut self, r: Relation, v: VarIdx) -> Result<Relation, ExecError> {
+        let schema = self.var_schema(v)?;
+        self.conform(r, &schema)
+    }
+
+    fn eval(&mut self, e: &TExpr) -> Result<Relation, ExecError> {
+        let node_schema = self.node_schema(e)?;
+        let result = match &e.kind {
+            TExprKind::Var(v) => self.env[*v as usize]
+                .clone()
+                .ok_or_else(|| exec_err("use of uninitialised relation"))?,
+            TExprKind::Empty => Relation::empty(&self.universe, &node_schema)?,
+            TExprKind::Full => Relation::full(&self.universe, &node_schema)?,
+            TExprKind::Literal(fields) => {
+                let mut concrete = Vec::new();
+                for (obj, attr, _) in fields {
+                    let aid = self.attr_id(*attr);
+                    let pd = node_schema
+                        .iter()
+                        .find(|&&(a, _)| a == aid)
+                        .map(|&(_, p)| p)
+                        .expect("literal attr in node schema");
+                    let value = match obj {
+                        TLiteralObj::Index(n) => *n,
+                        TLiteralObj::Label(l) => {
+                            let d = self.universe.attribute_domain(aid);
+                            self.universe.element_index(d, l).ok_or_else(|| {
+                                exec_err(format!(
+                                    "`{l}` is not an element of domain {}",
+                                    self.universe.domain_name(d)
+                                ))
+                            })?
+                        }
+                    };
+                    concrete.push((aid, pd, value));
+                }
+                Relation::tuple(&self.universe, &concrete)?
+            }
+            TExprKind::Replace {
+                operand,
+                projects,
+                renames,
+                copies,
+            } => {
+                let mut r = self.eval(operand)?;
+                if !projects.is_empty() {
+                    let attrs: Vec<AttrId> = projects.iter().map(|&a| self.attr_id(a)).collect();
+                    r = r.project_away(&attrs)?;
+                }
+                for &(f, t1, t2) in copies {
+                    // Copy into a scratch domain; the final conform moves
+                    // everything onto the assigned domains in one step.
+                    r = r.copy(self.attr_id(f), self.attr_id(t1), self.attr_id(t2), None)?;
+                }
+                if !renames.is_empty() {
+                    let pairs: Vec<(AttrId, AttrId)> = renames
+                        .iter()
+                        .map(|&(f, t)| (self.attr_id(f), self.attr_id(t)))
+                        .collect();
+                    r = r.rename_many(&pairs)?;
+                }
+                r
+            }
+            TExprKind::JoinLike {
+                left,
+                left_attrs,
+                right,
+                right_attrs,
+                is_join,
+            } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let a = &self.compiled.assignment;
+                // Targets: compared attrs onto the merged occurrence's
+                // domain, kept attrs onto this node's domains.
+                let merged_pd = |i: usize| -> Result<PhysDomId, ExecError> {
+                    if *is_join {
+                        let attr = left_attrs[i];
+                        let pd = a
+                            .expr_pd
+                            .get(&(e.id, attr))
+                            .ok_or_else(|| exec_err("missing join assignment"))?;
+                        Ok(self.physdom_id(*pd))
+                    } else {
+                        let pd = a
+                            .cmp_pd
+                            .get(&(e.id, i))
+                            .ok_or_else(|| exec_err("missing compose assignment"))?;
+                        Ok(self.physdom_id(*pd))
+                    }
+                };
+                let mut l_target = Vec::new();
+                for &attr in &left.schema {
+                    let aid = self.attr_id(attr);
+                    let pd = match left_attrs.iter().position(|&x| x == attr) {
+                        Some(i) => merged_pd(i)?,
+                        None => {
+                            let pd = a.expr_pd[&(e.id, attr)];
+                            self.physdom_id(pd)
+                        }
+                    };
+                    l_target.push((aid, pd));
+                }
+                let mut r_target = Vec::new();
+                for &attr in &right.schema {
+                    let aid = self.attr_id(attr);
+                    let pd = match right_attrs.iter().position(|&x| x == attr) {
+                        Some(i) => merged_pd(i)?,
+                        None => {
+                            let pd = a.expr_pd[&(e.id, attr)];
+                            self.physdom_id(pd)
+                        }
+                    };
+                    r_target.push((aid, pd));
+                }
+                let l = self.conform(l, &l_target)?;
+                let r = self.conform(r, &r_target)?;
+                let la: Vec<AttrId> = left_attrs.iter().map(|&x| self.attr_id(x)).collect();
+                let ra: Vec<AttrId> = right_attrs.iter().map(|&x| self.attr_id(x)).collect();
+                if *is_join {
+                    l.join(&la, &r, &ra)?
+                } else {
+                    l.compose(&la, &r, &ra)?
+                }
+            }
+            TExprKind::SetOp { op, left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let l = self.conform(l, &node_schema)?;
+                let r = self.conform(r, &node_schema)?;
+                match op {
+                    SetOp::Union => l.union(&r)?,
+                    SetOp::Intersect => l.intersect(&r)?,
+                    SetOp::Minus => l.minus(&r)?,
+                }
+            }
+        };
+        self.conform(result, &node_schema)
+    }
+}
+
+fn collect_cmp_attrs(body: &[TStmt], out: &mut HashMap<(u32, usize), AttrIdx>) {
+    fn walk_expr(e: &TExpr, out: &mut HashMap<(u32, usize), AttrIdx>) {
+        match &e.kind {
+            TExprKind::JoinLike {
+                left,
+                left_attrs,
+                right,
+                is_join,
+                ..
+            } => {
+                if !is_join {
+                    for (i, &la) in left_attrs.iter().enumerate() {
+                        out.insert((e.id, i), la);
+                    }
+                }
+                walk_expr(left, out);
+                walk_expr(right, out);
+            }
+            TExprKind::Replace { operand, .. } => walk_expr(operand, out),
+            TExprKind::SetOp { left, right, .. } => {
+                walk_expr(left, out);
+                walk_expr(right, out);
+            }
+            _ => {}
+        }
+    }
+    for s in body {
+        match s {
+            TStmt::Local { init: Some(e), .. } => walk_expr(e, out),
+            TStmt::Local { .. } => {}
+            TStmt::Assign { expr, .. } => walk_expr(expr, out),
+            TStmt::DoWhile { body, cond } | TStmt::While { cond, body } => {
+                walk_expr(&cond.left, out);
+                walk_expr(&cond.right, out);
+                collect_cmp_attrs(body, out);
+            }
+            TStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                walk_expr(&cond.left, out);
+                walk_expr(&cond.right, out);
+                collect_cmp_attrs(then_body, out);
+                collect_cmp_attrs(else_body, out);
+            }
+        }
+    }
+}

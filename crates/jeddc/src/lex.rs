@@ -1,0 +1,417 @@
+//! Lexer for the mini-Jedd language.
+//!
+//! The token set covers the grammar productions the paper adds to Java
+//! (Fig. 5): relation types `<a:T1, b>`, the join/compose symbols `><` and
+//! `<>`, replacement casts `(a=>b)`, tuple literals `new { ... }`, and the
+//! constants `0B`/`1B`, plus the statement syntax the analyses need.
+
+use crate::diag::{CompileError, Pos};
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(u64),
+    /// The empty-relation constant `0B`.
+    ZeroB,
+    /// The full-relation constant `1B`.
+    OneB,
+    /// `new`
+    New,
+    /// `domain`
+    Domain,
+    /// `attribute`
+    Attribute,
+    /// `physdom`
+    Physdom,
+    /// `relation`
+    RelationKw,
+    /// `rule`
+    Rule,
+    /// `do`
+    Do,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `interleaved`
+    Interleaved,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `><`
+    JoinSym,
+    /// `<>`
+    ComposeSym,
+    /// `=>`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `|=`
+    OrAssign,
+    /// `&=`
+    AndAssign,
+    /// `-=`
+    MinusAssign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `|`
+    Pipe,
+    /// `&`
+    Amp,
+    /// `-`
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::ZeroB => write!(f, "`0B`"),
+            Tok::OneB => write!(f, "`1B`"),
+            Tok::New => write!(f, "`new`"),
+            Tok::Domain => write!(f, "`domain`"),
+            Tok::Attribute => write!(f, "`attribute`"),
+            Tok::Physdom => write!(f, "`physdom`"),
+            Tok::RelationKw => write!(f, "`relation`"),
+            Tok::Rule => write!(f, "`rule`"),
+            Tok::Do => write!(f, "`do`"),
+            Tok::While => write!(f, "`while`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::Interleaved => write!(f, "`interleaved`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::JoinSym => write!(f, "`><`"),
+            Tok::ComposeSym => write!(f, "`<>`"),
+            Tok::Arrow => write!(f, "`=>`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::OrAssign => write!(f, "`|=`"),
+            Tok::AndAssign => write!(f, "`&=`"),
+            Tok::MinusAssign => write!(f, "`-=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+/// Tokenizes mini-Jedd source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unrecognised characters or malformed
+/// numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let p = pos!();
+        let advance = |n: usize, i: &mut usize, col: &mut u32| {
+            *i += n;
+            *col += n as u32;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => advance(1, &mut i, &mut col),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                advance(2, &mut i, &mut col);
+                while i < chars.len() && !(chars[i] == '*' && chars.get(i + 1) == Some(&'/')) {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                        i += 1;
+                    } else {
+                        advance(1, &mut i, &mut col);
+                    }
+                }
+                if i < chars.len() {
+                    advance(2, &mut i, &mut col);
+                }
+            }
+            '>' if chars.get(i + 1) == Some(&'<') => {
+                out.push(Token { tok: Tok::JoinSym, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Token { tok: Tok::ComposeSym, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '=' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Token { tok: Tok::Arrow, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '=' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token { tok: Tok::EqEq, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token { tok: Tok::NotEq, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '|' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token { tok: Tok::OrAssign, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '&' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token { tok: Tok::AndAssign, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '-' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token { tok: Tok::MinusAssign, pos: p });
+                advance(2, &mut i, &mut col);
+            }
+            '<' => {
+                out.push(Token { tok: Tok::Lt, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '>' => {
+                out.push(Token { tok: Tok::Gt, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '{' => {
+                out.push(Token { tok: Tok::LBrace, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '}' => {
+                out.push(Token { tok: Tok::RBrace, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            ';' => {
+                out.push(Token { tok: Tok::Semi, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            ':' => {
+                out.push(Token { tok: Tok::Colon, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '=' => {
+                out.push(Token { tok: Tok::Assign, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '|' => {
+                out.push(Token { tok: Tok::Pipe, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '&' => {
+                out.push(Token { tok: Tok::Amp, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '-' => {
+                out.push(Token { tok: Tok::Minus, pos: p });
+                advance(1, &mut i, &mut col);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(1, &mut i, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                // `0B` / `1B` constants.
+                if i < chars.len() && chars[i] == 'B' && (text == "0" || text == "1") {
+                    advance(1, &mut i, &mut col);
+                    out.push(Token {
+                        tok: if text == "0" { Tok::ZeroB } else { Tok::OneB },
+                        pos: p,
+                    });
+                } else {
+                    let n: u64 = text.parse().map_err(|_| CompileError {
+                        pos: p,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(n),
+                        pos: p,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    advance(1, &mut i, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "new" => Tok::New,
+                    "domain" => Tok::Domain,
+                    "attribute" => Tok::Attribute,
+                    "physdom" => Tok::Physdom,
+                    "relation" => Tok::RelationKw,
+                    "rule" => Tok::Rule,
+                    "do" => Tok::Do,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "interleaved" => Tok::Interleaved,
+                    _ => Tok::Ident(text),
+                };
+                out.push(Token { tok, pos: p });
+            }
+            other => {
+                return Err(CompileError {
+                    pos: p,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn operators_and_constants() {
+        let toks = kinds("a >< b <> c => 0B 1B |= &= -= == != | & - = < >");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::JoinSym,
+                Tok::Ident("b".into()),
+                Tok::ComposeSym,
+                Tok::Ident("c".into()),
+                Tok::Arrow,
+                Tok::ZeroB,
+                Tok::OneB,
+                Tok::OrAssign,
+                Tok::AndAssign,
+                Tok::MinusAssign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Pipe,
+                Tok::Amp,
+                Tok::Minus,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = kinds("rule domain attribute physdom relation do while if else new rectype");
+        assert!(matches!(toks[0], Tok::Rule));
+        assert!(matches!(toks[9], Tok::New));
+        assert_eq!(toks[10], Tok::Ident("rectype".into()));
+    }
+
+    #[test]
+    fn dotted_idents_for_method_names() {
+        let toks = kinds("A.foo B.bar");
+        assert_eq!(toks[0], Tok::Ident("A.foo".into()));
+        assert_eq!(toks[1], Tok::Ident("B.bar".into()));
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let tokens = lex("// hello\n  a /* b\nc */ d").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("a".into()));
+        assert_eq!(tokens[0].pos.line, 2);
+        assert_eq!(tokens[0].pos.col, 3);
+        assert_eq!(tokens[1].tok, Tok::Ident("d".into()));
+        assert_eq!(tokens[1].pos.line, 3);
+    }
+
+    #[test]
+    fn numbers_and_0b() {
+        let toks = kinds("42 0 1 0B 1B");
+        assert_eq!(toks[0], Tok::Int(42));
+        assert_eq!(toks[1], Tok::Int(0));
+        assert_eq!(toks[2], Tok::Int(1));
+        assert_eq!(toks[3], Tok::ZeroB);
+        assert_eq!(toks[4], Tok::OneB);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("a $ b").is_err());
+    }
+}

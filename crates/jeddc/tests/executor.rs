@@ -1,0 +1,126 @@
+//! Executor edge cases: domain binding, input validation, rule errors and
+//! replace accounting.
+
+use jeddc::{compile, Executor};
+
+const SRC: &str = "
+    domain T { A, B, C };
+    domain N;
+    attribute x : T;
+    attribute y : T;
+    attribute n : N;
+    physdom P1, P2, P3;
+    relation <x:P1, y:P2> r;
+    relation <n:P3> s;
+    rule swap { r = (x=>y, y=>x) r; }
+    rule clear { r = 0B; }
+";
+
+fn exec() -> Executor {
+    let compiled = compile(SRC).unwrap();
+    Executor::new(&compiled).unwrap()
+}
+
+#[test]
+fn unbound_deferred_domain_reported() {
+    let mut e = exec();
+    let err = e.run("swap").unwrap_err();
+    assert!(err.to_string().contains("has no size"), "{err}");
+}
+
+#[test]
+fn binding_after_prepare_rejected() {
+    let mut e = exec();
+    e.bind_domain_size("N", 4).unwrap();
+    e.run("clear").unwrap();
+    let err = e.bind_domain_size("N", 8).unwrap_err();
+    assert!(err.to_string().contains("after preparation"), "{err}");
+}
+
+#[test]
+fn unknown_names_reported() {
+    let mut e = exec();
+    e.bind_domain_size("N", 4).unwrap();
+    assert!(e.bind_domain_size("Nope", 4).is_err());
+    assert!(e.set_input("nope", &[]).is_err());
+    assert!(e.run("nope").is_err());
+    assert!(e.tuples("nope").is_err());
+}
+
+#[test]
+fn out_of_range_input_rejected() {
+    let mut e = exec();
+    e.bind_domain_size("N", 4).unwrap();
+    let err = e.set_input("r", &[vec![0, 7]]).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn swap_exchanges_columns() {
+    let mut e = exec();
+    e.bind_domain_size("N", 4).unwrap();
+    e.set_input("r", &[vec![0, 1], vec![2, 2]]).unwrap();
+    e.run("swap").unwrap();
+    let mut got = e.tuples("r").unwrap();
+    got.sort();
+    assert_eq!(got, vec![vec![1, 0], vec![2, 2]]);
+    // A simultaneous exchange costs replace work; the executor counts it.
+    assert!(e.replaces > 0);
+}
+
+#[test]
+fn rerunning_rules_is_idempotent_for_clear() {
+    let mut e = exec();
+    e.bind_domain_size("N", 4).unwrap();
+    e.set_input("r", &[vec![0, 0]]).unwrap();
+    e.run("clear").unwrap();
+    e.run("clear").unwrap();
+    assert!(e.tuples("r").unwrap().is_empty());
+}
+
+#[test]
+fn element_labels_resolve_in_literals() {
+    let src = "
+        domain T { A, B, C };
+        attribute x : T;
+        physdom P1;
+        relation <x:P1> r;
+        rule add { r = r | new { C => x }; }
+    ";
+    let compiled = compile(src).unwrap();
+    let mut e = Executor::new(&compiled).unwrap();
+    e.run("add").unwrap();
+    assert_eq!(e.tuples("r").unwrap(), vec![vec![2]]);
+}
+
+#[test]
+fn bind_domain_elements_enables_labels() {
+    let src = "
+        domain T;
+        attribute x : T;
+        physdom P1;
+        relation <x:P1> r;
+        rule add { r = r | new { beta => x }; }
+    ";
+    let compiled = compile(src).unwrap();
+    let mut e = Executor::new(&compiled).unwrap();
+    e.bind_domain_elements("T", &["alpha", "beta"]).unwrap();
+    e.run("add").unwrap();
+    assert_eq!(e.tuples("r").unwrap(), vec![vec![1]]);
+}
+
+#[test]
+fn unresolvable_label_reported_at_runtime() {
+    let src = "
+        domain T;
+        attribute x : T;
+        physdom P1;
+        relation <x:P1> r;
+        rule add { r = r | new { gamma => x }; }
+    ";
+    let compiled = compile(src).unwrap();
+    let mut e = Executor::new(&compiled).unwrap();
+    e.bind_domain_size("T", 2).unwrap();
+    let err = e.run("add").unwrap_err();
+    assert!(err.to_string().contains("not an element"), "{err}");
+}

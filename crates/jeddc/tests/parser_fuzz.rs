@@ -1,0 +1,79 @@
+//! Robustness: the front end must return errors, never panic, on
+//! arbitrary input — including near-miss programs produced by mutating
+//! valid source.
+
+use proptest::prelude::*;
+
+const VALID: &str = "
+    domain T { A, B };
+    attribute a : T;
+    attribute b : T;
+    physdom P1, P2;
+    relation <a:P1, b:P2> r;
+    rule t { r = (a=>b, b=>a) r | r & r - 0B; }
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary character soup: compile() returns, never panics.
+    #[test]
+    fn arbitrary_input_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = jeddc::compile(&src);
+    }
+
+    /// Token-ish soup biased toward the grammar's vocabulary.
+    #[test]
+    fn token_soup_never_panics(words in proptest::collection::vec(
+        prop_oneof![
+            Just("domain".to_string()),
+            Just("attribute".to_string()),
+            Just("physdom".to_string()),
+            Just("relation".to_string()),
+            Just("rule".to_string()),
+            Just("do".to_string()),
+            Just("while".to_string()),
+            Just("new".to_string()),
+            Just("0B".to_string()),
+            Just("1B".to_string()),
+            Just("><".to_string()),
+            Just("<>".to_string()),
+            Just("=>".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(";".to_string()),
+            Just(",".to_string()),
+            Just(":".to_string()),
+            Just("=".to_string()),
+            Just("|".to_string()),
+            Just("x".to_string()),
+            Just("T".to_string()),
+            Just("42".to_string()),
+        ],
+        0..60,
+    )) {
+        let src = words.join(" ");
+        let _ = jeddc::compile(&src);
+    }
+
+    /// Single-character mutations of a valid program: always a clean
+    /// result (Ok or Err), never a panic.
+    #[test]
+    fn mutated_valid_program_never_panics(pos in 0usize..200, ch in "[ -~]") {
+        let mut src: Vec<char> = VALID.chars().collect();
+        if pos < src.len() {
+            src[pos] = ch.chars().next().unwrap();
+        }
+        let mutated: String = src.into_iter().collect();
+        let _ = jeddc::compile(&mutated);
+    }
+}
+
+#[test]
+fn valid_base_program_compiles() {
+    jeddc::compile(VALID).expect("the fuzz base program is valid");
+}

@@ -1,0 +1,184 @@
+//! Static-HTML rendering of a profile — the browsable views of the
+//! paper's §4.3, without the SQL database and CGI scripts: a single
+//! self-contained page with the overview table, per-operation execution
+//! lists, and inline-SVG shape charts.
+
+use crate::profile::Profiler;
+use jedd_core::OpEvent;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a self-contained HTML document for the given profiler's data.
+///
+/// The overview table links to per-op sections; executions with recorded
+/// shapes get an inline SVG bar chart of nodes-per-level (the "size and
+/// shape of the underlying BDD data structures", §4.3).
+pub fn render_html(profiler: &Profiler) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>Jedd profile</title><style>\
+         body{{font-family:sans-serif;margin:2em}}\
+         table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 8px;text-align:right}}\
+         th{{background:#eee}}td.l,th.l{{text-align:left}}\
+         </style></head><body>"
+    );
+    let _ = writeln!(out, "<h1>Jedd profile</h1>");
+    let summary = profiler.summary();
+    let _ = writeln!(
+        out,
+        "<h2>Overview</h2><table><tr><th class=l>operation</th>\
+         <th class=l>site</th><th>executions</th><th>total time (µs)</th>\
+         <th>max operand nodes</th><th>max result nodes</th></tr>"
+    );
+    for (i, r) in summary.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<tr><td class=l><a href=\"#op{i}\">{}</a></td><td class=l>{}</td>\
+             <td>{}</td><td>{:.1}</td><td>{}</td><td>{}</td></tr>",
+            esc(r.op),
+            esc(&r.site),
+            r.count,
+            r.total_nanos as f64 / 1000.0,
+            r.max_operand_nodes,
+            r.max_result_nodes
+        );
+    }
+    let _ = writeln!(out, "</table>");
+
+    // Detail views.
+    let events = profiler.events();
+    for (i, r) in summary.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<h2 id=\"op{i}\">{} at {}</h2><table><tr><th>#</th>\
+             <th>time (µs)</th><th>operand nodes</th><th>result nodes</th></tr>",
+            esc(r.op),
+            esc(&r.site)
+        );
+        let mut best_shape: Option<&OpEvent> = None;
+        for (n, e) in events
+            .iter()
+            .filter(|e| e.op == r.op && e.site == r.site)
+            .enumerate()
+        {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{:.1}</td><td>{}</td><td>{}</td></tr>",
+                n + 1,
+                e.nanos as f64 / 1000.0,
+                e.operand_nodes,
+                e.result_nodes
+            );
+            if e.shape.is_some()
+                && best_shape.is_none_or(|b| e.result_nodes > b.result_nodes)
+            {
+                best_shape = Some(e);
+            }
+        }
+        let _ = writeln!(out, "</table>");
+        if let Some(e) = best_shape {
+            let _ = writeln!(out, "<h3>Shape of largest result</h3>");
+            out.push_str(&shape_svg(e.shape.as_ref().expect("checked")));
+        }
+    }
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
+/// Renders a nodes-per-level bar chart as inline SVG.
+fn shape_svg(shape: &[usize]) -> String {
+    let max = shape.iter().copied().max().unwrap_or(1).max(1);
+    let bar_h = 8;
+    let width = 420;
+    let label_w = 60;
+    let height = (shape.len() * (bar_h + 2) + 10) as u32;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"8\">",
+        w = width + label_w + 60
+    );
+    for (level, &n) in shape.iter().enumerate() {
+        let y = 5 + level * (bar_h + 2);
+        let w = (n as f64 / max as f64 * width as f64) as u32;
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">v{}</text>\
+             <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#4a78b0\"/>\
+             <text x=\"{}\" y=\"{}\">{}</text>",
+            label_w - 4,
+            y + bar_h - 1,
+            level,
+            label_w,
+            y,
+            w.max(1),
+            bar_h,
+            label_w + w.max(1) + 4,
+            y + bar_h - 1,
+            n
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedd_core::ProfileSink;
+
+    #[test]
+    fn html_contains_overview_and_details() {
+        let p = Profiler::with_shapes();
+        p.record(&OpEvent {
+            op: "join",
+            site: "resolve".into(),
+            nanos: 1500,
+            operand_nodes: 12,
+            result_nodes: 30,
+            shape: Some(vec![1, 4, 9, 2]),
+        });
+        p.record(&OpEvent {
+            op: "replace",
+            site: "resolve".into(),
+            nanos: 700,
+            operand_nodes: 30,
+            result_nodes: 30,
+            shape: None,
+        });
+        let html = render_html(&p);
+        assert!(html.contains("<title>Jedd profile</title>"));
+        assert!(html.contains("join"));
+        assert!(html.contains("replace"));
+        assert!(html.contains("<svg"), "shape chart rendered");
+        assert!(html.contains("1.5"), "microsecond column");
+    }
+
+    #[test]
+    fn html_escapes_site_labels() {
+        let p = Profiler::new();
+        p.record(&OpEvent {
+            op: "union",
+            site: "<script>".into(),
+            nanos: 1,
+            operand_nodes: 0,
+            result_nodes: 0,
+            shape: None,
+        });
+        let html = render_html(&p);
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn shape_svg_handles_empty_levels() {
+        let svg = shape_svg(&[0, 0, 0]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+    }
+}

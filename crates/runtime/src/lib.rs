@@ -1,0 +1,53 @@
+//! # jedd-runtime
+//!
+//! Runtime support for the Jedd system (Lhoták & Hendren, PLDI 2004,
+//! §4): the pieces the generated Java code relies on beyond the BDD
+//! backend itself.
+//!
+//! * [`RelationContainer`] — the per-variable container object of §4.2:
+//!   values are released eagerly on overwrite and can be killed early.
+//! * [`LivenessCfg`] — the static liveness analysis of §4.2 that drives
+//!   early releases at a variable's last use.
+//! * [`Profiler`] — the profiler of §4.3, collecting per-operation
+//!   counts, times and BDD sizes/shapes through the
+//!   [`jedd_core::ProfileSink`] hook.
+//! * [`render_html`] — the browsable profile views (a static HTML page
+//!   with inline-SVG shape charts, standing in for the paper's SQL + CGI
+//!   stack).
+//!
+//! # Examples
+//!
+//! ```
+//! use jedd_core::{Relation, Universe};
+//! use jedd_runtime::{render_html, Profiler};
+//! use std::rc::Rc;
+//!
+//! # fn main() -> Result<(), jedd_core::JeddError> {
+//! let u = Universe::new();
+//! let profiler = Rc::new(Profiler::new());
+//! u.set_profiler(Some(profiler.clone()));
+//! let d = u.add_domain("D", 8);
+//! let p = u.add_physical_domain("P", 3);
+//! let a = u.add_attribute("a", d);
+//! let r = Relation::from_tuples(&u, &[(a, p)], &[vec![1], vec![5]])?;
+//! let _ = r.union(&r)?;
+//! let html = render_html(&profiler);
+//! assert!(html.contains("union"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod container;
+mod html;
+mod liveness;
+mod profile;
+mod sql;
+
+pub use container::{ContainerStats, RelationContainer};
+pub use html::render_html;
+pub use liveness::{LivenessCfg, LivenessResult, LivenessStmt};
+pub use profile::{ProfileRow, Profiler};
+pub use sql::render_sql;

@@ -1,0 +1,100 @@
+//! SQL export of profile data.
+//!
+//! The original Jedd profiler "is written out as an SQL file to be loaded
+//! into a database" (paper §4.3, SQLite + thttpd + CGI in their setup).
+//! This module emits that SQL file: schema plus one `INSERT` per recorded
+//! operation, loadable into any SQL database for ad-hoc querying. The
+//! static-HTML renderer ([`crate::render_html`]) covers the browsing side.
+
+use crate::profile::Profiler;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+/// Renders the profiler's events as a SQL script: a `jedd_ops` table with
+/// one row per operation execution, and a `jedd_shapes` table with one row
+/// per (execution, level) when shapes were recorded.
+pub fn render_sql(profiler: &Profiler) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- Jedd profile dump; load with e.g. `sqlite3 profile.db < profile.sql`"
+    );
+    let _ = writeln!(
+        out,
+        "CREATE TABLE jedd_ops (\n  id INTEGER PRIMARY KEY,\n  op TEXT NOT NULL,\n  site TEXT NOT NULL,\n  nanos INTEGER NOT NULL,\n  operand_nodes INTEGER NOT NULL,\n  result_nodes INTEGER NOT NULL\n);"
+    );
+    let _ = writeln!(
+        out,
+        "CREATE TABLE jedd_shapes (\n  op_id INTEGER NOT NULL REFERENCES jedd_ops(id),\n  level INTEGER NOT NULL,\n  nodes INTEGER NOT NULL\n);"
+    );
+    let _ = writeln!(out, "BEGIN TRANSACTION;");
+    for (i, e) in profiler.events().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "INSERT INTO jedd_ops VALUES ({}, '{}', '{}', {}, {}, {});",
+            i,
+            escape(e.op),
+            escape(&e.site),
+            e.nanos,
+            e.operand_nodes,
+            e.result_nodes
+        );
+        if let Some(shape) = &e.shape {
+            for (level, &nodes) in shape.iter().enumerate() {
+                if nodes > 0 {
+                    let _ = writeln!(
+                        out,
+                        "INSERT INTO jedd_shapes VALUES ({i}, {level}, {nodes});"
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "COMMIT;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jedd_core::{OpEvent, ProfileSink};
+
+    #[test]
+    fn sql_contains_schema_and_rows() {
+        let p = Profiler::with_shapes();
+        p.record(&OpEvent {
+            op: "join",
+            site: "resolve".to_string(),
+            nanos: 1200,
+            operand_nodes: 4,
+            result_nodes: 9,
+            shape: Some(vec![0, 3, 6]),
+        });
+        let sql = render_sql(&p);
+        assert!(sql.contains("CREATE TABLE jedd_ops"));
+        assert!(sql.contains("CREATE TABLE jedd_shapes"));
+        assert!(sql.contains("INSERT INTO jedd_ops VALUES (0, 'join', 'resolve', 1200, 4, 9);"));
+        assert!(sql.contains("INSERT INTO jedd_shapes VALUES (0, 1, 3);"));
+        assert!(sql.contains("INSERT INTO jedd_shapes VALUES (0, 2, 6);"));
+        assert!(!sql.contains("VALUES (0, 0, 0);"), "zero levels skipped");
+        assert!(sql.trim_end().ends_with("COMMIT;"));
+    }
+
+    #[test]
+    fn sql_escapes_quotes() {
+        let p = Profiler::new();
+        p.record(&OpEvent {
+            op: "union",
+            site: "o'brien".to_string(),
+            nanos: 1,
+            operand_nodes: 0,
+            result_nodes: 0,
+            shape: None,
+        });
+        let sql = render_sql(&p);
+        assert!(sql.contains("'o''brien'"));
+    }
+}

@@ -1,0 +1,67 @@
+//! `jsat`: a zchaff-style command-line front end to the CDCL solver.
+//! Reads a DIMACS CNF file, prints the verdict in the conventional
+//! competition format, and on UNSAT prints the unsatisfiable core as the
+//! 0-based indices of the original clauses.
+//!
+//! Usage: `jsat FILE.cnf`
+
+use jedd_sat::{parse_dimacs, SatOutcome, Var};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: jsat FILE.cnf");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jsat: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cnf = match parse_dimacs(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("jsat: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut solver = cnf.into_solver();
+    match solver.solve() {
+        SatOutcome::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..cnf.num_vars {
+                let v = Var::from_index(i);
+                let lit = if solver.model_value(v) {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            let st = solver.stats();
+            eprintln!(
+                "c {} decisions, {} propagations, {} conflicts, {} restarts",
+                st.decisions, st.propagations, st.conflicts, st.restarts
+            );
+            ExitCode::SUCCESS
+        }
+        SatOutcome::Unsat => {
+            println!("s UNSATISFIABLE");
+            let core: Vec<String> = solver
+                .unsat_core()
+                .iter()
+                .map(|c| c.0.to_string())
+                .collect();
+            println!("c core clauses: {}", core.join(" "));
+            ExitCode::from(20)
+        }
+    }
+}

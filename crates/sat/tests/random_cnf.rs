@@ -1,0 +1,91 @@
+//! Property tests: random CNFs cross-checked against brute-force
+//! enumeration, and validation that reported unsat cores are themselves
+//! unsatisfiable.
+
+use jedd_sat::{Lit, SatOutcome, Solver, Var};
+use proptest::prelude::*;
+
+/// A clause as a list of (var_index, polarity) pairs.
+type RawClause = Vec<(u8, bool)>;
+
+const NVARS: usize = 8;
+
+fn clause_strategy() -> impl Strategy<Value = RawClause> {
+    proptest::collection::vec((0u8..NVARS as u8, any::<bool>()), 1..4)
+}
+
+fn cnf_strategy() -> impl Strategy<Value = Vec<RawClause>> {
+    proptest::collection::vec(clause_strategy(), 0..40)
+}
+
+fn brute_force_sat(cnf: &[RawClause]) -> bool {
+    'outer: for bits in 0..(1u32 << NVARS) {
+        for c in cnf {
+            let ok = c
+                .iter()
+                .any(|&(v, pol)| ((bits >> v) & 1 == 1) == pol);
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn to_lits(c: &RawClause) -> Vec<Lit> {
+    c.iter().map(|&(v, pol)| Var::from_index(v as usize).lit(pol)).collect()
+}
+
+fn build_solver(cnf: &[RawClause]) -> Solver {
+    let mut s = Solver::new();
+    s.new_vars(NVARS);
+    for c in cnf {
+        s.add_clause(&to_lits(c));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in cnf_strategy()) {
+        let expected = brute_force_sat(&cnf);
+        let mut s = build_solver(&cnf);
+        let outcome = s.solve();
+        prop_assert_eq!(outcome == SatOutcome::Sat, expected);
+        if outcome == SatOutcome::Sat {
+            // The model must satisfy every clause.
+            for c in &cnf {
+                let ok = c.iter().any(|&(v, pol)| s.model_value(Var::from_index(v as usize)) == pol);
+                prop_assert!(ok, "model violates clause {:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_cores_are_unsat(cnf in cnf_strategy()) {
+        let mut s = build_solver(&cnf);
+        if s.solve() == SatOutcome::Unsat {
+            let core: Vec<usize> = s.unsat_core().iter().map(|c| c.0 as usize).collect();
+            prop_assert!(!core.is_empty());
+            // Re-solve only the core clauses: must still be UNSAT.
+            let core_cnf: Vec<RawClause> = core.iter().map(|&i| cnf[i].clone()).collect();
+            let mut s2 = build_solver(&core_cnf);
+            prop_assert_eq!(s2.solve(), SatOutcome::Unsat);
+            prop_assert!(!brute_force_sat(&core_cnf));
+        }
+    }
+
+    #[test]
+    fn core_is_subset_of_input(cnf in cnf_strategy()) {
+        let n = cnf.len();
+        let mut s = build_solver(&cnf);
+        if s.solve() == SatOutcome::Unsat {
+            for c in s.unsat_core() {
+                prop_assert!((c.0 as usize) < n);
+            }
+        }
+    }
+}

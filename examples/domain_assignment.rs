@@ -1,0 +1,71 @@
+//! The SAT-based physical-domain assignment (paper §3.3), including the
+//! §3.3.3 error-reporting walkthrough: an unsatisfiable assignment, the
+//! paper's exact conflict message, and the suggested fix.
+//!
+//! Run with `cargo run --example domain_assignment`.
+
+use jedd::jeddc;
+
+const BROKEN: &str = "
+    domain Type { A };
+    domain Signature { s };
+    attribute rectype : Type;
+    attribute tgttype : Type;
+    attribute subtype : Type;
+    attribute supertype : Type;
+    attribute signature : Signature;
+    physdom T1, T2, S1;
+    relation <rectype:T1, signature:S1, tgttype:T2> toResolve;
+    relation <supertype:T1, subtype:T2> extend;
+    relation <rectype, signature, supertype> result;
+    rule resolveStep {
+        result = toResolve {tgttype} <> extend {subtype};
+    }
+";
+
+const FIXED: &str = "
+    domain Type { A };
+    domain Signature { s };
+    attribute rectype : Type;
+    attribute tgttype : Type;
+    attribute subtype : Type;
+    attribute supertype : Type;
+    attribute signature : Signature;
+    physdom T1, T2, S1, T3;
+    relation <rectype:T1, signature:S1, tgttype:T2> toResolve;
+    relation <supertype:T1, subtype:T2> extend;
+    relation <rectype, signature, supertype:T3> result;
+    rule resolveStep {
+        result = toResolve {tgttype} <> extend {subtype};
+    }
+";
+
+fn main() {
+    println!("--- The paper's §3.3.3 example -------------------------------");
+    println!("{BROKEN}");
+    println!("jeddc says:\n");
+    match jeddc::compile(BROKEN) {
+        Ok(_) => unreachable!("the example must fail"),
+        Err(e) => println!("    {e}\n"),
+    }
+    println!("The result of the compose has attributes rectype, signature and");
+    println!("supertype, but only T1 is available for both rectype and supertype.");
+    println!("The unsatisfiable core of the SAT instance pinpoints the conflict.\n");
+
+    println!("--- The paper's fix: assign supertype to a new domain T3 -----");
+    let compiled = jeddc::compile(FIXED).expect("the fix compiles");
+    let st = compiled.assignment.stats;
+    println!(
+        "compiled: {} expressions, {} attribute occurrences, {} physical domains",
+        st.exprs, st.attrs, st.physdoms
+    );
+    println!(
+        "SAT instance: {} variables, {} clauses, {} literals, solved in {:.1} ms",
+        st.sat_vars,
+        st.sat_clauses,
+        st.sat_literals,
+        st.solve_seconds * 1000.0
+    );
+    println!("\nGenerated code (with every physical domain spelled out):\n");
+    println!("{}", jeddc::emit_java_like(&compiled));
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration: the whole system assembled through the facade
+//! crate — kernel, relational layer, translator, runtime and analyses.
+
+use jedd::analyses::pointsto::CallGraphMode;
+use jedd::analyses::synth::Benchmark;
+use jedd::analyses::{baseline_sets, driver, facts::Facts, pointsto};
+use jedd::core::{Relation, Universe};
+use jedd::runtime::{render_html, Profiler, RelationContainer};
+use std::rc::Rc;
+
+#[test]
+fn facade_reexports_work() {
+    let mgr = jedd::bdd::BddManager::new(4);
+    assert!(mgr.constant_true().is_true());
+    let mut solver = jedd::sat::Solver::new();
+    let v = solver.new_var();
+    solver.add_clause(&[v.positive()]);
+    assert_eq!(solver.solve(), jedd::sat::SatOutcome::Sat);
+}
+
+#[test]
+fn profiled_whole_program_run_with_html_report() {
+    let p = Benchmark::Tiny.generate();
+    let f = Facts::load(&p).unwrap();
+    let profiler = Rc::new(Profiler::with_shapes());
+    f.u.set_profiler(Some(profiler.clone()));
+    let r = pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap();
+    assert!(r.pt.size() > 0);
+    assert!(!profiler.is_empty());
+    let html = render_html(&profiler);
+    assert!(html.contains("compose"));
+    assert!(html.contains("<svg"));
+    // The profiled run still computes the right answer.
+    let sets = baseline_sets::points_to(&p);
+    assert_eq!(r.pt.size() as usize, sets.pt.len());
+}
+
+#[test]
+fn containers_release_analysis_intermediates() {
+    let p = Benchmark::Tiny.generate();
+    let f = Facts::load(&p).unwrap();
+    let mgr = f.u.bdd_manager();
+    let c = RelationContainer::new("pt");
+    let r = pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap();
+    c.assign(r.pt.clone());
+    drop(r);
+    mgr.gc();
+    let with_value = mgr.live_nodes();
+    c.kill();
+    mgr.gc();
+    assert!(mgr.live_nodes() <= with_value);
+}
+
+#[test]
+fn language_and_library_agree_end_to_end() {
+    // The strongest cross-crate property: the analyses written in the
+    // mini-Jedd language, compiled by jeddc (SAT domain assignment and
+    // all), compute the same points-to relation as the Rust relational
+    // API version and the explicit-set baseline.
+    let p = Benchmark::Tiny.generate();
+
+    let f = Facts::load(&p).unwrap();
+    let rel = pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap();
+    let rel_pt: Vec<Vec<u64>> = rel.pt.tuples();
+
+    let exec = driver::run_jedd(&p).unwrap();
+    let lang_pt = exec.tuples("pt").unwrap();
+
+    assert_eq!(rel_pt, lang_pt);
+}
+
+#[test]
+fn dynamic_relations_share_one_universe_across_uses() {
+    // Build relations, profile them, and check universe statistics add up.
+    let u = Universe::new();
+    let d = u.add_domain("D", 16);
+    let pds = u.add_physical_domains_interleaved(&["P", "Q"], 4);
+    let a = u.add_attribute("a", d);
+    let b = u.add_attribute("b", d);
+    let r = Relation::from_tuples(
+        &u,
+        &[(a, pds[0]), (b, pds[1])],
+        &[vec![1, 2], vec![3, 4], vec![5, 6]],
+    )
+    .unwrap();
+    let ops_before = u.stats().relational_ops;
+    let _ = r.union(&r).unwrap();
+    let _ = r.project_away(&[b]).unwrap();
+    assert!(u.stats().relational_ops >= ops_before + 2);
+}
