@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline CI: build, test, lint. No network access is required (the
+# workspace has no external dependencies).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test --workspace --offline -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> OK"

@@ -4,9 +4,10 @@
 
 use crate::facts::Facts;
 use crate::ir::Program;
-use crate::{callgraph, hierarchy, jedd_src, pointsto, sideeffect};
-use jedd_core::JeddError;
+use crate::{baseline_sets, callgraph, hierarchy, jedd_src, pointsto, sideeffect};
+use jedd_core::{BddError, Budget, JeddError, OpEvent, Relation};
 use jeddc::{ExecError, Executor};
+use std::collections::BTreeSet;
 
 /// The combined results of the five analyses (Rust relational versions).
 pub struct WholeProgram {
@@ -20,6 +21,9 @@ pub struct WholeProgram {
     pub call_graph: callgraph::CallGraph,
     /// Side effects.
     pub side_effects: sideeffect::SideEffects,
+    /// Phases that exhausted the resource budget and were recomputed on
+    /// the explicit-set fallback (empty when everything ran on BDDs).
+    pub degraded_phases: Vec<&'static str>,
 }
 
 /// Runs all five analyses on a program.
@@ -28,17 +32,231 @@ pub struct WholeProgram {
 ///
 /// Propagates relational-layer errors.
 pub fn run(p: &Program) -> Result<WholeProgram, JeddError> {
+    run_with_budget(p, Budget::unlimited())
+}
+
+/// Runs all five analyses under a resource [`Budget`], degrading
+/// gracefully: a phase that exhausts the budget — even after the BDD
+/// manager's GC-and-reorder recovery ladder — is logged through the
+/// profiler and recomputed on the [`baseline_sets`] explicit-set
+/// implementation (with the budget lifted only while materialising the
+/// fallback's result relations). The run still produces whole-program
+/// results; [`WholeProgram::degraded_phases`] records which phases fell
+/// back.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors other than budget exhaustion;
+/// cancellation ([`BddError::Cancelled`]) always aborts the run rather
+/// than degrading.
+pub fn run_with_budget(p: &Program, budget: Budget) -> Result<WholeProgram, JeddError> {
     let facts = Facts::load(p)?;
-    let hierarchy = hierarchy::compute(&facts)?;
-    let points_to = pointsto::analyze(&facts, pointsto::CallGraphMode::OnTheFly)?;
-    let call_graph = callgraph::build(&facts, &points_to.cg)?;
-    let side_effects = sideeffect::compute(&facts, &points_to.pt, &call_graph.edges)?;
+    facts.u.set_budget(budget);
+    let mut degraded: Vec<&'static str> = Vec::new();
+    // The set-based points-to result, computed at most once, shared by
+    // every fallback that needs it.
+    let mut sets_cache: Option<baseline_sets::SetPointsTo> = None;
+    let sets = |cache: &mut Option<baseline_sets::SetPointsTo>| -> baseline_sets::SetPointsTo {
+        cache.get_or_insert_with(|| baseline_sets::points_to(p)).clone()
+    };
+
+    let hierarchy = match hierarchy::compute(&facts) {
+        Ok(h) => h,
+        Err(e) if degradable(&e) => {
+            record_degrade(&facts, "hierarchy", &e);
+            degraded.push("hierarchy");
+            lifted(&facts, || fallback_hierarchy(&facts, p))?
+        }
+        Err(e) => return Err(e),
+    };
+    let points_to = match pointsto::analyze(&facts, pointsto::CallGraphMode::OnTheFly) {
+        Ok(r) => r,
+        Err(e) if degradable(&e) => {
+            record_degrade(&facts, "pointsto", &e);
+            degraded.push("pointsto");
+            let s = sets(&mut sets_cache);
+            lifted(&facts, || fallback_points_to(&facts, &s))?
+        }
+        Err(e) => return Err(e),
+    };
+    let call_graph = match callgraph::build(&facts, &points_to.cg) {
+        Ok(r) => r,
+        Err(e) if degradable(&e) => {
+            record_degrade(&facts, "callgraph", &e);
+            degraded.push("callgraph");
+            let s = sets(&mut sets_cache);
+            lifted(&facts, || fallback_call_graph(&facts, p, &s.cg))?
+        }
+        Err(e) => return Err(e),
+    };
+    let side_effects = match sideeffect::compute(&facts, &points_to.pt, &call_graph.edges) {
+        Ok(r) => r,
+        Err(e) if degradable(&e) => {
+            record_degrade(&facts, "sideeffect", &e);
+            degraded.push("sideeffect");
+            let s = sets(&mut sets_cache);
+            lifted(&facts, || fallback_side_effects(&facts, p, &s))?
+        }
+        Err(e) => return Err(e),
+    };
     Ok(WholeProgram {
         facts,
         hierarchy,
         points_to,
         call_graph,
         side_effects,
+        degraded_phases: degraded,
+    })
+}
+
+/// Budget exhaustion is recoverable; explicit cancellation is not, and
+/// every non-budget error is a real failure.
+fn degradable(e: &JeddError) -> bool {
+    matches!(
+        e,
+        JeddError::ResourceExhausted { cause, .. } if !matches!(cause, BddError::Cancelled)
+    )
+}
+
+/// Logs a fallback through the profiler, so a degraded phase shows up in
+/// the same event stream as the operations that led to it.
+fn record_degrade(facts: &Facts, phase: &'static str, e: &JeddError) {
+    facts.u.profile(OpEvent {
+        op: "degrade",
+        site: format!("{phase}: {e}"),
+        nanos: 0,
+        operand_nodes: 0,
+        result_nodes: 0,
+        shape: None,
+    });
+}
+
+/// Runs `f` with the budget lifted, restoring it afterwards: fallback
+/// results must materialise even though the BDD path just ran out of
+/// resources.
+fn lifted<T>(facts: &Facts, f: impl FnOnce() -> Result<T, JeddError>) -> Result<T, JeddError> {
+    let saved = facts.u.budget();
+    facts.u.set_budget(Budget::unlimited());
+    let r = f();
+    facts.u.set_budget(saved);
+    r
+}
+
+fn pairs_to_tuples(pairs: &BTreeSet<(u32, u32)>) -> Vec<Vec<u64>> {
+    pairs
+        .iter()
+        .map(|&(a, b)| vec![a as u64, b as u64])
+        .collect()
+}
+
+fn fallback_hierarchy(facts: &Facts, p: &Program) -> Result<hierarchy::Hierarchy, JeddError> {
+    let tuples = pairs_to_tuples(&baseline_sets::hierarchy(p));
+    let subtype_of = Relation::from_tuples(&facts.u, facts.extend.schema(), &tuples)?;
+    Ok(hierarchy::Hierarchy { subtype_of })
+}
+
+fn fallback_points_to(
+    facts: &Facts,
+    sets: &baseline_sets::SetPointsTo,
+) -> Result<pointsto::PointsTo, JeddError> {
+    let pt = Relation::from_tuples(&facts.u, facts.news.schema(), &pairs_to_tuples(&sets.pt))?;
+    let fp_tuples: Vec<Vec<u64>> = sets
+        .field_pt
+        .iter()
+        .map(|&(bo, ff, o)| vec![bo as u64, ff as u64, o as u64])
+        .collect();
+    let field_pt = Relation::from_tuples(
+        &facts.u,
+        &[
+            (facts.baseobj, facts.h2),
+            (facts.field, facts.f1),
+            (facts.obj, facts.h1),
+        ],
+        &fp_tuples,
+    )?;
+    let cg = Relation::from_tuples(
+        &facts.u,
+        &[(facts.site, facts.c1), (facts.method, facts.m1)],
+        &pairs_to_tuples(&sets.cg),
+    )?;
+    Ok(pointsto::PointsTo {
+        pt,
+        field_pt,
+        cg,
+        iterations: 0,
+    })
+}
+
+fn fallback_call_graph(
+    facts: &Facts,
+    p: &Program,
+    cg: &BTreeSet<(u32, u32)>,
+) -> Result<callgraph::CallGraph, JeddError> {
+    let site_targets = Relation::from_tuples(
+        &facts.u,
+        &[(facts.site, facts.c1), (facts.method, facts.m1)],
+        &pairs_to_tuples(cg),
+    )?;
+    // (caller, callee) method edges through the call-site map.
+    let mut edge_set: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for &(site, m) in cg {
+        if let Some(c) = p.calls.iter().find(|c| c.site == site) {
+            edge_set.insert((c.caller, m));
+        }
+    }
+    let edges = Relation::from_tuples(
+        &facts.u,
+        &[(facts.caller, facts.m2), (facts.method, facts.m1)],
+        &pairs_to_tuples(&edge_set),
+    )?;
+    // Reachability closure from the entry points.
+    let mut reach: BTreeSet<u32> = p.entry_points.iter().copied().collect();
+    loop {
+        let mut changed = false;
+        for &(caller, callee) in &edge_set {
+            if reach.contains(&caller) {
+                changed |= reach.insert(callee);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let reach_tuples: Vec<Vec<u64>> = reach.iter().map(|&m| vec![m as u64]).collect();
+    let reachable = Relation::from_tuples(&facts.u, facts.entry.schema(), &reach_tuples)?;
+    Ok(callgraph::CallGraph {
+        site_targets,
+        edges,
+        reachable,
+    })
+}
+
+fn fallback_side_effects(
+    facts: &Facts,
+    p: &Program,
+    sets: &baseline_sets::SetPointsTo,
+) -> Result<sideeffect::SideEffects, JeddError> {
+    let se = baseline_sets::side_effects(p, sets);
+    let materialise = |set: &BTreeSet<(u32, u32, u32)>| -> Result<Relation, JeddError> {
+        let tuples: Vec<Vec<u64>> = set
+            .iter()
+            .map(|&(m, o, ff)| vec![m as u64, o as u64, ff as u64])
+            .collect();
+        Relation::from_tuples(
+            &facts.u,
+            &[
+                (facts.method, facts.m1),
+                (facts.baseobj, facts.h1),
+                (facts.field, facts.f1),
+            ],
+            &tuples,
+        )
+    };
+    Ok(sideeffect::SideEffects {
+        reads: materialise(&se.reads)?,
+        writes: materialise(&se.writes)?,
+        reads_star: materialise(&se.reads_star)?,
+        writes_star: materialise(&se.writes_star)?,
     })
 }
 

@@ -9,8 +9,7 @@
 //! same program.
 
 use crate::ir::{Call, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jedd_bdd::rng::XorShift64Star;
 
 /// Generation parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,7 +161,7 @@ impl Benchmark {
 
 /// Generates a well-formed program from the configuration.
 pub fn generate(cfg: &SynthConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShift64Star::new(cfg.seed);
     let mut p = Program {
         types: cfg.types,
         sigs: cfg.sigs,
@@ -178,14 +177,14 @@ pub fn generate(cfg: &SynthConfig) -> Program {
         } else {
             // Prefer a recent type for deeper chains.
             let lo = (t as i64 - 8).max(0) as u32;
-            rng.gen_range(lo..t)
+            rng.gen_range(lo as u64..t as u64) as u32
         };
         p.extend.push((t, sup));
     }
 
     // Signatures: parameter counts fixed per signature.
     let sig_params: Vec<usize> = (0..cfg.sigs)
-        .map(|_| rng.gen_range(0..=cfg.max_params))
+        .map(|_| rng.gen_index(0..cfg.max_params + 1))
         .collect();
     let sig_returns: Vec<bool> = (0..cfg.sigs).map(|_| rng.gen_bool(0.6)).collect();
 
@@ -195,7 +194,7 @@ pub fn generate(cfg: &SynthConfig) -> Program {
     let mut declared_sigs_per_type: Vec<Vec<u32>> = vec![Vec::new(); cfg.types];
     for t in 0..cfg.types as u32 {
         for _ in 0..cfg.methods_per_type {
-            let s = rng.gen_range(0..cfg.sigs as u32);
+            let s = rng.gen_range(0..cfg.sigs as u64) as u32;
             if declared_sigs_per_type[t as usize].contains(&s) {
                 continue;
             }
@@ -245,7 +244,7 @@ pub fn generate(cfg: &SynthConfig) -> Program {
             let t = if rng.gen_bool(0.75) {
                 0
             } else {
-                rng.gen_range(0..(cfg.types as u32).min(8))
+                rng.gen_range(0..(cfg.types as u64).min(8)) as u32
             };
             p.var_type.push((v, t));
         }
@@ -256,15 +255,15 @@ pub fn generate(cfg: &SynthConfig) -> Program {
         if let Some(r) = ret_var {
             pool.push(r);
         }
-        let pick = |rng: &mut StdRng, pool: &[u32]| pool[rng.gen_range(0..pool.len())];
+        let pick = |rng: &mut XorShift64Star, pool: &[u32]| pool[rng.gen_index(0..pool.len())];
 
         // Allocations.
         for _ in 0..cfg.allocs_per_method {
             let a = p.allocs as u32;
             p.allocs += 1;
-            let ty = rng.gen_range(0..cfg.types as u32);
+            let ty = rng.gen_range(0..cfg.types as u64) as u32;
             p.alloc_type.push((a, ty));
-            let v = pick(&mut rng, &locals.is_empty().then(|| pool.clone()).unwrap_or(locals.clone()));
+            let v = pick(&mut rng, if locals.is_empty() { &pool } else { &locals });
             p.news.push((m, v, a));
             alloc_targets.push(v);
         }
@@ -278,11 +277,11 @@ pub fn generate(cfg: &SynthConfig) -> Program {
         }
         // Field operations.
         for _ in 0..cfg.field_ops_per_method {
-            let f = rng.gen_range(0..cfg.fields as u32);
+            let f = rng.gen_range(0..cfg.fields as u64) as u32;
             let d = pick(&mut rng, &pool);
             let b = pick(&mut rng, &pool);
             p.loads.push((m, d, b, f));
-            let f2 = rng.gen_range(0..cfg.fields as u32);
+            let f2 = rng.gen_range(0..cfg.fields as u64) as u32;
             let b2 = pick(&mut rng, &pool);
             let s2 = pick(&mut rng, &pool);
             p.stores.push((m, b2, f2, s2));
@@ -290,7 +289,7 @@ pub fn generate(cfg: &SynthConfig) -> Program {
         // Virtual calls on a receiver from the pool, invoking a signature
         // that at least one type implements.
         for _ in 0..cfg.calls_per_method {
-            let sig = declared_sigs_per_type[rng.gen_range(0..cfg.types)]
+            let sig = declared_sigs_per_type[rng.gen_index(0..cfg.types)]
                 .first()
                 .copied()
                 .unwrap_or(0);

@@ -1,0 +1,149 @@
+//! Graceful degradation: a budget-starved whole-program run must still
+//! complete — falling back to the explicit-set implementations — and must
+//! produce exactly the results of the unbudgeted BDD run.
+
+use jedd_analyses::driver;
+use jedd_analyses::synth::Benchmark;
+use jedd_bdd::{Budget, CancelToken};
+use jedd_core::Relation;
+use std::collections::BTreeSet;
+
+fn tuple_set(r: &Relation) -> BTreeSet<Vec<u64>> {
+    r.tuples().into_iter().collect()
+}
+
+/// Asserts every result relation of `a` equals the corresponding one of
+/// `b`, comparing tuple sets (the two runs use separate universes, and a
+/// degraded run may pick different physical domains).
+fn assert_same_results(a: &driver::WholeProgram, b: &driver::WholeProgram) {
+    assert_eq!(
+        tuple_set(&a.hierarchy.subtype_of),
+        tuple_set(&b.hierarchy.subtype_of),
+        "hierarchy"
+    );
+    assert_eq!(tuple_set(&a.points_to.pt), tuple_set(&b.points_to.pt), "pt");
+    assert_eq!(
+        tuple_set(&a.points_to.field_pt),
+        tuple_set(&b.points_to.field_pt),
+        "field_pt"
+    );
+    assert_eq!(tuple_set(&a.points_to.cg), tuple_set(&b.points_to.cg), "cg");
+    assert_eq!(
+        tuple_set(&a.call_graph.edges),
+        tuple_set(&b.call_graph.edges),
+        "call-graph edges"
+    );
+    assert_eq!(
+        tuple_set(&a.call_graph.reachable),
+        tuple_set(&b.call_graph.reachable),
+        "reachable"
+    );
+    assert_eq!(
+        tuple_set(&a.side_effects.reads),
+        tuple_set(&b.side_effects.reads),
+        "reads"
+    );
+    assert_eq!(
+        tuple_set(&a.side_effects.writes),
+        tuple_set(&b.side_effects.writes),
+        "writes"
+    );
+    assert_eq!(
+        tuple_set(&a.side_effects.reads_star),
+        tuple_set(&b.side_effects.reads_star),
+        "reads*"
+    );
+    assert_eq!(
+        tuple_set(&a.side_effects.writes_star),
+        tuple_set(&b.side_effects.writes_star),
+        "writes*"
+    );
+}
+
+#[test]
+fn unlimited_budget_never_degrades() {
+    let p = Benchmark::Tiny.generate();
+    let r = driver::run_with_budget(&p, Budget::unlimited()).expect("unbudgeted run");
+    assert!(r.degraded_phases.is_empty());
+}
+
+#[test]
+fn step_starved_run_degrades_and_matches_unbudgeted() {
+    let p = Benchmark::Tiny.generate();
+    let full = driver::run(&p).expect("unbudgeted run");
+    assert!(full.degraded_phases.is_empty());
+
+    // A 10-step budget starves every analysis phase almost immediately.
+    let starved = driver::run_with_budget(&p, Budget::unlimited().with_max_steps(10))
+        .expect("budget-starved run must still complete via the set fallback");
+    assert!(
+        !starved.degraded_phases.is_empty(),
+        "a 10-step budget must force at least one fallback"
+    );
+    assert!(
+        starved.degraded_phases.contains(&"pointsto")
+            || starved.degraded_phases.contains(&"hierarchy"),
+        "the early phases must be among the degraded ones: {:?}",
+        starved.degraded_phases
+    );
+    assert_same_results(&full, &starved);
+}
+
+#[test]
+fn node_starved_run_degrades_and_matches_unbudgeted() {
+    let p = Benchmark::Tiny.generate();
+    let full = driver::run(&p).expect("unbudgeted run");
+
+    // A node limit below what the fact base already occupies cannot be
+    // recovered by the GC/reorder ladder, so every phase must fall back.
+    let starved = driver::run_with_budget(&p, Budget::unlimited().with_max_live_nodes(16))
+        .expect("node-starved run must still complete via the set fallback");
+    assert!(!starved.degraded_phases.is_empty());
+    assert_same_results(&full, &starved);
+}
+
+#[test]
+fn generous_budget_runs_on_bdds_and_matches() {
+    let p = Benchmark::Tiny.generate();
+    let full = driver::run(&p).expect("unbudgeted run");
+    let budgeted = driver::run_with_budget(
+        &p,
+        Budget::unlimited()
+            .with_max_steps(10_000_000)
+            .with_max_live_nodes(10_000_000),
+    )
+    .expect("generous budget");
+    assert!(
+        budgeted.degraded_phases.is_empty(),
+        "a generous budget must not degrade: {:?}",
+        budgeted.degraded_phases
+    );
+    assert_same_results(&full, &budgeted);
+}
+
+#[test]
+fn cancellation_aborts_instead_of_degrading() {
+    let p = Benchmark::Tiny.generate();
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited()
+        // Probe the token on every step, not every 1024th.
+        .with_max_steps(u64::MAX)
+        .with_cancel(token);
+    let r = driver::run_with_budget(&p, budget);
+    match r {
+        Err(jedd_core::JeddError::ResourceExhausted { cause, .. }) => {
+            assert_eq!(cause, jedd_bdd::BddError::Cancelled);
+        }
+        Err(e) => panic!("expected cancellation, got {e}"),
+        Ok(w) => assert!(
+            // Cancellation is only observed at the 1024-step probe
+            // interval; tiny programs may finish a phase without ever
+            // probing. If the run completed, it must not have degraded
+            // (degrading on cancel is the bug this test guards against).
+            w.degraded_phases.is_empty(),
+            "a cancelled run must never fall back: {:?}",
+            w.degraded_phases
+        ),
+    }
+}

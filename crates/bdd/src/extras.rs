@@ -77,9 +77,13 @@ impl Inner {
     }
 
     /// Cofactor: substitutes constants for the given variables.
-    pub(crate) fn cofactor(&mut self, f: u32, assignment: &[(u32, bool)]) -> u32 {
+    pub(crate) fn cofactor(
+        &mut self,
+        f: u32,
+        assignment: &[(u32, bool)],
+    ) -> Result<u32, crate::BddError> {
         if f <= 1 || assignment.is_empty() {
-            return f;
+            return Ok(f);
         }
         // Translate variables to levels; the recursion matches on levels.
         let mut sorted: Vec<(u32, bool)> = assignment
@@ -99,28 +103,29 @@ impl Inner {
         f: u32,
         assignment: &[(u32, bool)],
         memo: &mut HashMap<u32, u32>,
-    ) -> u32 {
+    ) -> Result<u32, crate::BddError> {
         if f <= 1 {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let level = self.level(f);
         let (lo, hi) = (self.low(f), self.high(f));
         let r = match assignment.binary_search_by_key(&level, |&(v, _)| v) {
             Ok(i) => {
                 let branch = if assignment[i].1 { hi } else { lo };
-                self.cofactor_rec(branch, assignment, memo)
+                self.cofactor_rec(branch, assignment, memo)?
             }
             Err(_) => {
-                let l2 = self.cofactor_rec(lo, assignment, memo);
-                let h2 = self.cofactor_rec(hi, assignment, memo);
-                self.mk(level, l2, h2)
+                let l2 = self.cofactor_rec(lo, assignment, memo)?;
+                let h2 = self.cofactor_rec(hi, assignment, memo)?;
+                self.mk(level, l2, h2)?
             }
         };
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 
     /// Renders the sub-DAG rooted at `f` in Graphviz dot format.
@@ -179,13 +184,23 @@ impl Bdd {
     ///
     /// # Panics
     ///
-    /// Panics if a variable is assigned twice.
+    /// Panics if a variable is assigned twice, or if the operation exceeds
+    /// an installed budget (use [`Bdd::try_cofactor`] then).
     pub fn cofactor(&self, assignment: &[(u32, bool)]) -> Bdd {
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
+        crate::manager::expect_within_budget("cofactor", self.try_cofactor(assignment))
+    }
+
+    /// Budget-aware cofactor; see [`Bdd::cofactor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::BddError`] when an installed budget, deadline,
+    /// cancellation token or fail plan interrupts the operation.
+    pub fn try_cofactor(&self, assignment: &[(u32, bool)]) -> Result<Bdd, crate::BddError> {
+        let id = crate::manager::run_governed(&self.mgr, |inner| {
             inner.cofactor(self.id, assignment)
-        };
-        self.wrap(id)
+        })?;
+        Ok(self.wrap(id))
     }
 }
 

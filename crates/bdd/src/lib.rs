@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod count;
 mod cube;
 mod extras;
@@ -53,9 +54,11 @@ mod ops;
 mod permute;
 mod quant;
 mod reorder;
+pub mod rng;
 mod table;
 mod zdd;
 
+pub use budget::{BddError, Budget, CancelToken, FailPlan};
 pub use manager::{Bdd, BddManager};
 pub use node::{NodeId, Permutation};
 pub use table::KernelStats;

@@ -1,5 +1,6 @@
 //! The public BDD manager and handle types.
 
+use crate::budget::{BddError, Budget, FailPlan};
 use crate::node::{NodeId, Permutation};
 use crate::ops::BinOp;
 use crate::table::{Inner, KernelStats};
@@ -18,6 +19,11 @@ use std::rc::Rc;
 /// the arena grows large; dropped [`Bdd`] handles release their nodes for
 /// the next collection, mirroring the reference-counting discipline Jedd
 /// generates for BuDDy/CUDD (paper §4.2).
+///
+/// A [`Budget`] installed with [`BddManager::set_budget`] bounds every
+/// operation; the `try_*` variants ([`Bdd::try_and`] etc.) report
+/// exhaustion as a [`BddError`] while the plain methods panic on it (they
+/// never fail without a budget installed).
 ///
 /// # Examples
 ///
@@ -43,6 +49,70 @@ impl fmt::Debug for BddManager {
     }
 }
 
+/// Runs `op` under the installed governor with the automatic recovery
+/// ladder: on a node-limit failure, collect garbage and retry; if the limit
+/// fires again, run a sifting reorder and retry once more; only then fail.
+/// Other failures (step limit, deadline, cancellation, injected faults) are
+/// returned immediately — retrying cannot help them.
+pub(crate) fn run_governed(
+    mgr: &Rc<RefCell<Inner>>,
+    mut op: impl FnMut(&mut Inner) -> Result<u32, BddError>,
+) -> Result<u32, BddError> {
+    let mut attempt = |inner: &mut Inner| {
+        inner.begin_op();
+        op(inner)
+    };
+    let mut inner = mgr.borrow_mut();
+    inner.maybe_gc();
+    let e1 = match attempt(&mut inner) {
+        Ok(id) => return Ok(id),
+        Err(e) => e,
+    };
+    if !matches!(e1, BddError::NodeLimit { .. }) {
+        inner.stats.budget_failures += 1;
+        return Err(e1);
+    }
+    // Rung 1: a full collection may reclaim enough dead nodes. Partial
+    // results of the failed attempt carry no external references, so they
+    // are reclaimed here too.
+    inner.stats.ladder_gc_retries += 1;
+    inner.gc();
+    let e2 = match attempt(&mut inner) {
+        Ok(id) => return Ok(id),
+        Err(e) => e,
+    };
+    if !matches!(e2, BddError::NodeLimit { .. }) {
+        inner.stats.budget_failures += 1;
+        return Err(e2);
+    }
+    // Rung 2: sifting compacts the live nodes themselves; it suspends the
+    // governor internally, since compaction must be free to allocate
+    // transient nodes.
+    inner.stats.ladder_reorder_retries += 1;
+    inner.reorder_sift();
+    match attempt(&mut inner) {
+        Ok(id) => Ok(id),
+        Err(e) => {
+            inner.stats.budget_failures += 1;
+            Err(e)
+        }
+    }
+}
+
+/// Unwraps a governed result for the infallible public API. Without a
+/// budget or fail plan installed, governed operations cannot fail, so the
+/// plain (non-`try_`) methods only panic when the caller installed limits
+/// but did not switch to the `try_*` variants.
+pub(crate) fn expect_within_budget<T>(op: &'static str, r: Result<T, BddError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!(
+            "BDD operation `{op}` exhausted its resource budget ({e}); \
+             use the try_* variants to handle exhaustion without panicking"
+        ),
+    }
+}
+
 impl BddManager {
     /// Creates a manager with `num_vars` boolean variables, at levels
     /// `0..num_vars` (level order == variable order).
@@ -50,6 +120,24 @@ impl BddManager {
         BddManager {
             inner: Rc::new(RefCell::new(Inner::new(num_vars as u32))),
         }
+    }
+
+    /// Installs a resource [`Budget`] governing all subsequent operations;
+    /// `Budget::unlimited()` removes all limits.
+    pub fn set_budget(&self, budget: Budget) {
+        self.inner.borrow_mut().set_budget(budget);
+    }
+
+    /// The currently installed budget (unlimited by default).
+    pub fn budget(&self) -> Budget {
+        self.inner.borrow().budget()
+    }
+
+    /// Installs (`Some`) or removes (`None`) a deterministic
+    /// fault-injection plan; the plan's event counters restart either way.
+    /// Intended for tests of error paths.
+    pub fn set_fail_plan(&self, plan: Option<FailPlan>) {
+        self.inner.borrow_mut().set_fail_plan(plan);
     }
 
     /// Number of variables currently allocated.
@@ -77,27 +165,56 @@ impl BddManager {
     ///
     /// # Panics
     ///
-    /// Panics if `var` is out of range.
+    /// Panics if `var` is out of range, or on budget exhaustion (see
+    /// [`BddManager::try_var`]).
     pub fn var(&self, var: u32) -> Bdd {
-        let id = self.inner.borrow_mut().mk_var(var);
-        self.wrap(id)
+        expect_within_budget("var", self.try_var(var))
+    }
+
+    /// Budget-aware form of [`BddManager::var`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_var(&self, var: u32) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.inner, |inner| inner.mk_var(var))?;
+        Ok(self.wrap(id))
     }
 
     /// The BDD testing variable `var` negatively.
     ///
     /// # Panics
     ///
-    /// Panics if `var` is out of range.
+    /// Panics if `var` is out of range, or on budget exhaustion (see
+    /// [`BddManager::try_nvar`]).
     pub fn nvar(&self, var: u32) -> Bdd {
-        let id = self.inner.borrow_mut().mk_nvar(var);
-        self.wrap(id)
+        expect_within_budget("nvar", self.try_nvar(var))
+    }
+
+    /// Budget-aware form of [`BddManager::nvar`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_nvar(&self, var: u32) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.inner, |inner| inner.mk_nvar(var))?;
+        Ok(self.wrap(id))
     }
 
     /// A positive cube (conjunction) of the given variables, used as the
     /// quantification set of [`Bdd::exists`] and [`Bdd::and_exists`].
     pub fn cube(&self, vars: &[u32]) -> Bdd {
-        let id = self.inner.borrow_mut().mk_cube(vars);
-        self.wrap(id)
+        expect_within_budget("cube", self.try_cube(vars))
+    }
+
+    /// Budget-aware form of [`BddManager::cube`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_cube(&self, vars: &[u32]) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.inner, |inner| inner.mk_cube(vars))?;
+        Ok(self.wrap(id))
     }
 
     /// Encodes `value` in binary over `bits` (most significant bit first):
@@ -105,32 +222,42 @@ impl BddManager {
     ///
     /// # Panics
     ///
-    /// Panics if `value` does not fit in `bits.len()` bits.
+    /// Panics if `value` does not fit in `bits.len()` bits, or on budget
+    /// exhaustion (see [`BddManager::try_encode_value`]).
     pub fn encode_value(&self, bits: &[u32], value: u64) -> Bdd {
+        expect_within_budget("encode_value", self.try_encode_value(bits, value))
+    }
+
+    /// Budget-aware form of [`BddManager::encode_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_encode_value(&self, bits: &[u32], value: u64) -> Result<Bdd, BddError> {
         assert!(
             bits.len() >= 64 || value < (1u64 << bits.len()),
             "value {value} does not fit in {} bits",
             bits.len()
         );
-        let mut inner = self.inner.borrow_mut();
-        inner.maybe_gc();
-        // Build bottom-up in level order for linear-time construction.
-        let mut lits: Vec<(u32, bool)> = Vec::with_capacity(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            let bit_set = (value >> (bits.len() - 1 - i)) & 1 == 1;
-            lits.push((inner.level_of_var(b), bit_set));
-        }
-        lits.sort_unstable_by_key(|&(l, _)| l);
-        let mut acc = NodeId::TRUE.0;
-        for &(level, pos) in lits.iter().rev() {
-            acc = if pos {
-                inner.mk(level, NodeId::FALSE.0, acc)
-            } else {
-                inner.mk(level, acc, NodeId::FALSE.0)
-            };
-        }
-        drop(inner);
-        self.wrap(acc)
+        let id = run_governed(&self.inner, |inner| {
+            // Build bottom-up in level order for linear-time construction.
+            let mut lits: Vec<(u32, bool)> = Vec::with_capacity(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                let bit_set = (value >> (bits.len() - 1 - i)) & 1 == 1;
+                lits.push((inner.level_of_var(b), bit_set));
+            }
+            lits.sort_unstable_by_key(|&(l, _)| l);
+            let mut acc = NodeId::TRUE.0;
+            for &(level, pos) in lits.iter().rev() {
+                acc = if pos {
+                    inner.mk(level, NodeId::FALSE.0, acc)?
+                } else {
+                    inner.mk(level, acc, NodeId::FALSE.0)?
+                };
+            }
+            Ok(acc)
+        })?;
+        Ok(self.wrap(id))
     }
 
     /// The BDD asserting that the bit vectors `xs` and `ys` (MSB first, same
@@ -138,22 +265,31 @@ impl BddManager {
     ///
     /// Used for Jedd's attribute-copy operation and for select-style joins.
     pub fn equal_vectors(&self, xs: &[u32], ys: &[u32]) -> Bdd {
+        expect_within_budget("equal_vectors", self.try_equal_vectors(xs, ys))
+    }
+
+    /// Budget-aware form of [`BddManager::equal_vectors`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_equal_vectors(&self, xs: &[u32], ys: &[u32]) -> Result<Bdd, BddError> {
         assert_eq!(xs.len(), ys.len(), "bit vectors must have equal length");
-        let mut inner = self.inner.borrow_mut();
-        inner.maybe_gc();
-        let mut acc = NodeId::TRUE.0;
-        // Conjunction built from the bottom pair upward keeps intermediate
-        // BDDs small when the vectors are interleaved.
-        let mut pairs: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
-        pairs.sort_unstable_by_key(|&(a, b)| std::cmp::Reverse(a.max(b)));
-        for (x, y) in pairs {
-            let vx = inner.mk_var(x);
-            let vy = inner.mk_var(y);
-            let eq = inner.apply(BinOp::Biimp, vx, vy);
-            acc = inner.apply(BinOp::And, acc, eq);
-        }
-        drop(inner);
-        self.wrap(acc)
+        let id = run_governed(&self.inner, |inner| {
+            let mut acc = NodeId::TRUE.0;
+            // Conjunction built from the bottom pair upward keeps
+            // intermediate BDDs small when the vectors are interleaved.
+            let mut pairs: Vec<(u32, u32)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(a, b)| std::cmp::Reverse(a.max(b)));
+            for (x, y) in pairs {
+                let vx = inner.mk_var(x)?;
+                let vy = inner.mk_var(y)?;
+                let eq = inner.apply(BinOp::Biimp, vx, vy)?;
+                acc = inner.apply(BinOp::And, acc, eq)?;
+            }
+            Ok(acc)
+        })?;
+        Ok(self.wrap(id))
     }
 
     /// The BDD containing exactly the bit strings whose value over `bits`
@@ -161,34 +297,41 @@ impl BddManager {
     /// physical domain to the valid codes of a domain whose size is not a
     /// power of two.
     pub fn less_than(&self, bits: &[u32], bound: u64) -> Bdd {
+        expect_within_budget("less_than", self.try_less_than(bits, bound))
+    }
+
+    /// Budget-aware form of [`BddManager::less_than`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_less_than(&self, bits: &[u32], bound: u64) -> Result<Bdd, BddError> {
         if bits.len() < 64 && bound >= (1u64 << bits.len()) {
-            return self.constant_true();
+            return Ok(self.constant_true());
         }
-        let mut inner = self.inner.borrow_mut();
-        inner.maybe_gc();
-        // Standard comparator: walk MSB to LSB accumulating "already less".
-        let mut acc = NodeId::FALSE.0; // strings equal so far that are < bound: none yet
-        // Process LSB first building a function eq_suffix -> handled
-        // iteratively instead: f = OR over positions where bound bit is 1 of
-        // (prefix equal so far) AND (bit i = 0).
-        let n = bits.len();
-        let mut prefix_eq = NodeId::TRUE.0;
-        for i in 0..n {
-            let b = (bound >> (n - 1 - i)) & 1;
-            let var = bits[i];
-            if b == 1 {
-                let nv = inner.mk_nvar(var);
-                let t = inner.apply(BinOp::And, prefix_eq, nv);
-                acc = inner.apply(BinOp::Or, acc, t);
-                let pv = inner.mk_var(var);
-                prefix_eq = inner.apply(BinOp::And, prefix_eq, pv);
-            } else {
-                let nv = inner.mk_nvar(var);
-                prefix_eq = inner.apply(BinOp::And, prefix_eq, nv);
+        let id = run_governed(&self.inner, |inner| {
+            // Standard comparator: walk MSB to LSB accumulating "already
+            // less": f = OR over positions where the bound bit is 1 of
+            // (prefix equal so far) AND (bit i = 0).
+            let mut acc = NodeId::FALSE.0;
+            let n = bits.len();
+            let mut prefix_eq = NodeId::TRUE.0;
+            for (i, &var) in bits.iter().enumerate() {
+                let b = (bound >> (n - 1 - i)) & 1;
+                if b == 1 {
+                    let nv = inner.mk_nvar(var)?;
+                    let t = inner.apply(BinOp::And, prefix_eq, nv)?;
+                    acc = inner.apply(BinOp::Or, acc, t)?;
+                    let pv = inner.mk_var(var)?;
+                    prefix_eq = inner.apply(BinOp::And, prefix_eq, pv)?;
+                } else {
+                    let nv = inner.mk_nvar(var)?;
+                    prefix_eq = inner.apply(BinOp::And, prefix_eq, nv)?;
+                }
             }
-        }
-        drop(inner);
-        self.wrap(acc)
+            Ok(acc)
+        })?;
+        Ok(self.wrap(id))
     }
 
     /// Total number of live nodes in the arena (all BDDs, including
@@ -223,7 +366,8 @@ impl BddManager {
     /// same variables; only the internal level ordering changes.
     ///
     /// This is an expensive, stop-the-world operation — call it between
-    /// analysis phases, not inside hot loops.
+    /// analysis phases, not inside hot loops. It is exempt from any
+    /// installed budget: compaction must be free to allocate.
     pub fn reorder_sift(&self) -> (usize, usize) {
         self.inner.borrow_mut().reorder_sift()
     }
@@ -315,14 +459,10 @@ impl Bdd {
         );
     }
 
-    fn binop(&self, other: &Bdd, op: BinOp) -> Bdd {
+    fn try_binop(&self, other: &Bdd, op: BinOp) -> Result<Bdd, BddError> {
         self.check_same_mgr(other);
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.apply(op, self.id, other.id)
-        };
-        self.wrap(id)
+        let id = run_governed(&self.mgr, |inner| inner.apply(op, self.id, other.id))?;
+        Ok(self.wrap(id))
     }
 
     pub(crate) fn wrap(&self, id: u32) -> Bdd {
@@ -342,90 +482,176 @@ impl Bdd {
 
     /// Conjunction (set intersection).
     pub fn and(&self, other: &Bdd) -> Bdd {
-        self.binop(other, BinOp::And)
+        expect_within_budget("and", self.try_and(other))
+    }
+
+    /// Budget-aware conjunction; see [`Bdd::and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] when an installed budget, deadline,
+    /// cancellation token or fail plan interrupts the operation, after the
+    /// recovery ladder (GC retry, then reorder retry) has been exhausted.
+    pub fn try_and(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_binop(other, BinOp::And)
     }
 
     /// Disjunction (set union).
     pub fn or(&self, other: &Bdd) -> Bdd {
-        self.binop(other, BinOp::Or)
+        expect_within_budget("or", self.try_or(other))
+    }
+
+    /// Budget-aware disjunction; see [`Bdd::or`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_or(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_binop(other, BinOp::Or)
     }
 
     /// Difference `self & !other` (set difference).
     pub fn diff(&self, other: &Bdd) -> Bdd {
-        self.binop(other, BinOp::Diff)
+        expect_within_budget("diff", self.try_diff(other))
+    }
+
+    /// Budget-aware difference; see [`Bdd::diff`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_diff(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_binop(other, BinOp::Diff)
     }
 
     /// Exclusive or (symmetric difference).
     pub fn xor(&self, other: &Bdd) -> Bdd {
-        self.binop(other, BinOp::Xor)
+        expect_within_budget("xor", self.try_xor(other))
+    }
+
+    /// Budget-aware exclusive or; see [`Bdd::xor`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_xor(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_binop(other, BinOp::Xor)
     }
 
     /// Biimplication `self <-> other`.
     pub fn biimp(&self, other: &Bdd) -> Bdd {
-        self.binop(other, BinOp::Biimp)
+        expect_within_budget("biimp", self.try_biimp(other))
+    }
+
+    /// Budget-aware biimplication; see [`Bdd::biimp`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_biimp(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_binop(other, BinOp::Biimp)
     }
 
     /// Implication `self -> other`.
     pub fn implies(&self, other: &Bdd) -> Bdd {
-        self.not().or(other)
+        expect_within_budget("implies", self.try_implies(other))
+    }
+
+    /// Budget-aware implication; see [`Bdd::implies`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_implies(&self, other: &Bdd) -> Result<Bdd, BddError> {
+        self.try_not()?.try_or(other)
     }
 
     /// Negation (set complement).
     pub fn not(&self) -> Bdd {
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.not(self.id)
-        };
-        self.wrap(id)
+        expect_within_budget("not", self.try_not())
+    }
+
+    /// Budget-aware negation; see [`Bdd::not`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_not(&self) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.mgr, |inner| inner.not(self.id))?;
+        Ok(self.wrap(id))
     }
 
     /// If-then-else `self ? g : h`.
     pub fn ite(&self, g: &Bdd, h: &Bdd) -> Bdd {
+        expect_within_budget("ite", self.try_ite(g, h))
+    }
+
+    /// Budget-aware if-then-else; see [`Bdd::ite`] and [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_ite(&self, g: &Bdd, h: &Bdd) -> Result<Bdd, BddError> {
         self.check_same_mgr(g);
         self.check_same_mgr(h);
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.ite(self.id, g.id, h.id)
-        };
-        self.wrap(id)
+        let id = run_governed(&self.mgr, |inner| inner.ite(self.id, g.id, h.id))?;
+        Ok(self.wrap(id))
     }
 
     /// Existential quantification over the variables of the positive cube
     /// `cube` (build one with [`BddManager::cube`]).
     pub fn exists(&self, cube: &Bdd) -> Bdd {
+        expect_within_budget("exists", self.try_exists(cube))
+    }
+
+    /// Budget-aware existential quantification; see [`Bdd::exists`] and
+    /// [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_exists(&self, cube: &Bdd) -> Result<Bdd, BddError> {
         self.check_same_mgr(cube);
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.exists(self.id, cube.id)
-        };
-        self.wrap(id)
+        let id = run_governed(&self.mgr, |inner| inner.exists(self.id, cube.id))?;
+        Ok(self.wrap(id))
     }
 
     /// Universal quantification over the variables of `cube`.
     pub fn forall(&self, cube: &Bdd) -> Bdd {
+        expect_within_budget("forall", self.try_forall(cube))
+    }
+
+    /// Budget-aware universal quantification; see [`Bdd::forall`] and
+    /// [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_forall(&self, cube: &Bdd) -> Result<Bdd, BddError> {
         self.check_same_mgr(cube);
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.forall(self.id, cube.id)
-        };
-        self.wrap(id)
+        let id = run_governed(&self.mgr, |inner| inner.forall(self.id, cube.id))?;
+        Ok(self.wrap(id))
     }
 
     /// Fused relational product `exists cube. (self & other)` — the
     /// primitive behind Jedd's composition operator.
     pub fn and_exists(&self, other: &Bdd, cube: &Bdd) -> Bdd {
+        expect_within_budget("and_exists", self.try_and_exists(other, cube))
+    }
+
+    /// Budget-aware relational product; see [`Bdd::and_exists`] and
+    /// [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_and_exists(&self, other: &Bdd, cube: &Bdd) -> Result<Bdd, BddError> {
         self.check_same_mgr(other);
         self.check_same_mgr(cube);
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
+        let id = run_governed(&self.mgr, |inner| {
             inner.and_exists(self.id, other.id, cube.id)
-        };
-        self.wrap(id)
+        })?;
+        Ok(self.wrap(id))
     }
 
     /// Variable replacement (BuDDy `replace`, CUDD `SwapVariables`):
@@ -436,12 +662,18 @@ impl Bdd {
     /// Panics if the permutation is not injective on the support of `self`
     /// or maps outside the variable range.
     pub fn replace(&self, perm: &Permutation) -> Bdd {
-        let id = {
-            let mut inner = self.mgr.borrow_mut();
-            inner.maybe_gc();
-            inner.replace(self.id, perm)
-        };
-        self.wrap(id)
+        expect_within_budget("replace", self.try_replace(perm))
+    }
+
+    /// Budget-aware variable replacement; see [`Bdd::replace`] and
+    /// [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_replace(&self, perm: &Permutation) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.mgr, |inner| inner.replace(self.id, perm))?;
+        Ok(self.wrap(id))
     }
 
     /// Number of satisfying assignments over all manager variables.

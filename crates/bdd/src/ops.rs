@@ -1,5 +1,6 @@
 //! Binary and ternary boolean operations on the node table.
 
+use crate::budget::BddError;
 use crate::node::NodeId;
 use crate::table::{CacheOp, Inner};
 
@@ -95,17 +96,22 @@ impl BinOp {
 
 impl Inner {
     /// The standard Bryant `apply` with memoisation.
-    pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> u32 {
+    ///
+    /// Fails only when a budget or fail plan is active (see
+    /// [`Inner::mk`]); a failed call leaves the table consistent because
+    /// partial results carry no external references.
+    pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
         if let Some(r) = op.terminal_case(a, b) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let (ka, kb) = if op.commutative() && a > b {
             (b, a)
         } else {
             (a, b)
         };
         if let Some(r) = self.cache_lookup(op.cache_op(), ka, kb, 0) {
-            return r;
+            return Ok(r);
         }
         let (la, lb) = (self.level(a), self.level(b));
         let m = la.min(lb);
@@ -119,34 +125,35 @@ impl Inner {
         } else {
             (b, b)
         };
-        let r0 = self.apply(op, a0, b0);
-        let r1 = self.apply(op, a1, b1);
-        let r = self.mk(m, r0, r1);
+        let r0 = self.apply(op, a0, b0)?;
+        let r1 = self.apply(op, a1, b1)?;
+        let r = self.mk(m, r0, r1)?;
         self.cache_store(op.cache_op(), ka, kb, 0, r);
-        r
+        Ok(r)
     }
 
     /// Negation, implemented as `true - f` (set complement).
-    pub(crate) fn not(&mut self, a: u32) -> u32 {
+    pub(crate) fn not(&mut self, a: u32) -> Result<u32, BddError> {
         self.apply(BinOp::Diff, T, a)
     }
 
     /// If-then-else: `f ? g : h`.
-    pub(crate) fn ite(&mut self, f: u32, g: u32, h: u32) -> u32 {
+    pub(crate) fn ite(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
         if f == T {
-            return g;
+            return Ok(g);
         }
         if f == F {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == T && h == F {
-            return f;
+            return Ok(f);
         }
+        self.step()?;
         if let Some(r) = self.cache_lookup(CacheOp::Ite, f, g, h) {
-            return r;
+            return Ok(r);
         }
         let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
         let m = lf.min(lg).min(lh);
@@ -165,10 +172,10 @@ impl Inner {
         } else {
             (h, h)
         };
-        let r0 = self.ite(f0, g0, h0);
-        let r1 = self.ite(f1, g1, h1);
-        let r = self.mk(m, r0, r1);
+        let r0 = self.ite(f0, g0, h0)?;
+        let r1 = self.ite(f1, g1, h1)?;
+        let r = self.mk(m, r0, r1)?;
         self.cache_store(CacheOp::Ite, f, g, h, r);
-        r
+        Ok(r)
     }
 }

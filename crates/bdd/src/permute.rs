@@ -1,6 +1,7 @@
 //! Variable permutation (the BuDDy `replace` / CUDD `SwapVariables`
 //! operation) used when a relation changes physical domains.
 
+use crate::budget::BddError;
 use crate::node::Permutation;
 use crate::table::Inner;
 use std::collections::HashMap;
@@ -16,9 +17,9 @@ impl Inner {
     ///
     /// Panics if two distinct support variables of `f` would map to the same
     /// target variable, or a target variable is out of range.
-    pub(crate) fn replace(&mut self, f: u32, perm: &Permutation) -> u32 {
+    pub(crate) fn replace(&mut self, f: u32, perm: &Permutation) -> Result<u32, BddError> {
         if perm.is_identity() || f <= 1 {
-            return f;
+            return Ok(f);
         }
         // Validate injectivity on the support.
         let support = self.support(f);
@@ -41,24 +42,30 @@ impl Inner {
         self.replace_rec(f, perm, &mut memo)
     }
 
-    fn replace_rec(&mut self, f: u32, perm: &Permutation, memo: &mut HashMap<u32, u32>) -> u32 {
+    fn replace_rec(
+        &mut self,
+        f: u32,
+        perm: &Permutation,
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
         if f <= 1 {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
+        self.step()?;
         let level = self.level(f);
         let lo = self.low(f);
         let hi = self.high(f);
-        let lo2 = self.replace_rec(lo, perm, memo);
-        let hi2 = self.replace_rec(hi, perm, memo);
+        let lo2 = self.replace_rec(lo, perm, memo)?;
+        let hi2 = self.replace_rec(hi, perm, memo)?;
         let new_var = perm.apply(self.var_at_level(level));
         // `ite(var, hi2, lo2)` places the new variable at its canonical
         // level even when the permutation reorders the support.
-        let var = self.mk_var(new_var);
-        let r = self.ite(var, hi2, lo2);
+        let var = self.mk_var(new_var)?;
+        let r = self.ite(var, hi2, lo2)?;
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 }

@@ -88,8 +88,10 @@ impl Inner {
             } else {
                 (hi, hi)
             };
-            let new_lo = self.mk(l1, a, c);
-            let new_hi = self.mk(l1, b, d);
+            // Reordering runs with the governor suspended (see
+            // `reorder_sift`), so `mk` cannot fail here.
+            let new_lo = self.mk(l1, a, c).expect("reordering is exempt from budgets");
+            let new_hi = self.mk(l1, b, d).expect("reordering is exempt from budgets");
             debug_assert_ne!(new_lo, new_hi, "swap of a reduced node cannot collapse");
             let n = &mut self.nodes[id as usize];
             n.level = l0;
@@ -129,6 +131,17 @@ impl Inner {
     /// Must be called at a safe point (no recursion in flight); external
     /// handles stay valid.
     pub(crate) fn reorder_sift(&mut self) -> (usize, usize) {
+        // Reordering is a compaction pass: it must be able to allocate
+        // transient nodes even when the arena is over budget, so the
+        // governor (and any fail plan) is suspended for its duration.
+        let was_suspended = self.governor_suspended();
+        self.suspend_governor(true);
+        let result = self.reorder_sift_inner();
+        self.suspend_governor(was_suspended);
+        result
+    }
+
+    fn reorder_sift_inner(&mut self) -> (usize, usize) {
         // Start clean: collect garbage so counts reflect live nodes, and
         // clear the cache once at the end (entries stay *valid* across
         // swaps, but a stale cache can hold dead ids across a later GC).

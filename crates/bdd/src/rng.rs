@@ -1,0 +1,159 @@
+//! A small, dependency-free xorshift64* pseudo-random number generator.
+//!
+//! The workspace must build and test with no network access, so instead of
+//! depending on the external `rand` crate, everything that needs seeded
+//! randomness (the synthetic benchmark generator, the randomized property
+//! tests, the benches) uses this module. The generator is deterministic
+//! per seed and portable across platforms, which is exactly what seeded
+//! test-case generation needs; it makes no cryptographic claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use jedd_bdd::rng::XorShift64Star;
+//! let mut a = XorShift64Star::new(42);
+//! let mut b = XorShift64Star::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!(a.gen_range(3..10) >= 3);
+//! ```
+
+/// Sebastiano Vigna's xorshift64* generator: a 64-bit xorshift step
+/// followed by a multiplicative scramble. Passes BigCrush on the high
+/// bits; one `u64` of state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Creates a generator from a seed. A zero seed (the one fixed point
+    /// of the xorshift step) is remapped to an arbitrary odd constant.
+    pub fn new(seed: u64) -> XorShift64Star {
+        XorShift64Star {
+            // SplitMix64-style pre-scramble so that nearby seeds (0, 1,
+            // 2, ...) do not produce correlated early outputs.
+            state: seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .max(0x2545_f491_4f6c_dd1d),
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// The next 32 pseudo-random bits (the high half, which is the
+    /// better-distributed part of xorshift64*).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        // Multiply-shift range reduction; the tiny modulo bias is
+        // irrelevant for test-case generation.
+        range.start + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_index(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.gen_range(range.start as u64..range.end as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// A uniform element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.gen_index(0..items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64Star::new(7);
+        let mut b = XorShift64Star::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64Star::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = XorShift64Star::new(0);
+        let first = r.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, r.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = XorShift64Star::new(123);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let v = r.gen_range(5..13);
+            assert!((5..13).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 8, "all values of a small range appear");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = XorShift64Star::new(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_and_choose_cover_elements() {
+        let mut r = XorShift64Star::new(5);
+        let mut v: Vec<u32> = (0..10).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        for _ in 0..50 {
+            assert!(*r.choose(&v) < 10);
+        }
+    }
+}

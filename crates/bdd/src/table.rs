@@ -1,5 +1,6 @@
 //! The node arena, unique table, operation cache and garbage collector.
 
+use crate::budget::{BddError, Budget, FailPlan};
 use crate::node::{Node, NodeId, FREE_LEVEL, NIL, TERMINAL_LEVEL};
 
 /// Operation tags used as part of cache keys.
@@ -52,6 +53,14 @@ pub struct KernelStats {
     pub gc_runs: u64,
     /// Nodes reclaimed over all garbage collections.
     pub gc_reclaimed: u64,
+    /// Recursion steps taken by governed operations.
+    pub governed_steps: u64,
+    /// Times the recovery ladder ran a GC after a node-limit hit.
+    pub ladder_gc_retries: u64,
+    /// Times the recovery ladder ran a reorder after GC was not enough.
+    pub ladder_reorder_retries: u64,
+    /// Governed operations that failed even after the recovery ladder.
+    pub budget_failures: u64,
 }
 
 /// Mutable kernel state shared by all handles of one manager.
@@ -78,6 +87,22 @@ pub(crate) struct Inner {
     /// Set during an adjacent-level swap: bucket growth is deferred
     /// because some nodes are temporarily out of the table.
     pub(crate) in_swap: bool,
+    /// Resource limits applied to governed (`try_*`) operations.
+    budget: Budget,
+    /// Deterministic fault-injection schedule, if installed.
+    fail_plan: Option<FailPlan>,
+    /// Cached "any check could fire" flag so the ungoverned fast paths in
+    /// `mk`/`step`/`cache_store` cost a single branch.
+    checks_active: bool,
+    /// When true the governor and fail plan are ignored — set while the
+    /// recovery ladder itself runs GC/reordering (which allocate nodes).
+    governor_suspended: bool,
+    /// Recursion steps taken by the current top-level governed operation.
+    steps: u64,
+    /// Node allocations observed by the fail plan (since installation).
+    alloc_count: u64,
+    /// Cache inserts observed by the fail plan (since installation).
+    cache_insert_count: u64,
 }
 
 const INITIAL_BUCKETS: usize = 1 << 12;
@@ -114,7 +139,90 @@ impl Inner {
             gc_hint: 1 << 16,
             gc_enabled: true,
             in_swap: false,
+            budget: Budget::default(),
+            fail_plan: None,
+            checks_active: false,
+            governor_suspended: false,
+            steps: 0,
+            alloc_count: 0,
+            cache_insert_count: 0,
         }
+    }
+
+    /// Installs (or clears, with `Budget::unlimited()`) the resource budget.
+    pub(crate) fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+        self.refresh_checks();
+    }
+
+    /// The currently installed budget.
+    pub(crate) fn budget(&self) -> Budget {
+        self.budget.clone()
+    }
+
+    /// Installs or clears the fault-injection plan; the event counters
+    /// restart from zero either way.
+    pub(crate) fn set_fail_plan(&mut self, plan: Option<FailPlan>) {
+        self.fail_plan = plan;
+        self.alloc_count = 0;
+        self.cache_insert_count = 0;
+        self.refresh_checks();
+    }
+
+    /// Suspends or resumes the governor and fail plan. The recovery ladder
+    /// suspends them while it runs GC/reordering, which themselves allocate.
+    pub(crate) fn suspend_governor(&mut self, suspended: bool) {
+        self.governor_suspended = suspended;
+        self.refresh_checks();
+    }
+
+    pub(crate) fn governor_suspended(&self) -> bool {
+        self.governor_suspended
+    }
+
+    fn refresh_checks(&mut self) {
+        self.checks_active =
+            !self.governor_suspended && (self.budget.is_limited() || self.fail_plan.is_some());
+    }
+
+    /// Starts a new top-level governed operation: the per-operation step
+    /// counter restarts.
+    pub(crate) fn begin_op(&mut self) {
+        self.steps = 0;
+    }
+
+    /// One recursion step of a governed operation. Counts toward the step
+    /// limit; probes the deadline and cancellation token every
+    /// [`Budget::CHECK_INTERVAL`] steps so `Instant::now` stays off the
+    /// per-node fast path.
+    #[inline]
+    pub(crate) fn step(&mut self) -> Result<(), BddError> {
+        if !self.checks_active {
+            return Ok(());
+        }
+        self.steps += 1;
+        self.stats.governed_steps += 1;
+        if let Some(limit) = self.budget.max_steps {
+            if self.steps > limit {
+                return Err(BddError::StepLimit {
+                    steps: self.steps,
+                    limit,
+                });
+            }
+        }
+        if self.steps.is_multiple_of(Budget::CHECK_INTERVAL) {
+            if let Some(token) = &self.budget.cancel {
+                if token.is_cancelled() {
+                    return Err(BddError::Cancelled);
+                }
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(BddError::Deadline);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The level holding `var` in the current order.
@@ -166,9 +274,14 @@ impl Inner {
 
     /// Creates or finds the node `(level, low, high)`, applying the
     /// reduction rule `low == high => low`.
-    pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
+    ///
+    /// Fails only under an active budget or fail plan: unique-table hits
+    /// are always free, and the checks fire at the allocation point, where
+    /// a node would actually be added. A failed `mk` leaves the table
+    /// consistent — nothing has been inserted yet when the error returns.
+    pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> Result<u32, BddError> {
         if low == high {
-            return low;
+            return Ok(low);
         }
         debug_assert!(level < self.num_vars, "mk: level {level} out of range");
         debug_assert!(
@@ -181,9 +294,30 @@ impl Inner {
             let n = &self.nodes[cur as usize];
             if n.level == level && n.low == low && n.high == high {
                 self.stats.unique_hits += 1;
-                return cur;
+                return Ok(cur);
             }
             cur = n.next;
+        }
+        if self.checks_active {
+            if let Some(plan) = &self.fail_plan {
+                if let Some(n) = plan.fail_alloc_at {
+                    self.alloc_count += 1;
+                    if self.alloc_count == n {
+                        return Err(BddError::FaultInjected {
+                            kind: "alloc",
+                            at: n,
+                        });
+                    }
+                }
+            }
+            if let Some(limit) = self.budget.max_live_nodes {
+                if self.live_nodes() >= limit {
+                    return Err(BddError::NodeLimit {
+                        live: self.live_nodes(),
+                        limit,
+                    });
+                }
+            }
         }
         // Allocate.
         let id = if self.free_head != NIL {
@@ -210,7 +344,7 @@ impl Inner {
         if !self.in_swap && self.live_nodes() * 2 > self.buckets.len() * 3 {
             self.grow_buckets();
         }
-        id
+        Ok(id)
     }
 
     /// Number of unique-table buckets.
@@ -279,6 +413,16 @@ impl Inner {
 
     #[inline]
     pub(crate) fn cache_store(&mut self, op: CacheOp, a: u32, b: u32, c: u32, result: u32) {
+        if self.checks_active {
+            if let Some(k) = self.fail_plan.as_ref().and_then(|p| p.skip_cache_insert_every) {
+                self.cache_insert_count += 1;
+                if self.cache_insert_count.is_multiple_of(k) {
+                    // Cache inserts are semantically optional; dropping one
+                    // only forces the recursion to recompute later.
+                    return;
+                }
+            }
+        }
         let h = triple_hash(a ^ ((op as u32) << 24), b, c) as usize & self.cache_mask;
         self.cache[h] = CacheEntry {
             op,
@@ -373,29 +517,29 @@ impl Inner {
     }
 
     /// Returns the BDD of a single positive variable.
-    pub(crate) fn mk_var(&mut self, var: u32) -> u32 {
+    pub(crate) fn mk_var(&mut self, var: u32) -> Result<u32, BddError> {
         assert!(var < self.num_vars, "variable {var} out of range");
         let level = self.level_of_var(var);
         self.mk(level, NodeId::FALSE.0, NodeId::TRUE.0)
     }
 
     /// Returns the negated variable BDD.
-    pub(crate) fn mk_nvar(&mut self, var: u32) -> u32 {
+    pub(crate) fn mk_nvar(&mut self, var: u32) -> Result<u32, BddError> {
         assert!(var < self.num_vars, "variable {var} out of range");
         let level = self.level_of_var(var);
         self.mk(level, NodeId::TRUE.0, NodeId::FALSE.0)
     }
 
     /// Builds a positive cube (conjunction) over distinct variables.
-    pub(crate) fn mk_cube(&mut self, vars: &[u32]) -> u32 {
+    pub(crate) fn mk_cube(&mut self, vars: &[u32]) -> Result<u32, BddError> {
         let mut levels: Vec<u32> = vars.iter().map(|&v| self.level_of_var(v)).collect();
         levels.sort_unstable();
         levels.dedup();
         let mut acc = NodeId::TRUE.0;
         for &lvl in levels.iter().rev() {
-            acc = self.mk(lvl, NodeId::FALSE.0, acc);
+            acc = self.mk(lvl, NodeId::FALSE.0, acc)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Node count of the sub-DAG rooted at `root` (excluding terminals).

@@ -1,10 +1,13 @@
-//! Property-based tests for the BDD kernel: every BDD operation is checked
-//! against a brute-force truth-table model over a small variable universe.
+//! Property-style tests for the BDD kernel: randomly generated boolean
+//! expressions are checked against a brute-force truth-table model over a
+//! small variable universe. Generation is seeded with the in-tree PRNG so
+//! every run exercises the same cases.
 
+use jedd_bdd::rng::XorShift64Star;
 use jedd_bdd::{Bdd, BddManager, Permutation, ZddManager};
-use proptest::prelude::*;
 
 const NVARS: usize = 6;
+const CASES: u64 = 128;
 
 /// A random boolean-expression AST evaluated both as a BDD and as a truth
 /// table.
@@ -18,21 +21,29 @@ enum Expr {
     Const(bool),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u32..NVARS as u32).prop_map(Expr::Var),
-        any::<bool>().prop_map(Expr::Const),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_expr(rng: &mut XorShift64Star, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.8) {
+            Expr::Var(rng.gen_range(0..NVARS as u64) as u32)
+        } else {
+            Expr::Const(rng.gen_bool(0.5))
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => Expr::Not(Box::new(random_expr(rng, depth - 1))),
+        1 => Expr::And(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Xor(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn eval(e: &Expr, bits: u32) -> bool {
@@ -58,7 +69,7 @@ fn build(mgr: &BddManager, e: &Expr) -> Bdd {
     }
 }
 
-fn truth_table(mgr: &BddManager, f: &Bdd) -> Vec<bool> {
+fn truth_table(f: &Bdd) -> Vec<bool> {
     let vars: Vec<u32> = (0..NVARS as u32).collect();
     let mut table = vec![false; 1 << NVARS];
     f.foreach_sat(&vars, |a| {
@@ -71,56 +82,79 @@ fn truth_table(mgr: &BddManager, f: &Bdd) -> Vec<bool> {
         table[bits as usize] = true;
         true
     });
-    let _ = mgr;
     table
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bdd_matches_truth_table(e in expr_strategy()) {
+#[test]
+fn bdd_matches_truth_table() {
+    let mut rng = XorShift64Star::new(0xbdd1);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &e);
-        let table = truth_table(&mgr, &f);
+        let table = truth_table(&f);
         for bits in 0..(1u32 << NVARS) {
-            prop_assert_eq!(table[bits as usize], eval(&e, bits), "at assignment {:06b}", bits);
+            assert_eq!(
+                table[bits as usize],
+                eval(&e, bits),
+                "case {case} at assignment {bits:06b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn satcount_matches_model_count(e in expr_strategy()) {
+#[test]
+fn satcount_matches_model_count() {
+    let mut rng = XorShift64Star::new(0xbdd2);
+    for _ in 0..CASES {
+        let e = random_expr(&mut rng, 4);
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &e);
         let models = (0..(1u32 << NVARS)).filter(|&b| eval(&e, b)).count();
-        prop_assert_eq!(f.satcount(), models as f64);
+        assert_eq!(f.satcount(), models as f64);
     }
+}
 
-    #[test]
-    fn exists_matches_model(e in expr_strategy(), var in 0u32..NVARS as u32) {
+#[test]
+fn exists_matches_model() {
+    let mut rng = XorShift64Star::new(0xbdd3);
+    for _ in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let var = rng.gen_range(0..NVARS as u64) as u32;
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &e);
         let g = f.exists(&mgr.cube(&[var]));
+        let table = truth_table(&g);
         for bits in 0..(1u32 << NVARS) {
             let lo = bits & !(1 << var);
             let hi = bits | (1 << var);
             let expect = eval(&e, lo) || eval(&e, hi);
-            let table = truth_table(&mgr, &g);
-            prop_assert_eq!(table[bits as usize], expect);
+            assert_eq!(table[bits as usize], expect);
         }
     }
+}
 
-    #[test]
-    fn and_exists_is_fused(a in expr_strategy(), b in expr_strategy(), v1 in 0u32..NVARS as u32, v2 in 0u32..NVARS as u32) {
+#[test]
+fn and_exists_is_fused() {
+    let mut rng = XorShift64Star::new(0xbdd4);
+    for _ in 0..CASES {
+        let a = random_expr(&mut rng, 4);
+        let b = random_expr(&mut rng, 4);
+        let v1 = rng.gen_range(0..NVARS as u64) as u32;
+        let v2 = rng.gen_range(0..NVARS as u64) as u32;
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &a);
         let g = build(&mgr, &b);
         let cube = mgr.cube(&[v1, v2]);
-        prop_assert_eq!(f.and_exists(&g, &cube), f.and(&g).exists(&cube));
+        assert_eq!(f.and_exists(&g, &cube), f.and(&g).exists(&cube));
     }
+}
 
-    #[test]
-    fn replace_shifts_semantics(e in expr_strategy()) {
+#[test]
+fn replace_shifts_semantics() {
+    let mut rng = XorShift64Star::new(0xbdd5);
+    for _ in 0..CASES {
+        let e = random_expr(&mut rng, 4);
         // Shift all variables up by NVARS in a 2*NVARS manager.
         let mgr = BddManager::new(2 * NVARS);
         let f = build(&mgr, &e);
@@ -129,44 +163,71 @@ proptest! {
         let g = f.replace(&perm);
         // Check the support moved entirely.
         for v in g.support() {
-            prop_assert!(v >= NVARS as u32);
+            assert!(v >= NVARS as u32);
         }
         // Round-trip restores f.
-        prop_assert_eq!(g.replace(&perm.inverse()), f);
+        assert_eq!(g.replace(&perm.inverse()), f);
     }
+}
 
-    #[test]
-    fn ite_matches_model(a in expr_strategy(), b in expr_strategy(), c in expr_strategy()) {
+#[test]
+fn ite_matches_model() {
+    let mut rng = XorShift64Star::new(0xbdd6);
+    for _ in 0..CASES {
+        let a = random_expr(&mut rng, 3);
+        let b = random_expr(&mut rng, 3);
+        let c = random_expr(&mut rng, 3);
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &a);
         let g = build(&mgr, &b);
         let h = build(&mgr, &c);
         let r = f.ite(&g, &h);
-        let table = truth_table(&mgr, &r);
+        let table = truth_table(&r);
         for bits in 0..(1u32 << NVARS) {
-            let expect = if eval(&a, bits) { eval(&b, bits) } else { eval(&c, bits) };
-            prop_assert_eq!(table[bits as usize], expect);
+            let expect = if eval(&a, bits) {
+                eval(&b, bits)
+            } else {
+                eval(&c, bits)
+            };
+            assert_eq!(table[bits as usize], expect);
         }
     }
+}
 
-    #[test]
-    fn gc_is_transparent(e in expr_strategy()) {
+#[test]
+fn gc_is_transparent() {
+    let mut rng = XorShift64Star::new(0xbdd7);
+    for _ in 0..CASES {
+        let e = random_expr(&mut rng, 4);
         let mgr = BddManager::new(NVARS);
         let f = build(&mgr, &e);
         let count_before = f.satcount();
         let shape_before = f.shape();
         mgr.gc();
-        prop_assert_eq!(f.satcount(), count_before);
-        prop_assert_eq!(f.shape(), shape_before);
+        assert_eq!(f.satcount(), count_before);
+        assert_eq!(f.shape(), shape_before);
         // Rebuilding the same expression yields the identical node.
         let f2 = build(&mgr, &e);
-        prop_assert_eq!(f, f2);
+        assert_eq!(f, f2);
     }
+}
 
-    #[test]
-    fn zdd_set_algebra(sets_a in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..4), 0..8),
-                       sets_b in proptest::collection::vec(proptest::collection::vec(0u32..8, 0..4), 0..8)) {
-        use std::collections::BTreeSet;
+#[test]
+fn zdd_set_algebra() {
+    use std::collections::BTreeSet;
+    let mut rng = XorShift64Star::new(0xbdd8);
+    let random_family = |rng: &mut XorShift64Star| -> Vec<Vec<u32>> {
+        (0..rng.gen_range(0..8))
+            .map(|_| {
+                (0..rng.gen_range(0..4))
+                    .map(|_| rng.gen_range(0..8) as u32)
+                    .collect()
+            })
+            .collect()
+    };
+    for _ in 0..CASES {
+        let sets_a = random_family(&mut rng);
+        let sets_b = random_family(&mut rng);
         let z = ZddManager::new(8);
         let norm = |sets: &Vec<Vec<u32>>| -> BTreeSet<BTreeSet<u32>> {
             sets.iter().map(|s| s.iter().copied().collect()).collect()
@@ -182,9 +243,9 @@ proptest! {
                 .collect();
             got == model
         };
-        prop_assert!(check(z.union(a, b), ma.union(&mb).cloned().collect()));
-        prop_assert!(check(z.intersect(a, b), ma.intersection(&mb).cloned().collect()));
-        prop_assert!(check(z.diff(a, b), ma.difference(&mb).cloned().collect()));
-        prop_assert_eq!(z.count(a), ma.len() as f64);
+        assert!(check(z.union(a, b), ma.union(&mb).cloned().collect()));
+        assert!(check(z.intersect(a, b), ma.intersection(&mb).cloned().collect()));
+        assert!(check(z.diff(a, b), ma.difference(&mb).cloned().collect()));
+        assert_eq!(z.count(a), ma.len() as f64);
     }
 }

@@ -4,10 +4,9 @@
 //! (`and_exists`). This bench measures both forms of the same relational
 //! product on a transitive-closure step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_core::{Relation, Universe};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jedd_bdd::rng::XorShift64Star;
 
 struct Setup {
     reach: Relation,
@@ -22,7 +21,7 @@ fn setup(n: u64, edges: usize) -> Setup {
     let src = u.add_attribute("src", node);
     let dst = u.add_attribute("dst", node);
     let mid = u.add_attribute("mid", node);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = XorShift64Star::new(7);
     let tuples: Vec<Vec<u64>> = (0..edges)
         .map(|_| vec![rng.gen_range(0..n), rng.gen_range(0..n)])
         .collect();
@@ -77,5 +76,5 @@ fn bench_compose(c: &mut Criterion) {
     assert!(fused.equals(&split).unwrap());
 }
 
-criterion_group!(benches, bench_compose);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_compose);
+jedd_bench::criterion_main!(benches);

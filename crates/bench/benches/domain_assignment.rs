@@ -2,7 +2,7 @@
 //! analysis module (dominated by flow-path enumeration, CNF encoding and
 //! the SAT solve).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 
 fn bench_domain_assignment(c: &mut Criterion) {
     let mut g = c.benchmark_group("domain_assignment");
@@ -19,5 +19,5 @@ fn bench_domain_assignment(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_domain_assignment);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_domain_assignment);
+jedd_bench::criterion_main!(benches);

@@ -3,11 +3,14 @@
 //! comparing explicit sets. This bench compares `Relation::equals` with
 //! `BTreeSet` equality at growing sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jedd_bench::criterion::{BenchmarkId, Criterion};
 use jedd_core::{Relation, Universe};
 use std::collections::BTreeSet;
 
-fn setup(n: u64) -> (Relation, Relation, BTreeSet<(u64, u64)>, BTreeSet<(u64, u64)>) {
+/// Two equal BDD relations and two equal explicit sets of size `n`.
+type Fixtures = (Relation, Relation, BTreeSet<(u64, u64)>, BTreeSet<(u64, u64)>);
+
+fn setup(n: u64) -> Fixtures {
     let u = Universe::new();
     let d = u.add_domain("D", 1 << 12);
     let pds = u.add_physical_domains_interleaved(&["A", "B"], 12);
@@ -35,5 +38,5 @@ fn bench_equality(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_equality);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_equality);
+jedd_bench::criterion_main!(benches);

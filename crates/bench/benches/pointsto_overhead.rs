@@ -2,7 +2,7 @@
 //! Jedd relational version, on the `compress`-scale benchmark (kept small
 //! so the bench suite stays fast; the `table2` binary sweeps all five).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_analyses::pointsto::CallGraphMode;
 use jedd_analyses::synth::Benchmark;
 
@@ -25,5 +25,5 @@ fn bench_pointsto(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pointsto);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_pointsto);
+jedd_bench::criterion_main!(benches);

@@ -5,10 +5,9 @@
 //! assignment that forces an extra replace of the large points-to relation
 //! on every iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_core::{Relation, Universe};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jedd_bdd::rng::XorShift64Star;
 
 struct Setup {
     u: Universe,
@@ -29,7 +28,7 @@ fn setup() -> Setup {
     let var = u.add_attribute("var", var_d);
     let dst = u.add_attribute("dst", var_d);
     let obj = u.add_attribute("obj", obj_d);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = XorShift64Star::new(11);
     let e: Vec<Vec<u64>> = (0..3000)
         .map(|_| vec![rng.gen_range(0..1 << 10), rng.gen_range(0..1 << 10)])
         .collect();
@@ -86,5 +85,5 @@ fn bench_replace_cost(c: &mut Criterion) {
     assert!(propagate(&s, false).equals(&propagate(&s, true)).unwrap());
 }
 
-criterion_group!(benches, bench_replace_cost);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_replace_cost);
+jedd_bench::criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! an equality-heavy relation, sifting should recover an interleaved-like
 //! order and collapse the BDD.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_bdd::BddManager;
 
 const BITS: usize = 11;
@@ -41,5 +41,5 @@ fn bench_sifting(c: &mut Criterion) {
     eprintln!("blocked equality over {BITS}-bit vectors: {before} nodes -> {after} after sifting");
 }
 
-criterion_group!(benches, bench_sifting);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_sifting);
+jedd_bench::criterion_main!(benches);

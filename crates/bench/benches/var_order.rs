@@ -3,7 +3,7 @@
 //! relation under interleaved and blocked physical-domain orders and
 //! compares both construction time and node counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_bdd::BddManager;
 
 const BITS: usize = 14;
@@ -46,5 +46,5 @@ fn bench_var_order(c: &mut Criterion) {
     eprintln!("equality over {BITS}-bit vectors: interleaved {nodes_i} nodes, blocked {nodes_b} nodes");
 }
 
-criterion_group!(benches, bench_var_order);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_var_order);
+jedd_bench::criterion_main!(benches);

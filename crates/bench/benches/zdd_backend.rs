@@ -4,17 +4,16 @@
 //! BDD and ZDD kernels and compares build + set-algebra time and node
 //! counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use jedd_bench::criterion::Criterion;
 use jedd_bdd::{BddManager, ZddManager};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jedd_bdd::rng::XorShift64Star;
 
 const VAR_BITS: usize = 10;
 const OBJ_BITS: usize = 9;
 const PAIRS: usize = 1500;
 
 fn pairs() -> Vec<(u64, u64)> {
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = XorShift64Star::new(23);
     (0..PAIRS)
         .map(|_| {
             (
@@ -59,5 +58,5 @@ fn bench_zdd(c: &mut Criterion) {
     eprintln!("sparse relation of {PAIRS} tuples: BDD {bn} nodes, ZDD {zn} nodes");
 }
 
-criterion_group!(benches, bench_zdd);
-criterion_main!(benches);
+jedd_bench::criterion_group!(benches, bench_zdd);
+jedd_bench::criterion_main!(benches);

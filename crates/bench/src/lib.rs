@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod criterion;
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

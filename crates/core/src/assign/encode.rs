@@ -40,6 +40,9 @@ impl AssignmentProblem {
     /// * [`AssignError::Conflict`] when the SAT instance is
     ///   unsatisfiable — the conflict clause found in the unsat core is
     ///   converted into the paper's diagnostic format.
+    // `AssignError` inlines the full §3.3.3 diagnostic (file, expression
+    // labels, attribute names) and is built only on the cold error path.
+    #[allow(clippy::result_large_err)]
     pub fn solve(&self) -> Result<Solution, AssignError> {
         let start = Instant::now();
         let n_occs = self.num_occurrences();

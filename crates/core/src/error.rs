@@ -76,6 +76,19 @@ pub enum JeddError {
     },
     /// Relations from different universes were combined.
     UniverseMismatch,
+    /// The BDD kernel exhausted its resource budget (node limit, step
+    /// limit, deadline or cancellation) while executing a relational
+    /// operation, even after the manager's GC-and-reorder recovery
+    /// ladder.
+    ResourceExhausted {
+        /// The relational operation that hit the limit.
+        op: &'static str,
+        /// The kernel-level cause.
+        cause: jedd_bdd::BddError,
+        /// Kernel counters at the point of failure (boxed to keep the
+        /// error type small).
+        stats: Box<jedd_bdd::KernelStats>,
+    },
 }
 
 impl fmt::Display for JeddError {
@@ -127,6 +140,12 @@ impl fmt::Display for JeddError {
             JeddError::UniverseMismatch => {
                 write!(f, "relations belong to different universes")
             }
+            JeddError::ResourceExhausted { op, cause, stats } => write!(
+                f,
+                "resource budget exhausted in {op}: {cause} \
+                 ({} governed steps, {} GC retries, {} reorder retries)",
+                stats.governed_steps, stats.ladder_gc_retries, stats.ladder_reorder_retries
+            ),
         }
     }
 }
@@ -173,6 +192,14 @@ mod tests {
                 size: 4,
             },
             JeddError::UniverseMismatch,
+            JeddError::ResourceExhausted {
+                op: "join",
+                cause: jedd_bdd::BddError::StepLimit {
+                    steps: 101,
+                    limit: 100,
+                },
+                stats: Box::default(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -4,17 +4,20 @@
 use crate::error::JeddError;
 use crate::relation::Relation;
 use crate::universe::{AttrId, PhysDomId, Universe};
-use jedd_bdd::{Bdd, Permutation};
+use jedd_bdd::{Bdd, BddError, Permutation};
 
 /// Moves attribute values between physical domains in one simultaneous
 /// step: quantifies surplus source high bits, permutes the common low
 /// bits, and re-constrains surplus target high bits to zero. All `moves`
 /// are applied together so exchanges work.
+///
+/// Budget-respecting: returns the kernel error when the manager's
+/// resource budget is exhausted mid-move.
 pub(crate) fn apply_moves(
     universe: &Universe,
     bdd: &Bdd,
     moves: &[(PhysDomId, PhysDomId)],
-) -> Bdd {
+) -> Result<Bdd, BddError> {
     let mgr = universe.bdd_manager();
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut drop_bits: Vec<u32> = Vec::new();
@@ -36,20 +39,20 @@ pub(crate) fn apply_moves(
         zero_bits.extend_from_slice(&to[..to.len() - n]);
     }
     if pairs.is_empty() && drop_bits.is_empty() && zero_bits.is_empty() {
-        return bdd.clone();
+        return Ok(bdd.clone());
     }
     let mut result = if drop_bits.is_empty() {
         bdd.clone()
     } else {
-        bdd.exists(&mgr.cube(&drop_bits))
+        bdd.try_exists(&mgr.try_cube(&drop_bits)?)?
     };
     if !pairs.is_empty() {
-        result = result.replace(&Permutation::from_pairs(&pairs));
+        result = result.try_replace(&Permutation::from_pairs(&pairs))?;
     }
     for b in zero_bits {
-        result = result.and(&mgr.nvar(b));
+        result = result.try_and(&mgr.try_nvar(b)?)?;
     }
-    result
+    Ok(result)
 }
 
 impl Relation {
@@ -79,8 +82,9 @@ impl Relation {
             }
         }
         let mgr = self.universe.bdd_manager();
-        let cube = mgr.cube(&bits);
-        let bdd = self.profiled("project", &[&self.bdd], || self.bdd.exists(&cube));
+        let bdd = self.profiled("project", &[&self.bdd], || {
+            self.bdd.try_exists(&mgr.try_cube(&bits)?)
+        })?;
         Ok(Relation {
             universe: self.universe.clone(),
             schema: new_schema,
@@ -258,17 +262,17 @@ impl Relation {
         // Equality constraint over the common width; surplus bits of the
         // wider vector are constrained to zero.
         let n = from_bits.len().min(to2_bits.len());
-        let eq = mgr.equal_vectors(
-            &from_bits[from_bits.len() - n..],
-            &to2_bits[to2_bits.len() - n..],
-        );
-        let mut extra = mgr.constant_true();
-        for &b in &to2_bits[..to2_bits.len() - n] {
-            extra = extra.and(&mgr.nvar(b));
-        }
         let bdd = self.profiled("copy", &[&self.bdd], || {
-            self.bdd.and(&eq).and(&extra)
-        });
+            let eq = mgr.try_equal_vectors(
+                &from_bits[from_bits.len() - n..],
+                &to2_bits[to2_bits.len() - n..],
+            )?;
+            let mut acc = self.bdd.try_and(&eq)?;
+            for &b in &to2_bits[..to2_bits.len() - n] {
+                acc = acc.try_and(&mgr.try_nvar(b)?)?;
+            }
+            Ok(acc)
+        })?;
         let mut schema = self.schema.clone();
         schema.retain(|&(a, _)| a != from);
         schema.push((to1, p_from));
@@ -396,7 +400,7 @@ impl Relation {
             self.universe.count_auto_replace();
             self.profiled("replace", &[&other.bdd], || {
                 apply_moves(&self.universe, &other.bdd, &moves)
-            })
+            })?
         };
         Ok(Relation {
             universe: self.universe.clone(),
@@ -421,7 +425,7 @@ impl Relation {
         other_attrs: &[AttrId],
     ) -> Result<Relation, JeddError> {
         let o = self.align_for_combine(self_attrs, other, other_attrs, "join", true)?;
-        let bdd = self.profiled("join", &[&self.bdd, &o.bdd], || self.bdd.and(&o.bdd));
+        let bdd = self.profiled("join", &[&self.bdd, &o.bdd], || self.bdd.try_and(&o.bdd))?;
         let mut schema = self.schema.clone();
         for &(a, p) in o.schema.iter() {
             if !other_attrs.contains(&a) {
@@ -457,10 +461,9 @@ impl Relation {
             cube_bits.extend(self.universe.physdom_bits(self.physdom_of(a).expect("validated")));
         }
         let mgr = self.universe.bdd_manager();
-        let cube = mgr.cube(&cube_bits);
         let bdd = self.profiled("compose", &[&self.bdd, &o.bdd], || {
-            self.bdd.and_exists(&o.bdd, &cube)
-        });
+            self.bdd.try_and_exists(&o.bdd, &mgr.try_cube(&cube_bits)?)
+        })?;
         let mut schema: Vec<(AttrId, PhysDomId)> = self
             .schema
             .iter()

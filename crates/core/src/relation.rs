@@ -137,8 +137,10 @@ impl Relation {
         let mgr = universe.bdd_manager();
         let mut bdd = mgr.constant_true();
         for &(a, p) in &schema {
-            let valid = universe.valid_codes(universe.attribute_domain(a), p);
-            bdd = bdd.and(&valid);
+            bdd = universe
+                .try_valid_codes(universe.attribute_domain(a), p)
+                .and_then(|valid| bdd.try_and(&valid))
+                .map_err(|e| universe.resource_exhausted("full", e))?;
         }
         Ok(Relation {
             universe: universe.clone(),
@@ -172,7 +174,10 @@ impl Relation {
                     size,
                 });
             }
-            bdd = bdd.and(&mgr.encode_value(&universe.physdom_bits(p), value));
+            bdd = mgr
+                .try_encode_value(&universe.physdom_bits(p), value)
+                .and_then(|enc| bdd.try_and(&enc))
+                .map_err(|e| universe.resource_exhausted("literal", e))?;
         }
         Ok(Relation {
             universe: universe.clone(),
@@ -215,7 +220,10 @@ impl Relation {
                 .map(|(&(a, p), &v)| (a, p, v))
                 .collect();
             let one = Relation::tuple(universe, &fields)?;
-            rel.bdd = rel.bdd.or(&one.bdd);
+            rel.bdd = rel
+                .bdd
+                .try_or(&one.bdd)
+                .map_err(|e| universe.resource_exhausted("from_tuples", e))?;
         }
         Ok(rel)
     }
@@ -329,7 +337,7 @@ impl Relation {
         self.universe.count_auto_replace();
         let bdd = self.profiled("replace", &[&other.bdd], || {
             crate::ops::apply_moves(&self.universe, &other.bdd, &moves)
-        });
+        })?;
         Ok(Relation {
             universe: self.universe.clone(),
             schema: self.schema.clone(),
@@ -337,20 +345,23 @@ impl Relation {
         })
     }
 
-    /// Runs `f` and, when a profiler is installed, records an event.
+    /// Runs the fallible BDD work `f` and, when a profiler is installed,
+    /// records an event. A kernel budget failure is wrapped in
+    /// [`JeddError::ResourceExhausted`] carrying the operation name and
+    /// the kernel counters at the point of failure.
     pub(crate) fn profiled(
         &self,
         op: &'static str,
         operands: &[&Bdd],
-        f: impl FnOnce() -> Bdd,
-    ) -> Bdd {
+        f: impl FnOnce() -> Result<Bdd, jedd_bdd::BddError>,
+    ) -> Result<Bdd, JeddError> {
         self.universe.count_op();
         if !self.universe.profiler_enabled() {
-            return f();
+            return f().map_err(|e| self.universe.resource_exhausted(op, e));
         }
         let operand_nodes = operands.iter().map(|b| b.node_count()).max().unwrap_or(0);
         let start = Instant::now();
-        let result = f();
+        let result = f().map_err(|e| self.universe.resource_exhausted(op, e))?;
         let nanos = start.elapsed().as_nanos() as u64;
         let shape = if self.universe.profiler_wants_shapes() {
             Some(result.shape())
@@ -366,7 +377,7 @@ impl Relation {
             shape,
         };
         self.universe.profile(event);
-        result
+        Ok(result)
     }
 
     /// Set union (`|` in Jedd).
@@ -377,7 +388,7 @@ impl Relation {
     /// same attribute set.
     pub fn union(&self, other: &Relation) -> Result<Relation, JeddError> {
         let o = self.aligned(other, "union")?;
-        let bdd = self.profiled("union", &[&self.bdd, &o.bdd], || self.bdd.or(&o.bdd));
+        let bdd = self.profiled("union", &[&self.bdd, &o.bdd], || self.bdd.try_or(&o.bdd))?;
         Ok(Relation {
             universe: self.universe.clone(),
             schema: self.schema.clone(),
@@ -393,7 +404,9 @@ impl Relation {
     /// same attribute set.
     pub fn intersect(&self, other: &Relation) -> Result<Relation, JeddError> {
         let o = self.aligned(other, "intersect")?;
-        let bdd = self.profiled("intersect", &[&self.bdd, &o.bdd], || self.bdd.and(&o.bdd));
+        let bdd = self.profiled("intersect", &[&self.bdd, &o.bdd], || {
+            self.bdd.try_and(&o.bdd)
+        })?;
         Ok(Relation {
             universe: self.universe.clone(),
             schema: self.schema.clone(),
@@ -409,7 +422,7 @@ impl Relation {
     /// same attribute set.
     pub fn minus(&self, other: &Relation) -> Result<Relation, JeddError> {
         let o = self.aligned(other, "minus")?;
-        let bdd = self.profiled("minus", &[&self.bdd, &o.bdd], || self.bdd.diff(&o.bdd));
+        let bdd = self.profiled("minus", &[&self.bdd, &o.bdd], || self.bdd.try_diff(&o.bdd))?;
         Ok(Relation {
             universe: self.universe.clone(),
             schema: self.schema.clone(),
@@ -468,7 +481,7 @@ impl Relation {
         } else {
             self.profiled("replace", &[&self.bdd], || {
                 crate::ops::apply_moves(&self.universe, &self.bdd, &moves)
-            })
+            })?
         };
         Ok(Relation {
             universe: self.universe.clone(),

@@ -3,7 +3,7 @@
 
 use crate::error::JeddError;
 use crate::profile::{OpEvent, ProfileSink};
-use jedd_bdd::{Bdd, BddManager};
+use jedd_bdd::{Bdd, BddError, BddManager, Budget, FailPlan};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -126,6 +126,25 @@ impl Universe {
     /// The underlying BDD manager.
     pub fn bdd_manager(&self) -> BddManager {
         self.inner.borrow().mgr.clone()
+    }
+
+    /// Installs a resource [`Budget`] on the underlying BDD manager.
+    /// Relational operations that exhaust it — after the manager's GC and
+    /// reorder recovery ladder — return
+    /// [`JeddError::ResourceExhausted`].
+    pub fn set_budget(&self, budget: Budget) {
+        self.bdd_manager().set_budget(budget);
+    }
+
+    /// The currently installed resource budget.
+    pub fn budget(&self) -> Budget {
+        self.bdd_manager().budget()
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan on the
+    /// underlying BDD manager. Testing aid; see [`FailPlan`].
+    pub fn set_fail_plan(&self, plan: Option<FailPlan>) {
+        self.bdd_manager().set_fail_plan(plan);
     }
 
     /// Registers a domain of `size` objects (object indices `0..size`).
@@ -328,6 +347,23 @@ impl Universe {
         self.bdd_manager().less_than(&bits, size)
     }
 
+    /// Budget-respecting form of [`Universe::valid_codes`].
+    pub(crate) fn try_valid_codes(&self, d: DomainId, p: PhysDomId) -> Result<Bdd, BddError> {
+        let size = self.domain_size(d);
+        let bits = self.physdom_bits(p);
+        self.bdd_manager().try_less_than(&bits, size)
+    }
+
+    /// Wraps a kernel-level budget failure in the relational-layer error,
+    /// capturing the kernel counters at the point of failure.
+    pub(crate) fn resource_exhausted(&self, op: &'static str, cause: BddError) -> JeddError {
+        JeddError::ResourceExhausted {
+            op,
+            cause,
+            stats: Box::new(self.bdd_manager().kernel_stats()),
+        }
+    }
+
     /// Runs the BDD kernel's dynamic variable reordering (Rudell sifting)
     /// and returns `(nodes_before, nodes_after)`. Relations remain valid:
     /// physical domains identify *variables*, which keep their identity
@@ -363,7 +399,11 @@ impl Universe {
         self.inner.borrow_mut().site = site.to_string();
     }
 
-    pub(crate) fn profile(&self, event: OpEvent) {
+    /// Sends an event to the installed profiler sink, if any. Drivers use
+    /// this to record out-of-band events (such as graceful-degradation
+    /// fallbacks) alongside the per-operation events the relational layer
+    /// emits.
+    pub fn profile(&self, event: OpEvent) {
         let sink = {
             let inner = self.inner.borrow();
             inner.profiler.clone()

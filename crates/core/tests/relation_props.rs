@@ -1,12 +1,13 @@
-//! Property tests: every relational operation is cross-checked against a
-//! naive set-of-tuples model.
+//! Property-style tests: every relational operation is cross-checked
+//! against a naive set-of-tuples model, on seeded random tuple sets.
 
+use jedd_bdd::rng::XorShift64Star;
 use jedd_core::{AttrId, PhysDomId, Relation, Universe};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 const DOM: u64 = 5; // every domain has 5 objects
 const BITS: usize = 3;
+const CASES: u64 = 64;
 
 /// The universe for the property tests: three attributes a, b, c over one
 /// domain, plus renaming targets, with one physical domain each.
@@ -29,11 +30,10 @@ fn ctx() -> Ctx {
 
 type Model = BTreeSet<Vec<u64>>;
 
-fn tuples2() -> impl Strategy<Value = Vec<Vec<u64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..DOM, 2),
-        0..12,
-    )
+fn tuples2(rng: &mut XorShift64Star) -> Vec<Vec<u64>> {
+    (0..rng.gen_index(0..12))
+        .map(|_| vec![rng.gen_range(0..DOM), rng.gen_range(0..DOM)])
+        .collect()
 }
 
 fn build2(c: &Ctx, tuples: &[Vec<u64>], a0: usize, a1: usize, p0: usize, p1: usize) -> Relation {
@@ -53,55 +53,85 @@ fn rel_model(r: &Relation) -> Model {
     r.tuples().into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn set_ops_match_model(ta in tuples2(), tb in tuples2()) {
+#[test]
+fn set_ops_match_model() {
+    let mut rng = XorShift64Star::new(0xe1a1);
+    for _ in 0..CASES {
+        let (ta, tb) = (tuples2(&mut rng), tuples2(&mut rng));
         let c = ctx();
         // Schema (a, b) on P0, P1 for the left; P2, P3 for the right so an
         // auto-replace happens on every operation.
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         let rb = build2(&c, &tb, 0, 1, 2, 3);
         let (ma, mb) = (model(&ta), model(&tb));
-        prop_assert_eq!(rel_model(&ra.union(&rb).unwrap()), ma.union(&mb).cloned().collect::<Model>());
-        prop_assert_eq!(rel_model(&ra.intersect(&rb).unwrap()), ma.intersection(&mb).cloned().collect::<Model>());
-        prop_assert_eq!(rel_model(&ra.minus(&rb).unwrap()), ma.difference(&mb).cloned().collect::<Model>());
-        prop_assert_eq!(ra.equals(&rb).unwrap(), ma == mb);
-        prop_assert_eq!(ra.size(), ma.len() as u64);
+        assert_eq!(
+            rel_model(&ra.union(&rb).unwrap()),
+            ma.union(&mb).cloned().collect::<Model>()
+        );
+        assert_eq!(
+            rel_model(&ra.intersect(&rb).unwrap()),
+            ma.intersection(&mb).cloned().collect::<Model>()
+        );
+        assert_eq!(
+            rel_model(&ra.minus(&rb).unwrap()),
+            ma.difference(&mb).cloned().collect::<Model>()
+        );
+        assert_eq!(ra.equals(&rb).unwrap(), ma == mb);
+        assert_eq!(ra.size(), ma.len() as u64);
     }
+}
 
-    #[test]
-    fn project_matches_model(ta in tuples2()) {
+#[test]
+fn project_matches_model() {
+    let mut rng = XorShift64Star::new(0xe1a2);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         let projected = ra.project_away(&[c.attrs[1]]).unwrap();
         let expect: Model = model(&ta).into_iter().map(|t| vec![t[0]]).collect();
-        prop_assert_eq!(rel_model(&projected), expect);
+        assert_eq!(rel_model(&projected), expect);
     }
+}
 
-    #[test]
-    fn rename_preserves_tuples(ta in tuples2()) {
+#[test]
+fn rename_preserves_tuples() {
+    let mut rng = XorShift64Star::new(0xe1a3);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         // rename b -> x; attr order in the new schema is (a, x) since
         // AttrId order is declaration order (a < x).
         let renamed = ra.rename(c.attrs[1], c.attrs[3]).unwrap();
-        prop_assert_eq!(rel_model(&renamed), model(&ta));
+        assert_eq!(rel_model(&renamed), model(&ta));
     }
+}
 
-    #[test]
-    fn copy_matches_model(ta in tuples2()) {
+#[test]
+fn copy_matches_model() {
+    let mut rng = XorShift64Star::new(0xe1a4);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         // copy a => a x : schema (a, b, x); x mirrors a.
-        let copied = ra.copy(c.attrs[0], c.attrs[0], c.attrs[3], Some(c.pds[4])).unwrap();
-        let expect: Model = model(&ta).into_iter().map(|t| vec![t[0], t[1], t[0]]).collect();
-        prop_assert_eq!(rel_model(&copied), expect);
+        let copied = ra
+            .copy(c.attrs[0], c.attrs[0], c.attrs[3], Some(c.pds[4]))
+            .unwrap();
+        let expect: Model = model(&ta)
+            .into_iter()
+            .map(|t| vec![t[0], t[1], t[0]])
+            .collect();
+        assert_eq!(rel_model(&copied), expect);
     }
+}
 
-    #[test]
-    fn join_matches_model(ta in tuples2(), tb in tuples2()) {
+#[test]
+fn join_matches_model() {
+    let mut rng = XorShift64Star::new(0xe1a5);
+    for _ in 0..CASES {
+        let (ta, tb) = (tuples2(&mut rng), tuples2(&mut rng));
         let c = ctx();
         // left: (a, b); right: (b', c) compared on b — use attrs b=1 on the
         // left, x=3 on the right (same domain), keep c=2.
@@ -118,11 +148,15 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(rel_model(&joined), expect);
+        assert_eq!(rel_model(&joined), expect);
     }
+}
 
-    #[test]
-    fn compose_is_join_project(ta in tuples2(), tb in tuples2()) {
+#[test]
+fn compose_is_join_project() {
+    let mut rng = XorShift64Star::new(0xe1a6);
+    for _ in 0..CASES {
+        let (ta, tb) = (tuples2(&mut rng), tuples2(&mut rng));
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         let rb = build2(&c, &tb, 2, 3, 2, 3);
@@ -132,36 +166,50 @@ proptest! {
             .unwrap()
             .project_away(&[c.attrs[1]])
             .unwrap();
-        prop_assert!(composed.equals(&joined).unwrap());
+        assert!(composed.equals(&joined).unwrap());
     }
+}
 
-    #[test]
-    fn replace_roundtrip_preserves(ta in tuples2()) {
+#[test]
+fn replace_roundtrip_preserves() {
+    let mut rng = XorShift64Star::new(0xe1a7);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         let moved = ra
             .with_assignment(&[(c.attrs[0], c.pds[4]), (c.attrs[1], c.pds[5])])
             .unwrap();
-        prop_assert_eq!(rel_model(&moved), model(&ta));
+        assert_eq!(rel_model(&moved), model(&ta));
         let back = moved
             .with_assignment(&[(c.attrs[0], c.pds[0]), (c.attrs[1], c.pds[1])])
             .unwrap();
-        prop_assert_eq!(back.bdd(), ra.bdd());
+        assert_eq!(back.bdd(), ra.bdd());
     }
+}
 
-    #[test]
-    fn select_matches_model(ta in tuples2(), v in 0..DOM) {
+#[test]
+fn select_matches_model() {
+    let mut rng = XorShift64Star::new(0xe1a8);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
+        let v = rng.gen_range(0..DOM);
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
         let sel = ra.select(c.attrs[0], v).unwrap();
         let expect: Model = model(&ta).into_iter().filter(|t| t[0] == v).collect();
-        prop_assert_eq!(rel_model(&sel), expect);
+        assert_eq!(rel_model(&sel), expect);
     }
+}
 
-    #[test]
-    fn contains_matches_model(ta in tuples2(), probe in proptest::collection::vec(0..DOM, 2)) {
+#[test]
+fn contains_matches_model() {
+    let mut rng = XorShift64Star::new(0xe1a9);
+    for _ in 0..CASES {
+        let ta = tuples2(&mut rng);
+        let probe = vec![rng.gen_range(0..DOM), rng.gen_range(0..DOM)];
         let c = ctx();
         let ra = build2(&c, &ta, 0, 1, 0, 1);
-        prop_assert_eq!(ra.contains(&probe), model(&ta).contains(&probe));
+        assert_eq!(ra.contains(&probe), model(&ta).contains(&probe));
     }
 }

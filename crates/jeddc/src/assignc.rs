@@ -264,7 +264,7 @@ impl<'a> Builder<'a> {
                     let merged = if *is_join {
                         self.expr_occ[&(e.id, la)]
                     } else {
-                        let name = format!("{}", self.prog.attributes[la as usize].name);
+                        let name = self.prog.attributes[la as usize].name.to_string();
                         let occ = self.problem.add_occurrence(pe, &name);
                         self.cmp_occ.insert((e.id, i), occ);
                         occ
@@ -312,7 +312,7 @@ impl<'a> Builder<'a> {
         let n = self.problem.num_occurrences();
         // Union-find over equality + assignment edges.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while parent[r] != r {
                 r = parent[r];
@@ -367,6 +367,9 @@ impl<'a> Builder<'a> {
 /// # Errors
 ///
 /// Returns the first unrecoverable [`AssignError`].
+// `AssignError` inlines the full Â§3.3.3 diagnostic and is built only on
+// the cold error path; see `AssignmentProblem::solve`.
+#[allow(clippy::result_large_err)]
 pub fn assign(prog: &TypedProgram, auto_pin: bool) -> Result<Assignment, AssignError> {
     assign_named(prog, auto_pin, "Test.jedd")
 }
@@ -377,6 +380,7 @@ pub fn assign(prog: &TypedProgram, auto_pin: bool) -> Result<Assignment, AssignE
 /// # Errors
 ///
 /// Same conditions as [`assign`].
+#[allow(clippy::result_large_err)]
 pub fn assign_named(
     prog: &TypedProgram,
     auto_pin: bool,
@@ -390,7 +394,7 @@ pub fn assign_named(
         let mut rounds = 0usize;
         loop {
             match b.problem.solve() {
-                Ok(sol) => return Ok(b.into_assignment(sol, pins + rounds)),
+                Ok(sol) => return Ok(b.to_assignment(sol, pins + rounds)),
                 Err(AssignError::Conflict {
                     expr_b, pos_b, attr_b, ..
                 }) if rounds < 64 => {
@@ -420,7 +424,7 @@ pub fn assign_named(
         }
     } else {
         let sol = b.problem.solve()?;
-        Ok(b.into_assignment(sol, 0))
+        Ok(b.to_assignment(sol, 0))
     }
 }
 
@@ -445,7 +449,7 @@ impl<'a> Builder<'a> {
         None
     }
 
-    fn into_assignment(
+    fn to_assignment(
         &self,
         sol: jedd_core::assign::Solution,
         auto_pins: usize,

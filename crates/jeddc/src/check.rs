@@ -19,6 +19,10 @@ pub type VarIdx = u32;
 /// Unique id of a typed relational expression.
 pub type TExprId = u32;
 
+/// A resolved schema annotation: the sorted `(attribute, optional
+/// physdom)` pairs plus the attribute order as written in the source.
+type ResolvedSchema = (Vec<(AttrIdx, Option<PdIdx>)>, Vec<AttrIdx>);
+
 /// A typed domain declaration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DomainDef {
@@ -370,7 +374,7 @@ impl Checker {
     fn check_schema_ast(
         &self,
         schema: &ast::SchemaAst,
-    ) -> Result<(Vec<(AttrIdx, Option<PdIdx>)>, Vec<AttrIdx>), CompileError> {
+    ) -> Result<ResolvedSchema, CompileError> {
         let mut out: Vec<(AttrIdx, Option<PdIdx>)> = Vec::new();
         for (attr, pd) in &schema.attrs {
             let Some(aidx) = self.prog.attr_idx(attr) else {

@@ -36,6 +36,9 @@ pub struct CompiledProgram {
 ///
 /// Returns lexical/syntactic/typing errors or an assignment failure
 /// ([`jedd_core::assign::AssignError`]).
+// `JeddcError` embeds `AssignError`, which inlines the full Â§3.3.3
+// diagnostic; it is built only on the cold error path.
+#[allow(clippy::result_large_err)]
 pub fn compile(src: &str) -> Result<CompiledProgram, JeddcError> {
     compile_impl(src, false, "Test.jedd")
 }
@@ -46,6 +49,7 @@ pub fn compile(src: &str) -> Result<CompiledProgram, JeddcError> {
 /// # Errors
 ///
 /// Same conditions as [`compile`].
+#[allow(clippy::result_large_err)]
 pub fn compile_named(src: &str, file: &str) -> Result<CompiledProgram, JeddcError> {
     compile_impl(src, false, file)
 }
@@ -58,10 +62,12 @@ pub fn compile_named(src: &str, file: &str) -> Result<CompiledProgram, JeddcErro
 ///
 /// Same as [`compile`], except `Unreachable` and most `Conflict` failures
 /// are repaired automatically.
+#[allow(clippy::result_large_err)]
 pub fn compile_auto(src: &str) -> Result<CompiledProgram, JeddcError> {
     compile_impl(src, true, "Test.jedd")
 }
 
+#[allow(clippy::result_large_err)]
 fn compile_impl(src: &str, auto_pin: bool, file: &str) -> Result<CompiledProgram, JeddcError> {
     let ast = crate::parse::parse(src)?;
     let typed = crate::check::check(&ast)?;
@@ -450,6 +456,18 @@ impl Executor {
     /// statistics).
     pub fn universe(&self) -> &Universe {
         &self.universe
+    }
+
+    /// Installs a resource budget on the execution's BDD manager. Rules
+    /// that exhaust it fail with the wrapped
+    /// [`jedd_core::JeddError::ResourceExhausted`] error.
+    pub fn set_budget(&self, budget: jedd_core::Budget) {
+        self.universe.set_budget(budget);
+    }
+
+    /// The currently installed resource budget.
+    pub fn budget(&self) -> jedd_core::Budget {
+        self.universe.budget()
     }
 
     fn exec_block(&mut self, body: &[TStmt]) -> Result<(), ExecError> {

@@ -572,7 +572,7 @@ impl Solver {
 fn luby(mut i: u64) -> u64 {
     loop {
         if (i + 1).is_power_of_two() {
-            return (i + 1) / 2;
+            return i.div_ceil(2);
         }
         let k = 63 - (i + 1).leading_zeros() as u64; // floor(log2(i+1))
         i = i - (1u64 << k) + 1;

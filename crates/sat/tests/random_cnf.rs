@@ -1,29 +1,32 @@
-//! Property tests: random CNFs cross-checked against brute-force
-//! enumeration, and validation that reported unsat cores are themselves
-//! unsatisfiable.
+//! Property-style tests: seeded random CNFs cross-checked against
+//! brute-force enumeration, and validation that reported unsat cores are
+//! themselves unsatisfiable.
 
+use jedd_bdd::rng::XorShift64Star;
 use jedd_sat::{Lit, SatOutcome, Solver, Var};
-use proptest::prelude::*;
 
 /// A clause as a list of (var_index, polarity) pairs.
 type RawClause = Vec<(u8, bool)>;
 
 const NVARS: usize = 8;
+const CASES: u64 = 256;
 
-fn clause_strategy() -> impl Strategy<Value = RawClause> {
-    proptest::collection::vec((0u8..NVARS as u8, any::<bool>()), 1..4)
+fn random_clause(rng: &mut XorShift64Star) -> RawClause {
+    (0..rng.gen_index(1..4))
+        .map(|_| (rng.gen_range(0..NVARS as u64) as u8, rng.gen_bool(0.5)))
+        .collect()
 }
 
-fn cnf_strategy() -> impl Strategy<Value = Vec<RawClause>> {
-    proptest::collection::vec(clause_strategy(), 0..40)
+fn random_cnf(rng: &mut XorShift64Star) -> Vec<RawClause> {
+    (0..rng.gen_index(0..40))
+        .map(|_| random_clause(rng))
+        .collect()
 }
 
 fn brute_force_sat(cnf: &[RawClause]) -> bool {
     'outer: for bits in 0..(1u32 << NVARS) {
         for c in cnf {
-            let ok = c
-                .iter()
-                .any(|&(v, pol)| ((bits >> v) & 1 == 1) == pol);
+            let ok = c.iter().any(|&(v, pol)| ((bits >> v) & 1 == 1) == pol);
             if !ok {
                 continue 'outer;
             }
@@ -34,7 +37,9 @@ fn brute_force_sat(cnf: &[RawClause]) -> bool {
 }
 
 fn to_lits(c: &RawClause) -> Vec<Lit> {
-    c.iter().map(|&(v, pol)| Var::from_index(v as usize).lit(pol)).collect()
+    c.iter()
+        .map(|&(v, pol)| Var::from_index(v as usize).lit(pol))
+        .collect()
 }
 
 fn build_solver(cnf: &[RawClause]) -> Solver {
@@ -46,45 +51,55 @@ fn build_solver(cnf: &[RawClause]) -> Solver {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn solver_agrees_with_brute_force(cnf in cnf_strategy()) {
+#[test]
+fn solver_agrees_with_brute_force() {
+    let mut rng = XorShift64Star::new(0x5a71);
+    for _ in 0..CASES {
+        let cnf = random_cnf(&mut rng);
         let expected = brute_force_sat(&cnf);
         let mut s = build_solver(&cnf);
         let outcome = s.solve();
-        prop_assert_eq!(outcome == SatOutcome::Sat, expected);
+        assert_eq!(outcome == SatOutcome::Sat, expected);
         if outcome == SatOutcome::Sat {
             // The model must satisfy every clause.
             for c in &cnf {
-                let ok = c.iter().any(|&(v, pol)| s.model_value(Var::from_index(v as usize)) == pol);
-                prop_assert!(ok, "model violates clause {:?}", c);
+                let ok = c
+                    .iter()
+                    .any(|&(v, pol)| s.model_value(Var::from_index(v as usize)) == pol);
+                assert!(ok, "model violates clause {c:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn unsat_cores_are_unsat(cnf in cnf_strategy()) {
+#[test]
+fn unsat_cores_are_unsat() {
+    let mut rng = XorShift64Star::new(0x5a72);
+    for _ in 0..CASES {
+        let cnf = random_cnf(&mut rng);
         let mut s = build_solver(&cnf);
         if s.solve() == SatOutcome::Unsat {
             let core: Vec<usize> = s.unsat_core().iter().map(|c| c.0 as usize).collect();
-            prop_assert!(!core.is_empty());
+            assert!(!core.is_empty());
             // Re-solve only the core clauses: must still be UNSAT.
             let core_cnf: Vec<RawClause> = core.iter().map(|&i| cnf[i].clone()).collect();
             let mut s2 = build_solver(&core_cnf);
-            prop_assert_eq!(s2.solve(), SatOutcome::Unsat);
-            prop_assert!(!brute_force_sat(&core_cnf));
+            assert_eq!(s2.solve(), SatOutcome::Unsat);
+            assert!(!brute_force_sat(&core_cnf));
         }
     }
+}
 
-    #[test]
-    fn core_is_subset_of_input(cnf in cnf_strategy()) {
+#[test]
+fn core_is_subset_of_input() {
+    let mut rng = XorShift64Star::new(0x5a73);
+    for _ in 0..CASES {
+        let cnf = random_cnf(&mut rng);
         let n = cnf.len();
         let mut s = build_solver(&cnf);
         if s.solve() == SatOutcome::Unsat {
             for c in s.unsat_core() {
-                prop_assert!((c.0 as usize) < n);
+                assert!((c.0 as usize) < n);
             }
         }
     }
