@@ -14,4 +14,15 @@ cargo test --workspace --offline -q
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> bench smoke (BENCH_kernel.json)"
+# Few-sample bench runs double as integration tests of the kernel's
+# replace path and cache counters; headline numbers land in
+# BENCH_kernel.json via the in-tree JSON reporter.
+rm -f BENCH_kernel.json
+JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench replace_cost --offline
+JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench pointsto_overhead --offline
+test -s BENCH_kernel.json
+
 echo "==> OK"

@@ -49,6 +49,32 @@ pub enum BddError {
         /// The hook's event count at the point of injection.
         at: u64,
     },
+    /// The permutation handed to a `replace` is not valid for the operand:
+    /// it is non-injective on the support, or maps outside the variable
+    /// range. Returned by [`crate::Bdd::try_replace`] and
+    /// [`crate::Permutation::try_from_pairs`]; unlike the resource errors
+    /// this one is a caller mistake, so the recovery ladder never retries
+    /// it and it does not count as a budget failure.
+    InvalidPermutation {
+        /// The variable the validation tripped over (a duplicated source,
+        /// a collided target, or an out-of-range target, per `kind`).
+        var: u32,
+        /// What exactly is wrong with the permutation.
+        kind: PermutationFlaw,
+    },
+}
+
+/// Why a permutation was rejected (see [`BddError::InvalidPermutation`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PermutationFlaw {
+    /// The same source variable is mapped twice.
+    DuplicateSource,
+    /// Two distinct variables map to the same target. At replace time this
+    /// covers both two moved support variables colliding and a moved
+    /// variable landing on an unmoved support variable.
+    DuplicateTarget,
+    /// A target variable is outside the manager's variable range.
+    OutOfRange,
 }
 
 impl fmt::Display for BddError {
@@ -65,6 +91,18 @@ impl fmt::Display for BddError {
             BddError::FaultInjected { kind, at } => {
                 write!(f, "injected fault: {kind} #{at}")
             }
+            BddError::InvalidPermutation { var, kind } => match kind {
+                PermutationFlaw::DuplicateSource => {
+                    write!(f, "invalid permutation: maps variable {var} twice")
+                }
+                PermutationFlaw::DuplicateTarget => write!(
+                    f,
+                    "invalid permutation: two variables map to the same target {var}"
+                ),
+                PermutationFlaw::OutOfRange => {
+                    write!(f, "invalid permutation: target variable {var} out of range")
+                }
+            },
         }
     }
 }
@@ -256,6 +294,18 @@ mod tests {
             BddError::Deadline,
             BddError::Cancelled,
             BddError::FaultInjected { kind: "alloc", at: 3 },
+            BddError::InvalidPermutation {
+                var: 2,
+                kind: PermutationFlaw::DuplicateSource,
+            },
+            BddError::InvalidPermutation {
+                var: 2,
+                kind: PermutationFlaw::DuplicateTarget,
+            },
+            BddError::InvalidPermutation {
+                var: 99,
+                kind: PermutationFlaw::OutOfRange,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -58,10 +58,10 @@ pub mod rng;
 mod table;
 mod zdd;
 
-pub use budget::{BddError, Budget, CancelToken, FailPlan};
+pub use budget::{BddError, Budget, CancelToken, FailPlan, PermutationFlaw};
 pub use manager::{Bdd, BddManager};
 pub use node::{NodeId, Permutation};
-pub use table::KernelStats;
+pub use table::{KernelStats, OpCacheStats};
 pub use zdd::{ZddId, ZddManager};
 
 #[cfg(test)]
@@ -202,6 +202,86 @@ mod tests {
         let f = m.var(0).and(&m.var(1));
         let p = Permutation::from_pairs(&[(0, 2), (1, 2)]);
         let _ = f.replace(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "same target")]
+    fn replace_panics_on_support_collision() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1));
+        // Valid as a permutation, but moves v0 onto the unmoved support
+        // variable v1 — only replace-time validation can catch this.
+        let _ = f.replace(&Permutation::from_pairs(&[(0, 1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replace_panics_on_out_of_range_target() {
+        let m = mgr();
+        let f = m.var(0);
+        let _ = f.replace(&Permutation::from_pairs(&[(0, 100)]));
+    }
+
+    #[test]
+    fn try_replace_never_panics_on_bad_permutations() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1));
+        // Two support variables collide on one target.
+        assert_eq!(
+            f.try_replace(&Permutation::from_pairs(&[(0, 1)])),
+            Err(BddError::InvalidPermutation {
+                var: 1,
+                kind: PermutationFlaw::DuplicateTarget
+            })
+        );
+        // Target outside the manager's variable range.
+        assert_eq!(
+            f.try_replace(&Permutation::from_pairs(&[(0, 100)])),
+            Err(BddError::InvalidPermutation {
+                var: 100,
+                kind: PermutationFlaw::OutOfRange
+            })
+        );
+        // A rejected permutation is a caller mistake, not a budget
+        // failure, and leaves the manager fully usable.
+        assert_eq!(m.kernel_stats().budget_failures, 0);
+        let g = f.try_replace(&Permutation::from_pairs(&[(0, 4), (1, 5)])).unwrap();
+        assert_eq!(g, m.var(4).and(&m.var(5)));
+    }
+
+    #[test]
+    fn replace_hits_shared_cache_on_repeat() {
+        let m = mgr();
+        let f = m.var(0).xor(&m.var(1)).xor(&m.var(2));
+        let p = Permutation::from_pairs(&[(0, 4), (1, 5), (2, 6)]);
+        let a = f.replace(&p);
+        let before = m.kernel_stats().op_cache("replace").unwrap();
+        let b = f.replace(&p);
+        let after = m.kernel_stats().op_cache("replace").unwrap();
+        assert_eq!(a, b);
+        assert!(
+            after.hits > before.hits,
+            "repeated identical replace must hit the shared cache \
+             ({before:?} -> {after:?})"
+        );
+    }
+
+    #[test]
+    fn replace_rebuild_agrees_with_replace() {
+        let m = mgr();
+        let f = m.var(0).xor(&m.var(3)).and(&m.var(1).or(&m.var(2)));
+        for pairs in [
+            vec![(0u32, 4u32), (1, 5), (2, 6), (3, 7)],
+            vec![(0, 3), (3, 0)],
+            vec![(0, 7), (1, 6), (2, 5), (3, 4)], // order reversing
+        ] {
+            let p = Permutation::from_pairs(&pairs);
+            assert_eq!(
+                f.try_replace(&p).unwrap(),
+                f.try_replace_rebuild(&p).unwrap(),
+                "pairs {pairs:?}"
+            );
+        }
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub(crate) fn run_governed(
         inner.begin_op();
         op(inner)
     };
+    // `InvalidPermutation` is a caller mistake, not resource exhaustion:
+    // it is returned as-is and never counted as a budget failure.
+    fn record_failure(inner: &mut Inner, e: BddError) -> BddError {
+        if !matches!(e, BddError::InvalidPermutation { .. }) {
+            inner.stats.budget_failures += 1;
+        }
+        e
+    }
     let mut inner = mgr.borrow_mut();
     inner.maybe_gc();
     let e1 = match attempt(&mut inner) {
@@ -69,8 +77,7 @@ pub(crate) fn run_governed(
         Err(e) => e,
     };
     if !matches!(e1, BddError::NodeLimit { .. }) {
-        inner.stats.budget_failures += 1;
-        return Err(e1);
+        return Err(record_failure(&mut inner, e1));
     }
     // Rung 1: a full collection may reclaim enough dead nodes. Partial
     // results of the failed attempt carry no external references, so they
@@ -82,8 +89,7 @@ pub(crate) fn run_governed(
         Err(e) => e,
     };
     if !matches!(e2, BddError::NodeLimit { .. }) {
-        inner.stats.budget_failures += 1;
-        return Err(e2);
+        return Err(record_failure(&mut inner, e2));
     }
     // Rung 2: sifting compacts the live nodes themselves; it suspends the
     // governor internally, since compaction must be free to allocate
@@ -92,10 +98,7 @@ pub(crate) fn run_governed(
     inner.reorder_sift();
     match attempt(&mut inner) {
         Ok(id) => Ok(id),
-        Err(e) => {
-            inner.stats.budget_failures += 1;
-            Err(e)
-        }
+        Err(e) => Err(record_failure(&mut inner, e)),
     }
 }
 
@@ -338,6 +341,12 @@ impl BddManager {
     /// terminals).
     pub fn live_nodes(&self) -> usize {
         self.inner.borrow().live_nodes()
+    }
+
+    /// Number of unique-table buckets (diagnostics: the table grows to
+    /// keep at most 1.5 nodes per bucket).
+    pub fn unique_buckets(&self) -> usize {
+        self.inner.borrow().buckets_len()
     }
 
     /// Forces a full garbage collection and returns the number of reclaimed
@@ -660,19 +669,41 @@ impl Bdd {
     /// # Panics
     ///
     /// Panics if the permutation is not injective on the support of `self`
-    /// or maps outside the variable range.
+    /// or maps outside the variable range ([`Bdd::try_replace`] reports
+    /// the same conditions as [`BddError::InvalidPermutation`] instead),
+    /// or on budget exhaustion.
     pub fn replace(&self, perm: &Permutation) -> Bdd {
-        expect_within_budget("replace", self.try_replace(perm))
+        match self.try_replace(perm) {
+            Err(e @ BddError::InvalidPermutation { .. }) => panic!("replace: {e}"),
+            r => expect_within_budget("replace", r),
+        }
     }
 
     /// Budget-aware variable replacement; see [`Bdd::replace`] and
-    /// [`Bdd::try_and`].
+    /// [`Bdd::try_and`]. Never panics on a malformed permutation.
     ///
     /// # Errors
     ///
-    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    /// Returns [`BddError::InvalidPermutation`] if the permutation is not
+    /// injective on the support of `self` or maps outside the variable
+    /// range; other [`BddError`] variants on budget exhaustion or injected
+    /// faults.
     pub fn try_replace(&self, perm: &Permutation) -> Result<Bdd, BddError> {
         let id = run_governed(&self.mgr, |inner| inner.replace(self.id, perm))?;
+        Ok(self.wrap(id))
+    }
+
+    /// Reference implementation of [`Bdd::replace`]: rebuilds every node
+    /// with a 3-operand `ite` under a per-call memo table, bypassing the
+    /// shared operation cache. Kept as the correctness oracle for the
+    /// property tests and the baseline the `replace_cost` bench compares
+    /// the first-class replace recursion against.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Bdd::try_replace`].
+    pub fn try_replace_rebuild(&self, perm: &Permutation) -> Result<Bdd, BddError> {
+        let id = run_governed(&self.mgr, |inner| inner.replace_rebuild(self.id, perm))?;
         Ok(self.wrap(id))
     }
 

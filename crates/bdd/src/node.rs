@@ -1,5 +1,6 @@
 //! Node identifiers, node layout and variable permutations.
 
+use crate::budget::{BddError, PermutationFlaw};
 use std::fmt;
 
 /// Index of a node in the manager's arena.
@@ -126,27 +127,46 @@ impl Permutation {
     /// # Panics
     ///
     /// Panics if the same `from` variable is mapped twice, or two variables
-    /// map to the same `to` variable.
+    /// map to the same `to` variable. Use
+    /// [`Permutation::try_from_pairs`] to handle malformed pairs without
+    /// panicking.
     pub fn from_pairs(pairs: &[(u32, u32)]) -> Permutation {
+        match Permutation::try_from_pairs(pairs) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Permutation::from_pairs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::InvalidPermutation`] if the same `from` variable
+    /// is mapped twice ([`PermutationFlaw::DuplicateSource`]) or two
+    /// variables map to the same `to` variable
+    /// ([`PermutationFlaw::DuplicateTarget`]).
+    pub fn try_from_pairs(pairs: &[(u32, u32)]) -> Result<Permutation, BddError> {
         let mut kept: Vec<(u32, u32)> = pairs.iter().copied().filter(|(a, b)| a != b).collect();
         kept.sort_unstable();
         for w in kept.windows(2) {
-            assert!(
-                w[0].0 != w[1].0,
-                "permutation maps variable {} twice",
-                w[0].0
-            );
+            if w[0].0 == w[1].0 {
+                return Err(BddError::InvalidPermutation {
+                    var: w[0].0,
+                    kind: PermutationFlaw::DuplicateSource,
+                });
+            }
         }
         let mut targets: Vec<u32> = kept.iter().map(|&(_, t)| t).collect();
         targets.sort_unstable();
         for w in targets.windows(2) {
-            assert!(
-                w[0] != w[1],
-                "permutation maps two variables to the same target {}",
-                w[0]
-            );
+            if w[0] == w[1] {
+                return Err(BddError::InvalidPermutation {
+                    var: w[0],
+                    kind: PermutationFlaw::DuplicateTarget,
+                });
+            }
         }
-        Permutation { pairs: kept }
+        Ok(Permutation { pairs: kept })
     }
 
     /// Returns the image of `var` under the permutation.
@@ -257,6 +277,25 @@ mod tests {
     #[should_panic(expected = "same target")]
     fn permutation_rejects_duplicate_target() {
         let _ = Permutation::from_pairs(&[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn try_from_pairs_reports_flaws() {
+        assert_eq!(
+            Permutation::try_from_pairs(&[(0, 1), (0, 2)]),
+            Err(BddError::InvalidPermutation {
+                var: 0,
+                kind: PermutationFlaw::DuplicateSource
+            })
+        );
+        assert_eq!(
+            Permutation::try_from_pairs(&[(0, 2), (1, 2)]),
+            Err(BddError::InvalidPermutation {
+                var: 2,
+                kind: PermutationFlaw::DuplicateTarget
+            })
+        );
+        assert!(Permutation::try_from_pairs(&[(0, 1), (1, 0)]).is_ok());
     }
 
     #[test]

@@ -100,6 +100,11 @@ impl Inner {
             self.insert_unique(id);
         }
         self.in_swap = false;
+        // Re-run the load-factor check that `in_swap` deferred: the swap
+        // may have allocated enough rewritten nodes to overload the bucket
+        // chains, and `mk` alone would not grow the table until the next
+        // allocation happened to come along.
+        self.maybe_grow_buckets();
     }
 
     /// Rebuilds the unique-table buckets, leaving out nodes at the two
@@ -142,9 +147,12 @@ impl Inner {
     }
 
     fn reorder_sift_inner(&mut self) -> (usize, usize) {
-        // Start clean: collect garbage so counts reflect live nodes, and
-        // clear the cache once at the end (entries stay *valid* across
-        // swaps, but a stale cache can hold dead ids across a later GC).
+        // Start clean: collect garbage so counts reflect live nodes. The
+        // operation cache is cleared wholesale up front — reordering is
+        // the one event that changes what levels mean, and an empty cache
+        // also lets the per-swap collections below skip their cache
+        // sweeps entirely (no operations populate the cache mid-sift).
+        self.clear_cache();
         self.gc();
         let before = self.live_decision_nodes();
         let n = self.num_vars();
@@ -198,8 +206,53 @@ impl Inner {
             }
             self.gc();
         }
-        self.clear_cache();
         self.gc();
         (before, self.live_decision_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::table::Inner;
+
+    /// Regression test for the deferred-growth bug: growth requests that
+    /// arrive while `in_swap` defers them must be re-evaluated when the
+    /// swap pass ends, not silently dropped until some later allocation.
+    #[test]
+    fn deferred_growth_reruns_after_swap() {
+        let mut inner = Inner::new(64);
+        let buckets_before = inner.buckets_len();
+        // Simulate a long swap pass: allocate well past the 1.5x load
+        // factor with growth deferred.
+        inner.in_swap = true;
+        let values: u64 = (buckets_before as u64 * 3 / 2) / 50 + 8;
+        for value in 0..values {
+            let mut acc = 1u32; // TRUE
+            // Varying bits sit at the deepest levels so the per-value
+            // chains share almost nothing and the node count is ~62/value.
+            for level in (2..64u32).rev() {
+                let bit = (value >> (63 - level)) & 1 == 1;
+                acc = if bit {
+                    inner.mk(level, 0, acc).expect("no budget installed")
+                } else {
+                    inner.mk(level, acc, 0).expect("no budget installed")
+                };
+            }
+        }
+        assert!(
+            inner.live_nodes() * 2 > inner.buckets_len() * 3,
+            "setup must overload the table (live {} buckets {})",
+            inner.live_nodes(),
+            inner.buckets_len()
+        );
+        assert_eq!(inner.buckets_len(), buckets_before, "growth was deferred");
+        // The swap pass ends: the deferred check must now run and grow
+        // the table back under the load factor.
+        inner.swap_adjacent(0);
+        assert!(
+            inner.buckets_len() > buckets_before,
+            "deferred growth must re-run when the swap ends"
+        );
+        assert!(inner.live_nodes() * 2 <= inner.buckets_len() * 3);
     }
 }

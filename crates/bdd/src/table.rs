@@ -1,7 +1,7 @@
 //! The node arena, unique table, operation cache and garbage collector.
 
 use crate::budget::{BddError, Budget, FailPlan};
-use crate::node::{Node, NodeId, FREE_LEVEL, NIL, TERMINAL_LEVEL};
+use crate::node::{Node, NodeId, Permutation, FREE_LEVEL, NIL, TERMINAL_LEVEL};
 
 /// Operation tags used as part of cache keys.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,7 +15,17 @@ pub(crate) enum CacheOp {
     Exists = 6,
     AndExists = 7,
     Biimp = 8,
+    Replace = 9,
     None = 0,
+}
+
+impl CacheOp {
+    /// Index into [`KernelStats::per_op_cache`] / `CACHE_OP_NAMES`.
+    #[inline]
+    fn index(self) -> usize {
+        debug_assert!(self != CacheOp::None);
+        self as usize - 1
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -35,6 +45,27 @@ impl CacheEntry {
         c: NIL,
         result: NIL,
     };
+}
+
+/// Per-operation slice of the operation-cache counters (see
+/// [`KernelStats::per_op_cache`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCacheStats {
+    /// Cache lookups issued by this operation.
+    pub lookups: u64,
+    /// Cache hits for this operation.
+    pub hits: u64,
+}
+
+impl OpCacheStats {
+    /// Hits as a fraction of lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
 }
 
 /// Counters describing kernel activity, exposed through
@@ -61,6 +92,39 @@ pub struct KernelStats {
     pub ladder_reorder_retries: u64,
     /// Governed operations that failed even after the recovery ladder.
     pub budget_failures: u64,
+    /// Cache lookup/hit counters split by operation, in the order of
+    /// [`KernelStats::CACHE_OP_NAMES`].
+    pub per_op_cache: [OpCacheStats; 9],
+    /// Cache sweeps run by the garbage collector.
+    pub cache_sweeps: u64,
+    /// Cache entries dropped by sweeps (an operand or the result died).
+    pub cache_entries_swept: u64,
+    /// Cache entries that survived a sweep (all referenced nodes live).
+    pub cache_entries_kept: u64,
+}
+
+impl KernelStats {
+    /// Operation names for [`KernelStats::per_op_cache`], in index order.
+    pub const CACHE_OP_NAMES: [&'static str; 9] = [
+        "and",
+        "or",
+        "diff",
+        "xor",
+        "ite",
+        "exists",
+        "and_exists",
+        "biimp",
+        "replace",
+    ];
+
+    /// The cache counters for the named operation (one of
+    /// [`KernelStats::CACHE_OP_NAMES`]), or `None` for an unknown name.
+    pub fn op_cache(&self, name: &str) -> Option<OpCacheStats> {
+        Self::CACHE_OP_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.per_op_cache[i])
+    }
 }
 
 /// Mutable kernel state shared by all handles of one manager.
@@ -73,6 +137,11 @@ pub(crate) struct Inner {
     free_count: usize,
     cache: Vec<CacheEntry>,
     cache_mask: usize,
+    /// Occupied (non-empty) cache slots; lets sweeps skip an empty cache.
+    cache_occupied: usize,
+    /// Interned permutations, giving each distinct `Permutation` a stable
+    /// u32 id usable as a `CacheOp::Replace` cache key. Never shrinks.
+    perms: Vec<Permutation>,
     num_vars: u32,
     /// Variable -> level position in the current order.
     pub(crate) var2level: Vec<u32>,
@@ -132,6 +201,8 @@ impl Inner {
             free_count: 0,
             cache: vec![CacheEntry::EMPTY; INITIAL_CACHE],
             cache_mask: INITIAL_CACHE - 1,
+            cache_occupied: 0,
+            perms: Vec::new(),
             num_vars,
             var2level: (0..num_vars).collect(),
             level2var: (0..num_vars).collect(),
@@ -341,10 +412,19 @@ impl Inner {
             mark: false,
         };
         self.buckets[h] = id;
-        if !self.in_swap && self.live_nodes() * 2 > self.buckets.len() * 3 {
-            self.grow_buckets();
+        if !self.in_swap {
+            self.maybe_grow_buckets();
         }
         Ok(id)
+    }
+
+    /// Grows the unique table if the load factor exceeds 1.5 nodes per
+    /// bucket. Called by `mk` outside swaps, and again at the end of each
+    /// adjacent-level swap to run the growth that `in_swap` deferred.
+    pub(crate) fn maybe_grow_buckets(&mut self) {
+        if self.live_nodes() * 2 > self.buckets.len() * 3 {
+            self.grow_buckets();
+        }
     }
 
     /// Number of unique-table buckets.
@@ -390,21 +470,44 @@ impl Inner {
             self.nodes[i].next = self.buckets[h];
             self.buckets[h] = i as u32;
         }
-        // Grow the cache alongside the table, up to a limit.
+        // Grow the cache alongside the table, up to a limit, rehashing the
+        // surviving entries into the doubled table instead of discarding
+        // a warm cache. Doubling adds one hash bit, so old entries land in
+        // distinct new slots and none are lost to collisions.
         if self.cache.len() < MAX_CACHE && self.cache.len() < new_len {
             let target = (self.cache.len() * 2).min(MAX_CACHE);
-            self.cache = vec![CacheEntry::EMPTY; target];
+            let old = std::mem::replace(&mut self.cache, vec![CacheEntry::EMPTY; target]);
             self.cache_mask = target - 1;
+            for e in old {
+                if e.op != CacheOp::None {
+                    let h = triple_hash(e.a ^ ((e.op as u32) << 24), e.b, e.c) as usize
+                        & self.cache_mask;
+                    self.cache[h] = e;
+                }
+            }
         }
+    }
+
+    /// Interns `perm`, returning a stable id for `CacheOp::Replace` keys.
+    /// Identical permutations (by value) share one id, so repeated
+    /// replaces with equal permutations hit the shared cache.
+    pub(crate) fn intern_permutation(&mut self, perm: &Permutation) -> u32 {
+        if let Some(i) = self.perms.iter().position(|p| p == perm) {
+            return i as u32;
+        }
+        self.perms.push(perm.clone());
+        (self.perms.len() - 1) as u32
     }
 
     #[inline]
     pub(crate) fn cache_lookup(&mut self, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
         self.stats.cache_lookups += 1;
+        self.stats.per_op_cache[op.index()].lookups += 1;
         let h = triple_hash(a ^ ((op as u32) << 24), b, c) as usize & self.cache_mask;
         let e = &self.cache[h];
         if e.op == op && e.a == a && e.b == b && e.c == c {
             self.stats.cache_hits += 1;
+            self.stats.per_op_cache[op.index()].hits += 1;
             Some(e.result)
         } else {
             None
@@ -424,6 +527,9 @@ impl Inner {
             }
         }
         let h = triple_hash(a ^ ((op as u32) << 24), b, c) as usize & self.cache_mask;
+        if self.cache[h].op == CacheOp::None {
+            self.cache_occupied += 1;
+        }
         self.cache[h] = CacheEntry {
             op,
             a,
@@ -435,6 +541,49 @@ impl Inner {
 
     pub(crate) fn clear_cache(&mut self) {
         self.cache.fill(CacheEntry::EMPTY);
+        self.cache_occupied = 0;
+    }
+
+    /// `true` if node `id` survives the collection in progress: terminals
+    /// always do, internal nodes only when the mark phase reached them.
+    /// Only meaningful between the GC mark and sweep phases.
+    #[inline]
+    fn node_survives(&self, id: u32) -> bool {
+        id <= 1 || self.nodes[id as usize].mark
+    }
+
+    /// Sweep-style cache invalidation: drops exactly the entries that
+    /// reference a node the collection in progress is about to free, and
+    /// keeps everything else, so the cache stays warm across GCs. Must run
+    /// between the GC mark and sweep phases, while the mark bits identify
+    /// the survivors — once a dead id is on the free list it can be
+    /// reused for a different function, and a stale entry would then
+    /// resurrect the old result under the new node's key.
+    fn sweep_cache_marked(&mut self) {
+        self.stats.cache_sweeps += 1;
+        if self.cache_occupied == 0 {
+            return;
+        }
+        for i in 0..self.cache.len() {
+            let e = self.cache[i];
+            if e.op == CacheOp::None {
+                continue;
+            }
+            // The `b` field of a Replace entry is an interned permutation
+            // id, not a node id; permutations are interned forever, so
+            // only the node fields decide survival.
+            let survives = self.node_survives(e.a)
+                && (e.op == CacheOp::Replace || self.node_survives(e.b))
+                && self.node_survives(e.c)
+                && self.node_survives(e.result);
+            if survives {
+                self.stats.cache_entries_kept += 1;
+            } else {
+                self.cache[i] = CacheEntry::EMPTY;
+                self.cache_occupied -= 1;
+                self.stats.cache_entries_swept += 1;
+            }
+        }
     }
 
     #[inline]
@@ -486,6 +635,10 @@ impl Inner {
                 stack.push(hi);
             }
         }
+        // Cache sweep: while the marks still identify the survivors, drop
+        // only the entries whose nodes are about to die (wholesale clears
+        // remain only in reordering, where the level geometry changes).
+        self.sweep_cache_marked();
         // Sweep phase: rebuild unique table with only marked nodes.
         self.buckets.fill(NIL);
         let mut reclaimed = 0usize;
@@ -510,7 +663,6 @@ impl Inner {
                 reclaimed += 1;
             }
         }
-        self.clear_cache();
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
         reclaimed

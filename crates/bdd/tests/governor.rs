@@ -103,9 +103,12 @@ fn cancellation_is_observed() {
     mgr.set_budget(Budget::unlimited().with_cancel(token.clone()));
     // Not cancelled: completes.
     let r = f.try_and(&g).unwrap();
-    // Cancelled: the next expensive operation observes the token. The
-    // apply cache is cleared by a GC first so the result is not simply
-    // replayed from cache.
+    let r_count = r.satcount();
+    // Cancelled: the next expensive operation observes the token. GC now
+    // keeps cache entries whose nodes survive, so the result handle is
+    // dropped first — its death makes the sweep evict the (f, g) entry
+    // and forces a real recomputation.
+    drop(r);
     mgr.gc();
     token.cancel();
     match f.try_and(&g) {
@@ -114,7 +117,77 @@ fn cancellation_is_observed() {
     }
     // Reset revives the manager.
     token.reset();
-    assert_eq!(f.try_and(&g).unwrap(), r);
+    assert_eq!(f.try_and(&g).unwrap().satcount(), r_count);
+}
+
+#[test]
+fn cache_entries_with_live_nodes_survive_gc() {
+    let mgr = BddManager::new(24);
+    let (f, g) = equality_chain(&mgr);
+    // Populate the cache and keep every participant (operands and result)
+    // externally referenced across the collection.
+    let r = f.try_and(&g).unwrap();
+    let before = mgr.kernel_stats();
+    mgr.gc();
+    let swept = mgr.kernel_stats();
+    assert!(swept.cache_sweeps > before.cache_sweeps, "gc must sweep the cache");
+    assert!(swept.cache_entries_kept > 0, "live entries must survive the sweep");
+    // Replaying the operation now answers from the surviving cache: hits
+    // grow, and the top-level entry resolves without a single new node.
+    let nodes_before = swept.nodes_created;
+    let r2 = f.try_and(&g).unwrap();
+    let after = mgr.kernel_stats();
+    assert_eq!(r2, r);
+    assert!(
+        after.cache_hits > swept.cache_hits,
+        "surviving entries must hit after gc ({} -> {})",
+        swept.cache_hits,
+        after.cache_hits
+    );
+    assert_eq!(
+        after.nodes_created, nodes_before,
+        "a fully cached replay must allocate nothing"
+    );
+}
+
+#[test]
+fn cache_sweep_never_resurrects_freed_node_ids() {
+    let mgr = BddManager::new(24);
+    // Several rounds of: cache operations on short-lived functions, drop
+    // them, collect (freeing their ids), then build fresh functions that
+    // reuse those ids. A stale cache entry surviving its nodes would make
+    // some later operation return a structurally wrong result.
+    for round in 0..6u64 {
+        {
+            let junk_a = dense(&mgr, 24, 30, 1000 + round);
+            let junk_b = dense(&mgr, 24, 30, 2000 + round);
+            let _ = junk_a.try_and(&junk_b).unwrap();
+            let _ = junk_a.try_or(&junk_b).unwrap();
+        }
+        mgr.gc();
+        // Fresh functions now occupy recycled ids. Verify semantics
+        // against a clean manager that never went through the cycle.
+        let clean = BddManager::new(24);
+        let fa = dense(&mgr, 24, 20, 3000 + round);
+        let fb = dense(&mgr, 24, 20, 4000 + round);
+        let ca = dense(&clean, 24, 20, 3000 + round);
+        let cb = dense(&clean, 24, 20, 4000 + round);
+        assert_eq!(
+            fa.try_and(&fb).unwrap().satcount(),
+            ca.and(&cb).satcount(),
+            "round {round}: and diverged after id reuse"
+        );
+        assert_eq!(
+            fa.try_xor(&fb).unwrap().satcount(),
+            ca.xor(&cb).satcount(),
+            "round {round}: xor diverged after id reuse"
+        );
+    }
+    let stats = mgr.kernel_stats();
+    assert!(
+        stats.cache_entries_swept > 0,
+        "the rounds above must actually have evicted dead entries"
+    );
 }
 
 #[test]

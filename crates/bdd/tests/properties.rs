@@ -170,6 +170,109 @@ fn replace_shifts_semantics() {
     }
 }
 
+/// Truth table of `g` over the first `2 * NVARS` variables.
+fn wide_truth_table(g: &Bdd) -> Vec<bool> {
+    let vars: Vec<u32> = (0..2 * NVARS as u32).collect();
+    let mut table = vec![false; 1 << (2 * NVARS)];
+    g.foreach_sat(&vars, |a| {
+        let mut bits = 0u32;
+        for (i, &b) in a.iter().enumerate() {
+            if b {
+                bits |= 1 << vars[i];
+            }
+        }
+        table[bits as usize] = true;
+        true
+    });
+    table
+}
+
+/// A uniformly random full permutation of the `2 * NVARS` variables
+/// (Fisher–Yates over the in-tree PRNG), expressed as pairs.
+fn random_full_permutation(rng: &mut XorShift64Star) -> Permutation {
+    let n = 2 * NVARS as u32;
+    let mut targets: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut targets);
+    let pairs: Vec<(u32, u32)> = (0..n).map(|v| (v, targets[v as usize])).collect();
+    Permutation::try_from_pairs(&pairs).expect("a bijection is always valid")
+}
+
+/// A random partial injective map: each of the first NVARS variables is
+/// independently remapped (or not) to a distinct target drawn from the
+/// whole 2*NVARS universe.
+fn random_partial_map(rng: &mut XorShift64Star) -> Permutation {
+    let n = 2 * NVARS as u32;
+    let mut free: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut free);
+    let mut pairs = Vec::new();
+    for v in 0..NVARS as u32 {
+        if rng.gen_bool(0.6) {
+            pairs.push((v, free.pop().expect("2*NVARS targets for NVARS sources")));
+        }
+    }
+    Permutation::try_from_pairs(&pairs).expect("distinct targets")
+}
+
+/// The direct `mk`-based replace path must agree with the seed's
+/// HashMap + ite-rebuild algorithm — node-for-node — on random functions
+/// under both full permutations and partial injective maps, and both must
+/// implement the paper's semantics: `g(y) = f(x)` where `x_v = y_{perm(v)}`.
+#[test]
+fn replace_direct_path_matches_rebuild_oracle() {
+    let mut rng = XorShift64Star::new(0xbdda);
+    for case in 0..CASES {
+        let e = random_expr(&mut rng, 4);
+        let mgr = BddManager::new(2 * NVARS);
+        let f = build(&mgr, &e);
+        let perm = if case % 2 == 0 {
+            random_full_permutation(&mut rng)
+        } else {
+            random_partial_map(&mut rng)
+        };
+        // A partial map may collide with an unmapped support variable;
+        // both paths must then reject with the same error.
+        let direct = match (f.try_replace(&perm), f.try_replace_rebuild(&perm)) {
+            (Ok(d), Ok(r)) => {
+                assert_eq!(d, r, "case {case}: paths diverge on {perm:?}");
+                d
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a, b, "case {case}: paths reject differently");
+                continue;
+            }
+            (d, r) => panic!("case {case}: one path failed: {d:?} vs {r:?}"),
+        };
+        let table = wide_truth_table(&direct);
+        for bits in 0..(1u32 << (2 * NVARS)) {
+            // g(y) = f(x) with x_v = y_{perm(v)}: variable v of f reads
+            // the bit the permutation moved it to.
+            let mut x = 0u32;
+            for v in 0..NVARS as u32 {
+                if (bits >> perm.apply(v)) & 1 == 1 {
+                    x |= 1 << v;
+                }
+            }
+            assert_eq!(
+                table[bits as usize],
+                eval(&e, x),
+                "case {case} at assignment {bits:012b}"
+            );
+        }
+    }
+}
+
+/// Invalid permutations must surface as equal errors from both paths,
+/// never as panics.
+#[test]
+fn replace_paths_agree_on_rejection() {
+    let mgr = BddManager::new(2 * NVARS);
+    let f = mgr.var(0).and(&mgr.var(1));
+    // Collides with var 1, which is in the support.
+    let collide = Permutation::try_from_pairs(&[(0, 1)]).expect("pairs are injective");
+    assert_eq!(f.try_replace(&collide), f.try_replace_rebuild(&collide));
+    assert!(f.try_replace(&collide).is_err());
+}
+
 #[test]
 fn ite_matches_model() {
     let mut rng = XorShift64Star::new(0xbdd6);

@@ -1,10 +1,13 @@
 //! Criterion bench for Table 2: hand-coded direct-BDD points-to vs the
 //! Jedd relational version, on the `compress`-scale benchmark (kept small
 //! so the bench suite stays fast; the `table2` binary sweeps all five).
+//! With `JEDD_BENCH_JSON` set, the wall times and the relational run's
+//! kernel cache counters are appended to the report.
 
-use jedd_bench::criterion::Criterion;
 use jedd_analyses::pointsto::CallGraphMode;
 use jedd_analyses::synth::Benchmark;
+use jedd_bench::criterion::Criterion;
+use jedd_bench::report::{write_section, JsonObject};
 
 fn bench_pointsto(c: &mut Criterion) {
     let p = Benchmark::Compress.generate();
@@ -23,6 +26,29 @@ fn bench_pointsto(c: &mut Criterion) {
         b.iter(|| jedd_analyses::baseline_sets::points_to(std::hint::black_box(&p)))
     });
     g.finish();
+
+    // One measured run of each implementation for the JSON report, with
+    // the relational run's kernel counters alongside its wall time.
+    let (raw, hand_coded_s) = jedd_bench::timed(|| jedd_analyses::baseline_bdd::analyze(&p));
+    let f = jedd_analyses::facts::Facts::load(&p).unwrap();
+    let (rel, relational_s) = jedd_bench::timed(|| {
+        jedd_analyses::pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap()
+    });
+    assert_eq!(raw.pt_pairs().len() as u64, rel.pt.size());
+    let stats = f.u.bdd_manager().kernel_stats();
+    write_section(
+        "pointsto_compress",
+        &JsonObject::new()
+            .float("hand_coded_s", hand_coded_s)
+            .float("relational_s", relational_s)
+            .int("pt_pairs", rel.pt.size())
+            .int("cache_lookups", stats.cache_lookups)
+            .int("cache_hits", stats.cache_hits)
+            .int("gc_runs", stats.gc_runs)
+            .int("cache_sweeps", stats.cache_sweeps)
+            .int("cache_entries_kept", stats.cache_entries_kept)
+            .int("cache_entries_swept", stats.cache_entries_swept),
+    );
 }
 
 jedd_bench::criterion_group!(benches, bench_pointsto);

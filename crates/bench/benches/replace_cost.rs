@@ -4,10 +4,20 @@
 //! no replace per iteration beyond the result move) against a pessimal
 //! assignment that forces an extra replace of the large points-to relation
 //! on every iteration.
+//!
+//! A second, kernel-level group measures the `replace` recursion itself:
+//! the direct `mk`-based path with the shared op cache against the
+//! seed's HashMap + ite-rebuild algorithm (kept as
+//! `try_replace_rebuild`), on both an order-preserving shift and an
+//! order-reversing permutation. Headline numbers land in the
+//! `JEDD_BENCH_JSON` report when that variable is set.
 
 use jedd_bench::criterion::Criterion;
-use jedd_core::{Relation, Universe};
+use jedd_bench::report::{write_section, JsonObject};
 use jedd_bdd::rng::XorShift64Star;
+use jedd_bdd::{Bdd, BddManager, Permutation};
+use jedd_core::{Relation, Universe};
+use std::time::Instant;
 
 struct Setup {
     u: Universe,
@@ -82,8 +92,119 @@ fn bench_replace_cost(c: &mut Criterion) {
     g.bench_function("pessimal_assignment", |b| b.iter(|| propagate(&s, true)));
     g.finish();
     // Sanity: same fixpoint either way.
-    assert!(propagate(&s, false).equals(&propagate(&s, true)).unwrap());
+    let (good, good_s) = jedd_bench::timed(|| propagate(&s, false));
+    let (bad, bad_s) = jedd_bench::timed(|| propagate(&s, true));
+    assert!(good.equals(&bad).unwrap());
+    write_section(
+        "replace_cost_relational",
+        &JsonObject::new()
+            .float("good_assignment_s", good_s)
+            .float("pessimal_assignment_s", bad_s)
+            .int("fixpoint_tuples", good.size()),
+    );
 }
 
-jedd_bench::criterion_group!(benches, bench_replace_cost);
+/// A dense random function over the first 16 of 32 variables: an OR of
+/// random 8-literal conjunctions, so both permutations below stay within
+/// range and the order-reversing case exercises the ite-rebuild fallback.
+fn dense(mgr: &BddManager, rng: &mut XorShift64Star, terms: usize) -> Bdd {
+    let mut f = mgr.constant_false();
+    for _ in 0..terms {
+        let mut t = mgr.constant_true();
+        for _ in 0..8 {
+            let v = rng.gen_range(0..16) as u32;
+            let lit = if rng.gen_bool(0.5) { mgr.var(v) } else { mgr.nvar(v) };
+            t = t.and(&lit);
+        }
+        f = f.or(&t);
+    }
+    f
+}
+
+fn shift_perm() -> Permutation {
+    let pairs: Vec<(u32, u32)> = (0..16).map(|i| (i, i + 16)).collect();
+    Permutation::try_from_pairs(&pairs).expect("shift is injective")
+}
+
+fn reversal_perm() -> Permutation {
+    // Swap the two halves pairwise in reverse: order-reversing on support.
+    let pairs: Vec<(u32, u32)> = (0..16).map(|i| (i, 31 - i)).collect();
+    Permutation::try_from_pairs(&pairs).expect("reversal is injective")
+}
+
+/// Times `runs` repetitions of `op` on a fresh manager, returning the
+/// total seconds and the manager for counter inspection.
+fn timed_runs(
+    terms: usize,
+    runs: usize,
+    op: impl Fn(&Bdd, &Permutation) -> Bdd,
+    perm: &Permutation,
+) -> (f64, BddManager, Bdd) {
+    let mgr = BddManager::new(32);
+    let mut rng = XorShift64Star::new(7);
+    let f = dense(&mgr, &mut rng, terms);
+    let start = Instant::now();
+    let mut r = op(&f, perm);
+    for _ in 1..runs {
+        r = op(&f, perm);
+    }
+    (start.elapsed().as_secs_f64(), mgr, r)
+}
+
+fn bench_kernel_replace(c: &mut Criterion) {
+    let terms = 60;
+    let mut g = c.benchmark_group("replace_kernel");
+    for (label, perm) in [("shift", shift_perm()), ("reversal", reversal_perm())] {
+        let mgr = BddManager::new(32);
+        let mut rng = XorShift64Star::new(7);
+        let f = dense(&mgr, &mut rng, terms);
+        // Both algorithms must agree before we time anything.
+        let direct = f.try_replace(&perm).expect("valid perm");
+        let rebuilt = f.try_replace_rebuild(&perm).expect("valid perm");
+        assert!(
+            direct == rebuilt,
+            "direct and rebuild replace disagree on {label}"
+        );
+        g.bench_function(&format!("direct/{label}"), |b| {
+            b.iter(|| f.try_replace(&perm).expect("valid perm"))
+        });
+        g.bench_function(&format!("rebuild/{label}"), |b| {
+            b.iter(|| f.try_replace_rebuild(&perm).expect("valid perm"))
+        });
+    }
+    g.finish();
+
+    // Headline JSON: fresh managers so each path's counters are its own.
+    let runs = 50;
+    let mut section = JsonObject::new().int("terms", terms as u64).int("runs", runs as u64);
+    for (label, perm) in [("shift", shift_perm()), ("reversal", reversal_perm())] {
+        let (direct_s, mgr, _r) =
+            timed_runs(terms, runs, |f, p| f.try_replace(p).expect("valid"), &perm);
+        let stats = mgr.kernel_stats();
+        let replace_cache = stats.op_cache("replace").expect("known op");
+        assert!(
+            replace_cache.hits > 0,
+            "repeated identical replaces must hit the shared cache ({label})"
+        );
+        let (rebuild_s, _mgr2, _r2) = timed_runs(
+            terms,
+            runs,
+            |f, p| f.try_replace_rebuild(p).expect("valid"),
+            &perm,
+        );
+        section = section.object(
+            label,
+            JsonObject::new()
+                .float("direct_s", direct_s)
+                .float("rebuild_s", rebuild_s)
+                .int("direct_cache_lookups", replace_cache.lookups)
+                .int("direct_cache_hits", replace_cache.hits)
+                .float("direct_cache_hit_rate", replace_cache.hit_rate())
+                .int("nodes_created", stats.nodes_created),
+        );
+    }
+    write_section("replace_kernel", &section);
+}
+
+jedd_bench::criterion_group!(benches, bench_replace_cost, bench_kernel_replace);
 jedd_bench::criterion_main!(benches);

@@ -109,9 +109,19 @@ impl Bencher {
     }
 }
 
+/// Sample count actually used: the `JEDD_BENCH_SAMPLES` environment
+/// variable overrides whatever the bench configured, so CI can run every
+/// bench as a fast smoke test without editing the bench sources.
+fn effective_sample_size(configured: usize) -> usize {
+    match std::env::var("JEDD_BENCH_SAMPLES") {
+        Ok(v) => v.parse::<usize>().map(|n| n.max(1)).unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
 fn run_bench(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
-        sample_size,
+        sample_size: effective_sample_size(sample_size),
         samples: Vec::new(),
     };
     f(&mut b);

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod criterion;
+pub mod report;
 
 use std::fmt::Write as _;
 use std::time::Instant;

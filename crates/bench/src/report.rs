@@ -1,0 +1,214 @@
+//! Machine-readable bench output without a serde dependency.
+//!
+//! Benches build a [`JsonObject`] of their headline numbers and call
+//! [`write_section`]; when the `JEDD_BENCH_JSON` environment variable
+//! names a file, the section is merged into that file as one top-level
+//! key, so several bench binaries can contribute to a single report
+//! (CI writes `BENCH_kernel.json` this way). With the variable unset
+//! the call is a no-op and the benches stay pure timing runs.
+
+use std::fmt::Write as _;
+
+/// A flat JSON object built field by field. Values are emitted in
+/// insertion order; keys are not deduplicated.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonObject {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with enough precision for timings.
+    pub fn float(mut self, key: &str, value: f64) -> JsonObject {
+        let rendered = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a nested object field.
+    pub fn object(mut self, key: &str, value: JsonObject) -> JsonObject {
+        self.fields.push((key.to_string(), value.render()));
+        self
+    }
+
+    /// Renders the object as a JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Merges `section` into the JSON report file named by the
+/// `JEDD_BENCH_JSON` environment variable, under the key `name`.
+///
+/// Creates the file (as `{"name": {...}}`) when absent; otherwise the
+/// existing top-level object is re-parsed just enough to insert or
+/// replace the key. No-op when the variable is unset. I/O errors are
+/// reported on stderr rather than panicking — a failed report must not
+/// fail the bench.
+pub fn write_section(name: &str, section: &JsonObject) {
+    let Ok(path) = std::env::var("JEDD_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let rendered = section.render();
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(existing) => merge_into(&existing, name, &rendered),
+        Err(_) => format!("{{\"{}\":{}}}\n", escape(name), rendered),
+    };
+    if let Err(e) = std::fs::write(&path, merged) {
+        eprintln!("bench report: cannot write {path}: {e}");
+    }
+}
+
+/// Inserts or replaces one top-level key in an existing JSON object
+/// document. Falls back to rewriting the whole document when the
+/// existing content doesn't look like an object.
+fn merge_into(existing: &str, name: &str, rendered: &str) -> String {
+    let trimmed = existing.trim();
+    let fresh = || format!("{{\"{}\":{}}}\n", escape(name), rendered);
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return fresh();
+    }
+    let inner = &trimmed[1..trimmed.len() - 1];
+    // Re-collect the existing top-level entries, dropping any previous
+    // run of this section, then append the new one.
+    let mut entries: Vec<&str> = Vec::new();
+    for entry in split_top_level(inner) {
+        let key_prefix = format!("\"{}\":", escape(name));
+        if entry.trim_start().starts_with(&key_prefix) {
+            continue;
+        }
+        entries.push(entry);
+    }
+    let mut out = String::from("{");
+    for e in &entries {
+        out.push_str(e.trim());
+        out.push(',');
+    }
+    let _ = write!(out, "\"{}\":{}", escape(name), rendered);
+    out.push_str("}\n");
+    out
+}
+
+/// Splits the inside of a JSON object on top-level commas (commas not
+/// nested in braces, brackets, or strings).
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '{' | '[' if !in_string => depth += 1,
+            '}' | ']' if !in_string => depth -= 1,
+            ',' if !in_string && depth == 0 => {
+                if !inner[start..i].trim().is_empty() {
+                    out.push(&inner[start..i]);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !inner[start..].trim().is_empty() {
+        out.push(&inner[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_renders_in_order() {
+        let o = JsonObject::new()
+            .str("name", "shift")
+            .int("hits", 42)
+            .float("ms", 1.25)
+            .object("inner", JsonObject::new().int("n", 1));
+        assert_eq!(
+            o.render(),
+            "{\"name\":\"shift\",\"hits\":42,\"ms\":1.250000,\"inner\":{\"n\":1}}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let o = JsonObject::new().str("k", "a\"b\\c\nd");
+        assert_eq!(o.render(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn merge_adds_and_replaces_sections() {
+        let first = merge_into("", "a", "{\"x\":1}");
+        assert_eq!(first.trim(), "{\"a\":{\"x\":1}}");
+        let both = merge_into(&first, "b", "{\"y\":2}");
+        assert_eq!(both.trim(), "{\"a\":{\"x\":1},\"b\":{\"y\":2}}");
+        let replaced = merge_into(&both, "a", "{\"x\":9}");
+        assert_eq!(replaced.trim(), "{\"b\":{\"y\":2},\"a\":{\"x\":9}}");
+    }
+
+    #[test]
+    fn merge_survives_commas_inside_strings() {
+        let doc = "{\"a\":{\"label\":\"x,y\"}}";
+        let merged = merge_into(doc, "b", "{\"n\":0}");
+        assert_eq!(merged.trim(), "{\"a\":{\"label\":\"x,y\"},\"b\":{\"n\":0}}");
+    }
+}

@@ -47,7 +47,10 @@ pub(crate) fn apply_moves(
         bdd.try_exists(&mgr.try_cube(&drop_bits)?)?
     };
     if !pairs.is_empty() {
-        result = result.try_replace(&Permutation::from_pairs(&pairs))?;
+        // `try_from_pairs` keeps the whole move fallible: a malformed
+        // bit mapping surfaces as `BddError::InvalidPermutation` instead
+        // of a panic inside the kernel.
+        result = result.try_replace(&Permutation::try_from_pairs(&pairs)?)?;
     }
     for b in zero_bits {
         result = result.try_and(&mgr.try_nvar(b)?)?;

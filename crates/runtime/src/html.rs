@@ -4,6 +4,7 @@
 //! lists, and inline-SVG shape charts.
 
 use crate::profile::Profiler;
+use jedd_bdd::KernelStats;
 use jedd_core::OpEvent;
 use std::fmt::Write as _;
 
@@ -15,8 +16,18 @@ fn esc(s: &str) -> String {
 ///
 /// The overview table links to per-op sections; executions with recorded
 /// shapes get an inline SVG bar chart of nodes-per-level (the "size and
-/// shape of the underlying BDD data structures", §4.3).
+/// shape of the underlying BDD data structures", §4.3). Use
+/// [`render_html_with_kernel`] to additionally include the kernel's cache
+/// and GC counters.
 pub fn render_html(profiler: &Profiler) -> String {
+    render_html_with_kernel(profiler, None)
+}
+
+/// Like [`render_html`], with an optional kernel-statistics section: the
+/// per-operation cache hit rates and the GC/cache-sweep counters from
+/// [`jedd_bdd::BddManager::kernel_stats`], so cache behaviour can be read
+/// next to the relational profile it explains.
+pub fn render_html_with_kernel(profiler: &Profiler, kernel: Option<&KernelStats>) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -87,7 +98,59 @@ pub fn render_html(profiler: &Profiler) -> String {
             out.push_str(&shape_svg(e.shape.as_ref().expect("checked")));
         }
     }
+    if let Some(k) = kernel {
+        out.push_str(&kernel_section(k));
+    }
     let _ = writeln!(out, "</body></html>");
+    out
+}
+
+/// Renders the kernel cache/GC counters as an HTML section.
+fn kernel_section(k: &KernelStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<h2 id=\"kernel\">Kernel statistics</h2>\
+         <p>{} nodes created, {} unique-table hits, {} GC runs \
+         ({} nodes reclaimed), {} cache sweeps \
+         ({} entries kept, {} swept).</p>",
+        k.nodes_created,
+        k.unique_hits,
+        k.gc_runs,
+        k.gc_reclaimed,
+        k.cache_sweeps,
+        k.cache_entries_kept,
+        k.cache_entries_swept
+    );
+    let _ = writeln!(
+        out,
+        "<table><tr><th class=l>operation</th><th>cache lookups</th>\
+         <th>cache hits</th><th>hit rate</th></tr>"
+    );
+    for (name, s) in KernelStats::CACHE_OP_NAMES.iter().zip(k.per_op_cache.iter()) {
+        if s.lookups == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "<tr><td class=l>{}</td><td>{}</td><td>{}</td><td>{:.1}%</td></tr>",
+            esc(name),
+            s.lookups,
+            s.hits,
+            s.hit_rate() * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<tr><td class=l>total</td><td>{}</td><td>{}</td><td>{:.1}%</td></tr></table>",
+        k.cache_lookups,
+        k.cache_hits,
+        if k.cache_lookups == 0 {
+            0.0
+        } else {
+            k.cache_hits as f64 / k.cache_lookups as f64 * 100.0
+        }
+    );
     out
 }
 
@@ -173,6 +236,31 @@ mod tests {
         let html = render_html(&p);
         assert!(!html.contains("<script>"));
         assert!(html.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn kernel_section_lists_per_op_hit_rates() {
+        let p = Profiler::new();
+        p.record(&OpEvent {
+            op: "union",
+            site: "main".into(),
+            nanos: 10,
+            operand_nodes: 2,
+            result_nodes: 2,
+            shape: None,
+        });
+        let mgr = jedd_bdd::BddManager::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let _ = a.and(&b);
+        let _ = a.and(&b); // second run hits the shared cache
+        let stats = mgr.kernel_stats();
+        let html = render_html_with_kernel(&p, Some(&stats));
+        assert!(html.contains("Kernel statistics"));
+        assert!(html.contains("<td class=l>and</td>"));
+        assert!(html.contains("cache sweeps"));
+        // Plain render stays kernel-free.
+        assert!(!render_html(&p).contains("Kernel statistics"));
     }
 
     #[test]

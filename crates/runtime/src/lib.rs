@@ -47,7 +47,7 @@ mod profile;
 mod sql;
 
 pub use container::{ContainerStats, RelationContainer};
-pub use html::render_html;
+pub use html::{render_html, render_html_with_kernel};
 pub use liveness::{LivenessCfg, LivenessResult, LivenessStmt};
 pub use profile::{ProfileRow, Profiler};
 pub use sql::render_sql;

@@ -91,27 +91,36 @@ impl Profiler {
 
     /// Aggregates events into overview rows (one per op/site pair), sorted
     /// by total time descending — the paper's "overall profile view".
+    ///
+    /// Groups through a hash index, so aggregation is linear in the event
+    /// count; a long profiling run records millions of events. Rows keep
+    /// first-encounter order before the stable sort, so ties order exactly
+    /// as the previous linear-scan implementation did.
     pub fn summary(&self) -> Vec<ProfileRow> {
+        let events = self.events.borrow();
         let mut rows: Vec<ProfileRow> = Vec::new();
-        for e in self.events.borrow().iter() {
-            match rows
-                .iter_mut()
-                .find(|r| r.op == e.op && r.site == e.site)
-            {
-                Some(r) => {
+        let mut index: std::collections::HashMap<(&'static str, &str), usize> =
+            std::collections::HashMap::new();
+        for e in events.iter() {
+            match index.get(&(e.op, e.site.as_str())) {
+                Some(&i) => {
+                    let r = &mut rows[i];
                     r.count += 1;
                     r.total_nanos += e.nanos;
                     r.max_operand_nodes = r.max_operand_nodes.max(e.operand_nodes);
                     r.max_result_nodes = r.max_result_nodes.max(e.result_nodes);
                 }
-                None => rows.push(ProfileRow {
-                    op: e.op,
-                    site: e.site.clone(),
-                    count: 1,
-                    total_nanos: e.nanos,
-                    max_operand_nodes: e.operand_nodes,
-                    max_result_nodes: e.result_nodes,
-                }),
+                None => {
+                    index.insert((e.op, e.site.as_str()), rows.len());
+                    rows.push(ProfileRow {
+                        op: e.op,
+                        site: e.site.clone(),
+                        count: 1,
+                        total_nanos: e.nanos,
+                        max_operand_nodes: e.operand_nodes,
+                        max_result_nodes: e.result_nodes,
+                    });
+                }
             }
         }
         rows.sort_by_key(|r| std::cmp::Reverse(r.total_nanos));

@@ -7,7 +7,7 @@
 
 use jedd::analyses::pointsto::{self, CallGraphMode};
 use jedd::analyses::{facts::Facts, synth::Benchmark};
-use jedd::runtime::{render_html, render_sql, Profiler};
+use jedd::runtime::{render_html_with_kernel, render_sql, Profiler};
 use std::rc::Rc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let html = render_html(&profiler);
+    let kernel = f.u.bdd_manager().kernel_stats();
+    let html = render_html_with_kernel(&profiler, Some(&kernel));
     let path = "target/jedd-profile.html";
     std::fs::write(path, html)?;
     println!("\nbrowsable report written to {path}");
