@@ -23,6 +23,11 @@ JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench replace_cost --offline
 JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench pointsto_overhead --offline
+# The fixpoint bench asserts naive/semi-naive agreement tuple-for-tuple
+# and that semi-naive never takes more rounds, so a delta-engine
+# regression fails CI here.
+JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench fixpoint_seminaive --offline
 test -s BENCH_kernel.json
 
 echo "==> OK"

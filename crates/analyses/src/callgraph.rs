@@ -3,7 +3,7 @@
 //! resolution.
 
 use crate::facts::Facts;
-use jedd_core::{JeddError, Relation};
+use jedd_core::{DeltaRel, Fixpoint, JeddError, Relation, Strategy};
 
 /// The computed call graph.
 pub struct CallGraph {
@@ -15,33 +15,70 @@ pub struct CallGraph {
     pub reachable: Relation,
 }
 
-/// Builds the call graph from `(site, method)` targets.
+/// Builds the call graph from `(site, method)` targets with the default
+/// [`Strategy`] (semi-naive).
 ///
 /// # Errors
 ///
 /// Propagates relational-layer errors.
 pub fn build(f: &Facts, site_targets: &Relation) -> Result<CallGraph, JeddError> {
+    build_with(f, site_targets, Strategy::default())
+}
+
+/// [`build`] under an explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn build_with(
+    f: &Facts,
+    site_targets: &Relation,
+    strategy: Strategy,
+) -> Result<CallGraph, JeddError> {
     f.u.set_site("callgraph");
     // edges(caller, method) = ∃site. site_caller(site, caller) ∧ site_targets(site, method)
     let edges = f
         .site_caller
         .compose(&[f.site], site_targets, &[f.site])?;
 
-    // reachable = entry ∪ targets of reachable callers, to fixpoint.
-    let mut reachable = f.entry.clone();
-    loop {
-        // callees of reachable methods: rename reachable's method to
-        // caller, compose with edges over caller.
-        let as_caller = reachable
+    // callees of methods in `r`: rename the method to caller, compose
+    // with edges over caller.
+    let callees = |r: &Relation| -> Result<Relation, JeddError> {
+        let as_caller = r
             .rename(f.method, f.caller)?
             .with_assignment(&[(f.caller, f.m2)])?;
-        let step = as_caller.compose(&[f.caller], &edges, &[f.caller])?;
-        let next = reachable.union(&step)?;
-        if next.equals(&reachable)? {
-            break;
+        as_caller.compose(&[f.caller], &edges, &[f.caller])
+    };
+
+    // reachable = entry ∪ targets of reachable callers, to fixpoint.
+    let reachable = match strategy {
+        Strategy::Naive => {
+            let mut reachable = f.entry.clone();
+            let mut fp = Fixpoint::new(&f.u, "callgraph");
+            loop {
+                fp.begin_round()?;
+                let step = callees(&reachable)?;
+                let next = reachable.union(&step)?;
+                let done = next.equals(&reachable)?;
+                reachable = next;
+                fp.end_round(&[]);
+                if done {
+                    break reachable;
+                }
+            }
         }
-        reachable = next;
-    }
+        Strategy::SemiNaive => {
+            let mut reach = DeltaRel::new("reachable", f.entry.clone());
+            let mut fp = Fixpoint::new(&f.u, "callgraph");
+            while reach.has_delta() {
+                fp.begin_round()?;
+                let step = fp.rule("callees", || callees(reach.delta()))?;
+                reach.absorb(&step)?;
+                fp.end_round(&[&reach]);
+            }
+            reach.into_current()
+        }
+    };
     Ok(CallGraph {
         site_targets: site_targets.clone(),
         edges,
@@ -79,6 +116,17 @@ mod tests {
             .map(|t| (t[1], t[0]))
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn strategies_agree_bit_identically() {
+        let p = Benchmark::Compress.generate();
+        let f = Facts::load(&p).unwrap();
+        let ptres = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        let naive = build_with(&f, &ptres.cg, Strategy::Naive).unwrap();
+        let semi = build_with(&f, &ptres.cg, Strategy::SemiNaive).unwrap();
+        assert!(semi.reachable.equals(&naive.reachable).unwrap());
+        assert!(semi.edges.equals(&naive.edges).unwrap());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! closure of the `extend` relation.
 
 use crate::facts::Facts;
-use jedd_core::{JeddError, Relation};
+use jedd_core::{DeltaRel, Fixpoint, JeddError, Relation, Strategy};
 
 /// The computed hierarchy relations.
 pub struct Hierarchy {
@@ -10,29 +10,64 @@ pub struct Hierarchy {
     pub subtype_of: Relation,
 }
 
-/// Computes the subtype closure:
+/// Computes the subtype closure with the default [`Strategy`]
+/// (semi-naive):
 /// `subtypeOf = identity ∪ extend ∪ (subtypeOf ∘ extend)` to fixpoint.
 ///
 /// # Errors
 ///
 /// Propagates relational-layer errors.
 pub fn compute(f: &Facts) -> Result<Hierarchy, JeddError> {
+    compute_with(f, Strategy::default())
+}
+
+/// [`compute`] under an explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn compute_with(f: &Facts, strategy: Strategy) -> Result<Hierarchy, JeddError> {
     f.u.set_site("hierarchy");
-    let mut closure = f.type_identity()?.union(&f.extend)?;
-    loop {
-        // step(subtype, supertype) = ∃m. closure(subtype, m) ∧ extend(m, supertype).
-        // Move the middle onto T3 so the composition has three distinct
-        // domains (the standard closure layout).
-        let hop = closure
+    // step(subtype, supertype) = ∃m. c(subtype, m) ∧ extend(m, supertype).
+    // Move the middle onto T3 so the composition has three distinct
+    // domains (the standard closure layout).
+    let hop = |c: &Relation| -> Result<Relation, JeddError> {
+        let mid = c
             .rename(f.supertype, f.tgttype)?
             .with_assignment(&[(f.tgttype, f.t3)])?;
         let ext_mid = f.extend.rename(f.subtype, f.tgttype)?;
-        let step = hop.compose(&[f.tgttype], &ext_mid, &[f.tgttype])?;
-        let next = closure.union(&step)?;
-        if next.equals(&closure)? {
-            return Ok(Hierarchy { subtype_of: next });
+        mid.compose(&[f.tgttype], &ext_mid, &[f.tgttype])
+    };
+    let initial = f.type_identity()?.union(&f.extend)?;
+    match strategy {
+        Strategy::Naive => {
+            let mut closure = initial;
+            let mut fp = Fixpoint::new(&f.u, "hierarchy");
+            loop {
+                fp.begin_round()?;
+                let step = hop(&closure)?;
+                let next = closure.union(&step)?;
+                let done = next.equals(&closure)?;
+                closure = next;
+                fp.end_round(&[]);
+                if done {
+                    return Ok(Hierarchy { subtype_of: closure });
+                }
+            }
         }
-        closure = next;
+        Strategy::SemiNaive => {
+            let mut closure = DeltaRel::new("subtype_of", initial);
+            let mut fp = Fixpoint::new(&f.u, "hierarchy");
+            while closure.has_delta() {
+                fp.begin_round()?;
+                let step = fp.rule("hop", || hop(closure.delta()))?;
+                closure.absorb(&step)?;
+                fp.end_round(&[&closure]);
+            }
+            Ok(Hierarchy {
+                subtype_of: closure.into_current(),
+            })
+        }
     }
 }
 
@@ -70,6 +105,15 @@ mod tests {
         assert!(h.subtype_of.contains(&[5, 0]));
         assert!(h.subtype_of.contains(&[3, 3]));
         assert!(!h.subtype_of.contains(&[0, 5]));
+    }
+
+    #[test]
+    fn strategies_agree_bit_identically() {
+        let p = Benchmark::Compress.generate();
+        let f = Facts::load(&p).unwrap();
+        let naive = compute_with(&f, Strategy::Naive).unwrap();
+        let semi = compute_with(&f, Strategy::SemiNaive).unwrap();
+        assert!(semi.subtype_of.equals(&naive.subtype_of).unwrap());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::facts::Facts;
 use crate::vcr;
-use jedd_core::{JeddError, Relation};
+use jedd_core::{DeltaRel, Fixpoint, JeddError, Relation, Strategy};
 
 /// How receiver types are determined for call-graph construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,13 +31,27 @@ pub struct PointsTo {
     pub iterations: usize,
 }
 
-/// Runs the analysis to fixpoint.
+/// Runs the analysis to fixpoint with the default [`Strategy`]
+/// (semi-naive; produces bit-identical relations to the naive oracle).
 ///
 /// # Errors
 ///
 /// Propagates relational-layer errors.
 pub fn analyze(f: &Facts, mode: CallGraphMode) -> Result<PointsTo, JeddError> {
-    analyze_impl(f, mode, None)
+    analyze_with(f, mode, Strategy::default())
+}
+
+/// Runs the analysis to fixpoint under an explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn analyze_with(
+    f: &Facts,
+    mode: CallGraphMode,
+    strategy: Strategy,
+) -> Result<PointsTo, JeddError> {
+    analyze_impl(f, mode, None, strategy)
 }
 
 /// Runs the analysis with declared-type filtering: a variable may only
@@ -53,6 +67,20 @@ pub fn analyze_typed(
     mode: CallGraphMode,
     subtype_of: &Relation,
 ) -> Result<PointsTo, JeddError> {
+    analyze_typed_with(f, mode, subtype_of, Strategy::default())
+}
+
+/// [`analyze_typed`] under an explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn analyze_typed_with(
+    f: &Facts,
+    mode: CallGraphMode,
+    subtype_of: &Relation,
+    strategy: Strategy,
+) -> Result<PointsTo, JeddError> {
     // allowed(var, obj): the object's class is a subtype of the variable's
     // declared type.
     f.u.set_site("pointsto-filter");
@@ -66,10 +94,25 @@ pub fn analyze_typed(
         .with_assignment(&[(f.ty, f.t2)])?;
     // (var, obj) = var_type{ty} <> obj_ok{ty}
     let allowed = f.var_type.compose(&[f.ty], &obj_ok, &[f.ty])?;
-    analyze_impl(f, mode, Some(&allowed))
+    analyze_impl(f, mode, Some(&allowed), strategy)
 }
 
 fn analyze_impl(
+    f: &Facts,
+    mode: CallGraphMode,
+    allowed: Option<&Relation>,
+    strategy: Strategy,
+) -> Result<PointsTo, JeddError> {
+    match strategy {
+        Strategy::Naive => analyze_naive(f, mode, allowed),
+        Strategy::SemiNaive => analyze_seminaive(f, mode, allowed),
+    }
+}
+
+/// The naive oracle: every round re-derives from the full relations. Kept
+/// verbatim (modulo the divergence guard) so the delta engine has a
+/// bit-identical reference to be checked against.
+fn analyze_naive(
     f: &Facts,
     mode: CallGraphMode,
     allowed: Option<&Relation>,
@@ -89,9 +132,9 @@ fn analyze_impl(
     let mut cg = Relation::empty(&f.u, &[(f.site, f.c1), (f.method, f.m1)])?;
     let mut edges = f.assigns.clone();
 
-    let mut iterations = 0usize;
+    let mut fp = Fixpoint::new(&f.u, "pointsto");
     loop {
-        iterations += 1;
+        fp.begin_round()?;
         // --- 1. Copy propagation to a local fixpoint. ---
         loop {
             // step(dst, obj) = ∃src. edges(dst, src) ∧ pt(src, obj)
@@ -173,16 +216,267 @@ fn analyze_impl(
         pt = pt_next;
         cg = cg_next;
         edges = edges_next;
+        fp.end_round(&[]);
         if done {
             // One more propagation round ran with no change anywhere.
             return Ok(PointsTo {
                 pt,
                 field_pt,
                 cg,
-                iterations,
+                iterations: fp.rounds() as usize,
             });
         }
-        assert!(iterations < 10_000, "points-to failed to converge");
+    }
+}
+
+/// The semi-naive driver: each round derives new tuples only from the
+/// frontiers of the previous round. Bilinear rules split into one term
+/// per body literal — `Δa ⊗ b_full ∪ a_full ⊗ Δb` — with the composes
+/// associated so every intermediate stays delta-restricted. The round
+/// structure mirrors [`analyze_naive`] exactly (copy propagation runs to a
+/// local fixpoint inside each outer round), so the two strategies take the
+/// same number of outer rounds and reach the same least fixpoint.
+fn analyze_seminaive(
+    f: &Facts,
+    mode: CallGraphMode,
+    allowed: Option<&Relation>,
+) -> Result<PointsTo, JeddError> {
+    f.u.set_site("pointsto");
+    let filter = |r: Relation| -> Result<Relation, JeddError> {
+        match allowed {
+            Some(a) => r.intersect(a),
+            None => Ok(r),
+        }
+    };
+    // pt with the object moved aside and named baseobj, for matching base
+    // variables of loads/stores.
+    let to_base = |r: &Relation| -> Result<Relation, JeddError> {
+        r.rename(f.obj, f.baseobj)?
+            .with_assignment(&[(f.baseobj, f.h2)])
+    };
+
+    let mut pt = DeltaRel::new("pt", filter(f.news.clone())?);
+    let mut field_pt = DeltaRel::new(
+        "field_pt",
+        Relation::empty(
+            &f.u,
+            &[(f.baseobj, f.h2), (f.field, f.f1), (f.obj, f.h1)],
+        )?,
+    );
+    let mut cg = DeltaRel::new(
+        "cg",
+        Relation::empty(&f.u, &[(f.site, f.c1), (f.method, f.m1)])?,
+    );
+    let mut edges = DeltaRel::new("edges", f.assigns.clone());
+    let mut site_types = DeltaRel::new(
+        "site_types",
+        Relation::empty(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?,
+    );
+
+    // Everything in pt the store/load/call-graph rules have consumed so
+    // far: snapshotted each round just before the loads fire, so next
+    // round's delta for those rules is a single diff against it.
+    let mut pt_seen = Relation::empty(&f.u, &[(f.var, f.v1), (f.obj, f.h1)])?;
+
+    let mut fp = Fixpoint::new(&f.u, "pointsto");
+    loop {
+        fp.begin_round()?;
+
+        // --- 1. Copy propagation to a local fixpoint (semi-naive). ---
+        // Seed: new edges against all of pt, plus all edges against Δpt;
+        // afterwards only the fresh frontier needs propagating. Both
+        // frontiers empty (the confirming final round) means no seeding
+        // at all — an O(1) decision on the canonical node ids.
+        let mut inner = Fixpoint::new(&f.u, "pointsto-copy");
+        inner.begin_round()?;
+        // When Δpt is all of pt (the first round), the Δpt term alone is
+        // already `edges <> pt` in full and the Δedges term is redundant.
+        let pt_delta_is_all = pt.delta().equals(pt.current())?;
+        let mut changed = if edges.has_delta() || pt.has_delta() {
+            let seed = inner.rule("seed", || {
+                let via_new_pt = edges.current().compose(&[f.src], pt.delta(), &[f.var])?;
+                let combined = if edges.has_delta() && !pt_delta_is_all {
+                    let via_new_edges =
+                        edges.delta().compose(&[f.src], pt.current(), &[f.var])?;
+                    via_new_edges.union(&via_new_pt)?
+                } else {
+                    via_new_pt
+                };
+                combined
+                    .rename(f.dst, f.var)?
+                    .with_assignment(&[(f.var, f.v1)])
+            })?;
+            pt.absorb(&filter(seed)?)?
+        } else {
+            false
+        };
+        inner.end_round(&[&pt]);
+        while changed {
+            inner.begin_round()?;
+            // step(dst, obj) = ∃src. edges(dst, src) ∧ Δpt(src, obj)
+            let step = inner.rule("step", || {
+                edges
+                    .current()
+                    .compose(&[f.src], pt.delta(), &[f.var])?
+                    .rename(f.dst, f.var)?
+                    .with_assignment(&[(f.var, f.v1)])
+            })?;
+            changed = pt.absorb(&filter(step)?)?;
+            inner.end_round(&[&pt]);
+        }
+
+        // This round's pt growth for the store/load/call-graph rules: the
+        // loads frontier carried in from the previous round plus whatever
+        // copy propagation just derived.
+        let pt_new = pt.current().minus(&pt_seen)?;
+        let pt_grew = !pt_new.is_empty();
+        // Round one processes all of pt, so the delta terms alone already
+        // cover everything (O(1) to detect: same schema, same canonical
+        // root) and the full-side terms are redundant.
+        let pt_new_is_all = pt_new.equals(pt.current())?;
+        let pt_base_full = to_base(pt.current())?;
+        let pt_base_new = if pt_new_is_all {
+            pt_base_full.clone()
+        } else {
+            to_base(&pt_new)?
+        };
+        // Snapshot before the loads fire: the loads frontier belongs to
+        // the *next* round's pt_new.
+        pt_seen = pt.current().clone();
+
+        // --- 2. Stores: base.field = src, one term per body literal. ---
+        if pt_grew {
+            let st = fp.rule("stores", || {
+                // Δ(base) resolved first, then the full src side.
+                let via_new_base = f
+                    .stores
+                    .compose(&[f.base], &pt_base_new, &[f.var])?
+                    .compose(&[f.src], pt.current(), &[f.var])?;
+                if pt_new_is_all {
+                    return Ok(via_new_base);
+                }
+                // Δ(src) resolved first, then the full base side.
+                let via_new_src = f
+                    .stores
+                    .compose(&[f.src], &pt_new, &[f.var])?
+                    .compose(&[f.base], &pt_base_full, &[f.var])?;
+                via_new_base.union(&via_new_src)
+            })?;
+            field_pt.stage(&st)?;
+        }
+        field_pt.advance()?;
+
+        // --- 3. Loads: dst = base.field, one term per body literal. ---
+        let loads_changed = if pt_grew || field_pt.has_delta() {
+            let ld = fp.rule("loads", || {
+                let via_new_base = f
+                    .loads
+                    .compose(&[f.base], &pt_base_new, &[f.var])?
+                    .compose(&[f.baseobj, f.field], field_pt.current(), &[f.baseobj, f.field])?;
+                let combined = if pt_new_is_all {
+                    via_new_base
+                } else {
+                    let via_new_field = f
+                        .loads
+                        .compose(&[f.field], field_pt.delta(), &[f.field])?
+                        .compose(&[f.base, f.baseobj], &pt_base_full, &[f.var, f.baseobj])?;
+                    via_new_base.union(&via_new_field)?
+                };
+                combined
+                    .rename(f.dst, f.var)?
+                    .with_assignment(&[(f.var, f.v1)])
+            })?;
+            pt.absorb(&filter(ld)?)?
+        } else {
+            false
+        };
+
+        // --- 4. Call graph, driven by this round's pt growth. ---
+        // The load frontier has not been copy-propagated yet, but the
+        // naive driver resolves receivers from pt *including* this
+        // round's loads, so the delta fed to vcr must too.
+        let pt_for_cg = if loads_changed {
+            pt_new.union(pt.delta())?
+        } else {
+            pt_new.clone()
+        };
+        match mode {
+            CallGraphMode::OnTheFly if !pt_for_cg.is_empty() => {
+                let st_new = fp.rule("site-types", || {
+                    // (site, type) = site_recv{var} <> Δpt{var} <> objtype{obj}
+                    f.site_recv
+                        .compose(&[f.var], &pt_for_cg, &[f.var])?
+                        .compose(&[f.obj], &f.objtype, &[f.obj])
+                })?;
+                site_types.stage(&st_new)?;
+            }
+            CallGraphMode::OnTheFly => {}
+            CallGraphMode::AllTypes => {
+                // Constant: every type at every site, staged once.
+                if fp.rounds() == 0 {
+                    site_types
+                        .stage(&Relation::full(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?)?;
+                }
+            }
+        }
+        site_types.advance()?;
+        if site_types.has_delta() {
+            // Resolution is pointwise in (site, type), so resolving only
+            // the frontier and accumulating unions is exact.
+            let resolved = fp.rule("resolve", || {
+                let r = vcr::resolve(f, site_types.delta());
+                f.u.set_site("pointsto");
+                r
+            })?;
+            cg.stage(&resolved)?;
+        }
+        cg.advance()?;
+
+        // --- 5. Interprocedural assignment edges from new call edges. ---
+        if cg.has_delta() {
+            let new_edges = fp.rule("call-edges", || {
+                let dcg = cg.delta();
+                // this-parameter: this(callee) := recv(site).
+                let this_edges = dcg
+                    .join(&[f.method], &f.method_this, &[f.method])?
+                    .rename(f.var, f.dst)?
+                    .join(&[f.site], &f.site_recv, &[f.site])?
+                    .rename(f.var, f.src)?
+                    .project_onto(&[f.dst, f.src])?;
+                // parameters: param(callee, i) := arg(site, i).
+                let param_edges = dcg
+                    .join(&[f.method], &f.method_param, &[f.method])?
+                    .rename(f.var, f.dst)?
+                    .join(&[f.site, f.idx], &f.site_arg, &[f.site, f.idx])?
+                    .rename(f.var, f.src)?
+                    .project_onto(&[f.dst, f.src])?;
+                // returns: ret(site) := retvar(callee).
+                let ret_edges = dcg
+                    .join(&[f.method], &f.method_ret, &[f.method])?
+                    .rename(f.var, f.src)?
+                    .join(&[f.site], &f.site_ret, &[f.site])?
+                    .rename(f.var, f.dst)?
+                    .project_onto(&[f.dst, f.src])?;
+                this_edges.union(&param_edges)?.union(&ret_edges)
+            })?;
+            edges.stage(&new_edges)?;
+        }
+        edges.advance()?;
+
+        // Same termination condition as the naive driver's `done` check:
+        // loads, call edges and assignment edges all quiesced this round.
+        // (Δfield_pt and Δsite_types are excluded — their only consumers
+        // already ran against them above.)
+        let more = pt.has_delta() || cg.has_delta() || edges.has_delta();
+        fp.end_round(&[&pt, &field_pt, &cg, &edges]);
+        if !more {
+            return Ok(PointsTo {
+                pt: pt.into_current(),
+                field_pt: field_pt.into_current(),
+                cg: cg.into_current(),
+                iterations: fp.rounds() as usize,
+            });
+        }
     }
 }
 
@@ -325,6 +619,75 @@ mod tests {
         }
         assert!(cha.cg.size() >= precise.cg.size());
         assert!(cha.pt.size() >= precise.pt.size());
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::facts::Facts;
+    use crate::hierarchy;
+    use crate::synth::Benchmark;
+
+    /// The delta engine must be a pure evaluation-order change: on the
+    /// same universe, naive and semi-naive runs must produce *the same
+    /// canonical BDD nodes* for every result relation (`equals` on
+    /// identical schemas is a node-id comparison), in no more rounds.
+    #[test]
+    fn seminaive_is_bit_identical_to_naive_across_benchmarks_and_modes() {
+        for b in [Benchmark::Tiny, Benchmark::Compress, Benchmark::Javac] {
+            let p = b.generate();
+            for mode in [CallGraphMode::OnTheFly, CallGraphMode::AllTypes] {
+                let f = Facts::load(&p).unwrap();
+                let naive = analyze_with(&f, mode, Strategy::Naive).unwrap();
+                let semi = analyze_with(&f, mode, Strategy::SemiNaive).unwrap();
+                let ctx = format!("{} / {mode:?}", b.name());
+                assert!(semi.pt.equals(&naive.pt).unwrap(), "pt differs: {ctx}");
+                assert!(
+                    semi.field_pt.equals(&naive.field_pt).unwrap(),
+                    "field_pt differs: {ctx}"
+                );
+                assert!(semi.cg.equals(&naive.cg).unwrap(), "cg differs: {ctx}");
+                assert!(semi.iterations >= 1, "no rounds ran: {ctx}");
+                assert!(
+                    semi.iterations <= naive.iterations,
+                    "semi-naive took {} rounds, naive {}: {ctx}",
+                    semi.iterations,
+                    naive.iterations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typed_seminaive_is_bit_identical_to_naive() {
+        let p = Benchmark::Compress.generate();
+        let f = Facts::load(&p).unwrap();
+        let h = hierarchy::compute(&f).unwrap();
+        let naive =
+            analyze_typed_with(&f, CallGraphMode::OnTheFly, &h.subtype_of, Strategy::Naive)
+                .unwrap();
+        let semi =
+            analyze_typed_with(&f, CallGraphMode::OnTheFly, &h.subtype_of, Strategy::SemiNaive)
+                .unwrap();
+        assert!(semi.pt.equals(&naive.pt).unwrap());
+        assert!(semi.field_pt.equals(&naive.field_pt).unwrap());
+        assert!(semi.cg.equals(&naive.cg).unwrap());
+    }
+
+    /// The divergence guard degrades instead of panicking: a bound of
+    /// zero rounds must surface as a governor-ladder `ResourceExhausted`.
+    /// (Exercised through [`Fixpoint::with_max_rounds`]; the analysis
+    /// itself uses the default bound.)
+    #[test]
+    fn divergence_bound_is_an_error_not_a_panic() {
+        let p = Benchmark::Tiny.generate();
+        let f = Facts::load(&p).unwrap();
+        let mut fp = Fixpoint::new(&f.u, "pointsto").with_max_rounds(0);
+        match fp.begin_round() {
+            Err(JeddError::ResourceExhausted { op, .. }) => assert_eq!(op, "pointsto"),
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! against 803 lines of set-manipulating Java (paper §5).
 
 use crate::facts::Facts;
-use jedd_core::{JeddError, Relation};
+use jedd_core::{DeltaRel, Fixpoint, JeddError, Relation, Strategy};
 
 /// The computed side-effect relations, each `(method, baseobj, field)`.
 pub struct SideEffects {
@@ -18,9 +18,9 @@ pub struct SideEffects {
     pub writes_star: Relation,
 }
 
-/// Computes direct and transitive side effects, given the points-to
-/// relation `pt` (`(var, obj)`) and method-level call `edges`
-/// (`(caller, method)`).
+/// Computes direct and transitive side effects with the default
+/// [`Strategy`] (semi-naive), given the points-to relation `pt`
+/// (`(var, obj)`) and method-level call `edges` (`(caller, method)`).
 ///
 /// # Errors
 ///
@@ -29,6 +29,20 @@ pub fn compute(
     f: &Facts,
     pt: &Relation,
     edges: &Relation,
+) -> Result<SideEffects, JeddError> {
+    compute_with(f, pt, edges, Strategy::default())
+}
+
+/// [`compute`] under an explicit evaluation strategy.
+///
+/// # Errors
+///
+/// Propagates relational-layer errors.
+pub fn compute_with(
+    f: &Facts,
+    pt: &Relation,
+    edges: &Relation,
+    strategy: Strategy,
 ) -> Result<SideEffects, JeddError> {
     f.u.set_site("sideeffect");
     // Direct effects: resolve the base variable of each access through pt.
@@ -39,20 +53,44 @@ pub fn compute(
     let reads = f.load_in.compose(&[f.base], &pt_base, &[f.var])?;
     let writes = f.store_in.compose(&[f.base], &pt_base, &[f.var])?;
 
+    // (caller, baseobj, field) = edges{method} ∘ rw{method}: effects of
+    // callees lifted to their callers.
+    let lift = |rw: &Relation| -> Result<Relation, JeddError> {
+        edges
+            .compose(&[f.method], rw, &[f.method])?
+            .rename(f.caller, f.method)?
+            .with_assignment(&[(f.method, f.m1)])
+    };
+
     // Transitive closure over the call graph: rw*(caller) ⊇ rw*(callee).
     let close = |direct: &Relation| -> Result<Relation, JeddError> {
-        let mut star = direct.clone();
-        loop {
-            // (caller, baseobj, field) = edges{method} ∘ star{method}
-            let step = edges
-                .compose(&[f.method], &star, &[f.method])?
-                .rename(f.caller, f.method)?
-                .with_assignment(&[(f.method, f.m1)])?;
-            let next = star.union(&step)?;
-            if next.equals(&star)? {
-                return Ok(next);
+        match strategy {
+            Strategy::Naive => {
+                let mut star = direct.clone();
+                let mut fp = Fixpoint::new(&f.u, "sideeffect");
+                loop {
+                    fp.begin_round()?;
+                    let step = lift(&star)?;
+                    let next = star.union(&step)?;
+                    let done = next.equals(&star)?;
+                    star = next;
+                    fp.end_round(&[]);
+                    if done {
+                        return Ok(star);
+                    }
+                }
             }
-            star = next;
+            Strategy::SemiNaive => {
+                let mut star = DeltaRel::new("rw_star", direct.clone());
+                let mut fp = Fixpoint::new(&f.u, "sideeffect");
+                while star.has_delta() {
+                    fp.begin_round()?;
+                    let step = fp.rule("lift", || lift(star.delta()))?;
+                    star.absorb(&step)?;
+                    fp.end_round(&[&star]);
+                }
+                Ok(star.into_current())
+            }
         }
     };
     let reads_star = close(&reads)?;
@@ -106,6 +144,18 @@ mod tests {
             .map(|&(m, o, ff)| (m as u64, ff as u64, o as u64))
             .collect();
         assert_eq!(as_set(&se.writes_star), expect_writes_star);
+    }
+
+    #[test]
+    fn strategies_agree_bit_identically() {
+        let p = Benchmark::Compress.generate();
+        let f = Facts::load(&p).unwrap();
+        let ptres = analyze(&f, CallGraphMode::OnTheFly).unwrap();
+        let cg = callgraph::build(&f, &ptres.cg).unwrap();
+        let naive = compute_with(&f, &ptres.pt, &cg.edges, Strategy::Naive).unwrap();
+        let semi = compute_with(&f, &ptres.pt, &cg.edges, Strategy::SemiNaive).unwrap();
+        assert!(semi.reads_star.equals(&naive.reads_star).unwrap());
+        assert!(semi.writes_star.equals(&naive.writes_star).unwrap());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! up the class hierarchy.
 
 use crate::facts::Facts;
-use jedd_core::{JeddError, Relation};
+use jedd_core::{Fixpoint, JeddError, Relation};
 
 /// Resolves virtual calls.
 ///
@@ -14,9 +14,17 @@ use jedd_core::{JeddError, Relation};
 /// Returns `(site, method)` pairs. Exactly the Fig. 4 loop with `site`
 /// alongside the receiver-type key.
 ///
+/// The loop is inherently semi-naive: `toResolve` is a worklist that
+/// shrinks as cursors resolve and walks up the hierarchy otherwise, so
+/// every round already touches only a frontier. Resolution is pointwise
+/// in `(site, type)`, so callers holding a growing `site_types` may
+/// resolve just its delta and union the answers.
+///
 /// # Errors
 ///
-/// Propagates relational-layer errors.
+/// Propagates relational-layer errors, and a divergence error (through
+/// the [`Fixpoint`] round bound) if the hierarchy walk never terminates —
+/// e.g. an `extend` cycle none of whose types declares the signature.
 pub fn resolve(f: &Facts, site_types: &Relation) -> Result<Relation, JeddError> {
     f.u.set_site("vcr");
     // toResolve(site, signature, tgttype): pair each receiver type with
@@ -31,8 +39,10 @@ pub fn resolve(f: &Facts, site_types: &Relation) -> Result<Relation, JeddError> 
         &f.u,
         &[(f.site, f.c1), (f.method, f.m1)],
     )?;
+    let mut fp = Fixpoint::new(&f.u, "vcr");
     // Line 5-11 of Fig. 4.
     loop {
+        fp.begin_round()?;
         // resolved = toResolve{tgttype, signature} >< declares{type, signature}
         let resolved = to_resolve.join(
             &[f.tgttype, f.signature],
@@ -48,6 +58,7 @@ pub fn resolve(f: &Facts, site_types: &Relation) -> Result<Relation, JeddError> 
         to_resolve = stepped
             .rename(f.supertype, f.tgttype)?
             .with_assignment(&[(f.tgttype, f.t2)])?;
+        fp.end_round(&[]);
         if to_resolve.is_empty() {
             return Ok(answer);
         }

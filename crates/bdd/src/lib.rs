@@ -267,6 +267,73 @@ mod tests {
     }
 
     #[test]
+    fn subset_agrees_with_diff_emptiness() {
+        let m = mgr();
+        let a = m.var(0).and(&m.var(1));
+        let b = m.var(0);
+        let c = m.var(2).or(&m.var(3));
+        for (x, y) in [
+            (&a, &b),
+            (&b, &a),
+            (&a, &c),
+            (&c, &a),
+            (&a, &a),
+            (&b, &c),
+        ] {
+            assert_eq!(
+                x.is_subset(y),
+                x.diff(y).is_false(),
+                "subset probe must agree with diff-then-empty"
+            );
+            assert_eq!(x.try_diff_is_empty(y).unwrap(), x.is_subset(y));
+        }
+        assert!(m.constant_false().is_subset(&a));
+        assert!(a.is_subset(&m.constant_true()));
+        assert!(!m.constant_true().is_subset(&a));
+    }
+
+    #[test]
+    fn subset_probe_allocates_no_nodes() {
+        let m = mgr();
+        let a = m.var(0).xor(&m.var(1)).xor(&m.var(2));
+        let b = a.or(&m.var(3).and(&m.var(4)));
+        let before = m.kernel_stats().nodes_created;
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let after = m.kernel_stats().nodes_created;
+        assert_eq!(after, before, "subset must not materialise nodes");
+    }
+
+    #[test]
+    fn subset_hits_shared_cache_on_repeat() {
+        let m = mgr();
+        let a = m.var(0).xor(&m.var(1)).xor(&m.var(2));
+        let b = a.or(&m.var(3));
+        assert!(a.is_subset(&b));
+        let before = m.kernel_stats().op_cache("subset").unwrap();
+        assert!(a.is_subset(&b));
+        let after = m.kernel_stats().op_cache("subset").unwrap();
+        assert!(
+            after.hits > before.hits,
+            "repeated identical subset must hit the shared cache \
+             ({before:?} -> {after:?})"
+        );
+    }
+
+    #[test]
+    fn subset_is_not_symmetric_in_cache() {
+        // Subset is not commutative: probing (a, b) must not poison the
+        // cache for (b, a).
+        let m = mgr();
+        let a = m.var(0);
+        let b = m.var(0).or(&m.var(1));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
     fn replace_rebuild_agrees_with_replace() {
         let m = mgr();
         let f = m.var(0).xor(&m.var(3)).and(&m.var(1).or(&m.var(2)));

@@ -663,6 +663,43 @@ impl Bdd {
         Ok(self.wrap(id))
     }
 
+    /// Set containment `self ⊆ other` (boolean implication), decided by a
+    /// cached recursion that only ever returns terminals — no result BDD is
+    /// materialised, so probing a frontier for emptiness allocates nothing.
+    /// This is the kernel assist behind the semi-naive fixpoint engine's
+    /// frontier checks.
+    pub fn is_subset(&self, other: &Bdd) -> bool {
+        expect_within_budget("is_subset", self.try_is_subset(other))
+    }
+
+    /// Budget-aware containment probe; see [`Bdd::is_subset`] and
+    /// [`Bdd::try_and`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_is_subset(&self, other: &Bdd) -> Result<bool, BddError> {
+        self.check_same_mgr(other);
+        let id = run_governed(&self.mgr, |inner| {
+            inner
+                .subset(self.id, other.id)
+                .map(|r| if r { NodeId::TRUE.0 } else { NodeId::FALSE.0 })
+        })?;
+        Ok(id == NodeId::TRUE.0)
+    }
+
+    /// `true` when `self \ other` is empty, without building the
+    /// difference. Equivalent to [`Bdd::try_is_subset`]; named for the
+    /// delta-fixpoint use site where the question is "did this rule derive
+    /// anything new?".
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BddError`] on budget exhaustion or injected faults.
+    pub fn try_diff_is_empty(&self, other: &Bdd) -> Result<bool, BddError> {
+        self.try_is_subset(other)
+    }
+
     /// Variable replacement (BuDDy `replace`, CUDD `SwapVariables`):
     /// rewrites this BDD under the given variable permutation.
     ///

@@ -132,6 +132,41 @@ impl Inner {
         Ok(r)
     }
 
+    /// Decides `a => b` (set containment `a ⊆ b`) without building the
+    /// difference BDD: the recursion only ever returns terminals, so a
+    /// frontier-emptiness probe allocates no nodes at all. Results are
+    /// memoised under [`CacheOp::Subset`] (not commutative — no key
+    /// sorting) with the answer stored as the `TRUE`/`FALSE` terminal id,
+    /// which always survives cache sweeps.
+    pub(crate) fn subset(&mut self, a: u32, b: u32) -> Result<bool, BddError> {
+        if a == F || b == T || a == b {
+            return Ok(true);
+        }
+        if b == F || a == T {
+            // a is not FALSE / b is not TRUE after the cases above.
+            return Ok(false);
+        }
+        self.step()?;
+        if let Some(r) = self.cache_lookup(CacheOp::Subset, a, b, 0) {
+            return Ok(r == T);
+        }
+        let (la, lb) = (self.level(a), self.level(b));
+        let m = la.min(lb);
+        let (a0, a1) = if la == m {
+            (self.low(a), self.high(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if lb == m {
+            (self.low(b), self.high(b))
+        } else {
+            (b, b)
+        };
+        let r = self.subset(a0, b0)? && self.subset(a1, b1)?;
+        self.cache_store(CacheOp::Subset, a, b, 0, if r { T } else { F });
+        Ok(r)
+    }
+
     /// Negation, implemented as `true - f` (set complement).
     pub(crate) fn not(&mut self, a: u32) -> Result<u32, BddError> {
         self.apply(BinOp::Diff, T, a)

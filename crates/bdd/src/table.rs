@@ -16,6 +16,7 @@ pub(crate) enum CacheOp {
     AndExists = 7,
     Biimp = 8,
     Replace = 9,
+    Subset = 10,
     None = 0,
 }
 
@@ -94,7 +95,7 @@ pub struct KernelStats {
     pub budget_failures: u64,
     /// Cache lookup/hit counters split by operation, in the order of
     /// [`KernelStats::CACHE_OP_NAMES`].
-    pub per_op_cache: [OpCacheStats; 9],
+    pub per_op_cache: [OpCacheStats; 10],
     /// Cache sweeps run by the garbage collector.
     pub cache_sweeps: u64,
     /// Cache entries dropped by sweeps (an operand or the result died).
@@ -105,7 +106,7 @@ pub struct KernelStats {
 
 impl KernelStats {
     /// Operation names for [`KernelStats::per_op_cache`], in index order.
-    pub const CACHE_OP_NAMES: [&'static str; 9] = [
+    pub const CACHE_OP_NAMES: [&'static str; 10] = [
         "and",
         "or",
         "diff",
@@ -115,6 +116,7 @@ impl KernelStats {
         "and_exists",
         "biimp",
         "replace",
+        "subset",
     ];
 
     /// The cache counters for the named operation (one of

@@ -1,0 +1,145 @@
+//! Naive vs semi-naive fixpoint evaluation of the points-to analysis
+//! (the paper's flagship workload) across the synthetic benchmark family:
+//! outer rounds, wall time, and node allocation for each strategy.
+//!
+//! With `JEDD_BENCH_JSON` set, a `fixpoint_seminaive` section is merged
+//! into the report, one entry per benchmark. The bench itself asserts the
+//! two strategies agree tuple-for-tuple and that the semi-naive round
+//! count never exceeds the naive one, so a regression fails `ci.sh`.
+
+use jedd_analyses::facts::Facts;
+use jedd_analyses::ir::Program;
+use jedd_analyses::pointsto::{self, CallGraphMode, PointsTo};
+use jedd_analyses::synth::Benchmark;
+use jedd_bench::criterion::Criterion;
+use jedd_bench::report::{write_section, JsonObject};
+use jedd_core::Strategy;
+use std::collections::BTreeSet;
+
+/// One measured analysis run on a fresh universe: result, wall seconds,
+/// nodes allocated during the run, and nodes live at the end.
+struct Run {
+    result: PointsTo,
+    secs: f64,
+    nodes_created: u64,
+    live_nodes: u64,
+}
+
+fn run_once(p: &Program, strategy: Strategy) -> Run {
+    let f = Facts::load(p).unwrap();
+    let before = f.u.bdd_manager().kernel_stats().nodes_created;
+    let (result, secs) = jedd_bench::timed(|| {
+        pointsto::analyze_with(&f, CallGraphMode::OnTheFly, strategy).unwrap()
+    });
+    let stats = f.u.bdd_manager().kernel_stats();
+    Run {
+        result,
+        secs,
+        nodes_created: stats.nodes_created - before,
+        live_nodes: f.u.bdd_manager().live_nodes() as u64,
+    }
+}
+
+/// Best wall time of three runs (fresh `Facts` each), keeping the first
+/// run's relations and counters (they are deterministic across runs).
+fn best_of_3(p: &Program, strategy: Strategy) -> Run {
+    let mut best = run_once(p, strategy);
+    for _ in 0..2 {
+        let r = run_once(p, strategy);
+        if r.secs < best.secs {
+            best.secs = r.secs;
+        }
+        assert_eq!(r.result.iterations, best.result.iterations);
+    }
+    best
+}
+
+fn tuple_set(r: &jedd_core::Relation) -> BTreeSet<Vec<u64>> {
+    r.tuples().into_iter().collect()
+}
+
+fn bench_fixpoint(c: &mut Criterion) {
+    // Criterion timings on the mid-size benchmark; the JSON sweep below
+    // covers the whole family.
+    let p = Benchmark::Compress.generate();
+    let mut g = c.benchmark_group("fixpoint_compress");
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let f = Facts::load(std::hint::black_box(&p)).unwrap();
+            pointsto::analyze_with(&f, CallGraphMode::OnTheFly, Strategy::Naive).unwrap()
+        })
+    });
+    g.bench_function("semi_naive", |b| {
+        b.iter(|| {
+            let f = Facts::load(std::hint::black_box(&p)).unwrap();
+            pointsto::analyze_with(&f, CallGraphMode::OnTheFly, Strategy::SemiNaive).unwrap()
+        })
+    });
+    g.finish();
+
+    let mut section = JsonObject::new();
+    for b in Benchmark::table2() {
+        let p = b.generate();
+        let naive = best_of_3(&p, Strategy::Naive);
+        let semi = best_of_3(&p, Strategy::SemiNaive);
+
+        // The delta engine is an evaluation-order change only: same
+        // relations, in no more rounds.
+        assert_eq!(
+            tuple_set(&semi.result.pt),
+            tuple_set(&naive.result.pt),
+            "pt mismatch on {}",
+            b.name()
+        );
+        assert_eq!(
+            tuple_set(&semi.result.field_pt),
+            tuple_set(&naive.result.field_pt),
+            "field_pt mismatch on {}",
+            b.name()
+        );
+        assert_eq!(
+            tuple_set(&semi.result.cg),
+            tuple_set(&naive.result.cg),
+            "cg mismatch on {}",
+            b.name()
+        );
+        assert!(
+            semi.result.iterations <= naive.result.iterations,
+            "semi-naive took {} rounds on {}, naive {}",
+            semi.result.iterations,
+            b.name(),
+            naive.result.iterations
+        );
+
+        section = section.object(
+            b.name(),
+            JsonObject::new()
+                .float("naive_s", naive.secs)
+                .float("semi_naive_s", semi.secs)
+                .float("speedup", naive.secs / semi.secs)
+                .int("naive_rounds", naive.result.iterations as u64)
+                .int("semi_naive_rounds", semi.result.iterations as u64)
+                .int("naive_nodes_created", naive.nodes_created)
+                .int("semi_naive_nodes_created", semi.nodes_created)
+                .int("naive_live_nodes", naive.live_nodes)
+                .int("semi_naive_live_nodes", semi.live_nodes)
+                .int("pt_pairs", semi.result.pt.size()),
+        );
+        println!(
+            "fixpoint_seminaive {}: naive {:.3}s / semi {:.3}s ({:.2}x), rounds {} vs {}, nodes {} vs {}",
+            b.name(),
+            naive.secs,
+            semi.secs,
+            naive.secs / semi.secs,
+            naive.result.iterations,
+            semi.result.iterations,
+            naive.nodes_created,
+            semi.nodes_created,
+        );
+    }
+    write_section("fixpoint_seminaive", &section);
+}
+
+jedd_bench::criterion_group!(benches, bench_fixpoint);
+jedd_bench::criterion_main!(benches);

@@ -15,6 +15,10 @@
 //! * [`assign`] — the physical-domain-assignment engine of §3.3: the
 //!   constraint graph, the SAT encoding (clause types 1–7), decoding, and
 //!   the unsat-core-driven error reporting of §3.3.3.
+//! * [`fixpoint`] — the semi-naive (delta) fixpoint engine used by the
+//!   relational analyses: [`DeltaRel`] current/frontier pairs, the
+//!   [`Fixpoint`] round driver with per-round profiler events, and the
+//!   [`Strategy`] switch between the delta engine and the naive oracle.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 
 pub mod assign;
 mod error;
+pub mod fixpoint;
 mod iter;
 mod ops;
 mod profile;
@@ -48,6 +53,7 @@ mod relation;
 mod universe;
 
 pub use error::JeddError;
+pub use fixpoint::{DeltaRel, Fixpoint, Strategy};
 pub use iter::{Objects, Tuples};
 // Budget/error vocabulary of the kernel, re-exported so budget-aware
 // callers need not depend on `jedd-bdd` directly.

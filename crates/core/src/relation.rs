@@ -438,8 +438,35 @@ impl Relation {
     /// Returns [`JeddError::SchemaMismatch`] unless both operands have the
     /// same attribute set.
     pub fn equals(&self, other: &Relation) -> Result<bool, JeddError> {
+        // Fast path: identical schema *and* identical physical assignment
+        // means the canonical node ids are directly comparable — no
+        // alignment replace, no profiler event, O(1).
+        if self.universe.same_universe(&other.universe) && self.schema == other.schema {
+            return Ok(self.bdd == other.bdd);
+        }
         let o = self.aligned(other, "compare")?;
         Ok(self.bdd == o.bdd)
+    }
+
+    /// Set containment `self ⊆ other`, decided by the kernel's cached
+    /// subset probe without materialising the difference BDD — the
+    /// frontier-emptiness primitive of the semi-naive fixpoint engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JeddError::SchemaMismatch`] unless both operands have the
+    /// same attribute set, or [`JeddError::ResourceExhausted`] on budget
+    /// exhaustion.
+    pub fn is_subset(&self, other: &Relation) -> Result<bool, JeddError> {
+        let o = if self.universe.same_universe(&other.universe) && self.schema == other.schema {
+            other.clone() // same assignment: probe the raw BDDs directly
+        } else {
+            self.aligned(other, "subset")?
+        };
+        self.universe.count_op();
+        self.bdd
+            .try_is_subset(&o.bdd)
+            .map_err(|e| self.universe.resource_exhausted("subset", e))
     }
 
     /// Re-assigns attributes to the given physical domains, inserting the

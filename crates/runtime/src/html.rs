@@ -98,10 +98,117 @@ pub fn render_html_with_kernel(profiler: &Profiler, kernel: Option<&KernelStats>
             out.push_str(&shape_svg(e.shape.as_ref().expect("checked")));
         }
     }
+    let rounds = fixpoint_rounds(&events);
+    if !rounds.is_empty() {
+        out.push_str(&fixpoint_section(&rounds));
+    }
     if let Some(k) = kernel {
         out.push_str(&kernel_section(k));
     }
     let _ = writeln!(out, "</body></html>");
+    out
+}
+
+/// One fixpoint round reconstructed from the `fixpoint-*` events a
+/// [`jedd_core::Fixpoint`] driver emits: the rule timings and per-relation
+/// delta tuple counts recorded during the round, closed by the
+/// `fixpoint-round` terminator carrying the round's wall time.
+struct FixpointRound {
+    driver: String,
+    round: usize,
+    nanos: u64,
+    /// `(rule label, nanos)` in execution order.
+    rules: Vec<(String, u64)>,
+    /// `(relation label, delta tuples)` in emission order.
+    deltas: Vec<(String, u64)>,
+}
+
+/// Groups the event stream back into per-driver rounds. Within one driver
+/// the stream is ordered `rule* delta* round`, so accumulating until each
+/// `fixpoint-round` terminator reconstructs the round exactly; nested
+/// drivers (e.g. an inner copy-propagation loop) are kept separate by the
+/// driver name embedded in the site.
+fn fixpoint_rounds(events: &[OpEvent]) -> Vec<FixpointRound> {
+    /// An in-progress round: driver name, rule timings, delta counts.
+    type OpenRound = (String, Vec<(String, u64)>, Vec<(String, u64)>);
+    let mut open: Vec<OpenRound> = Vec::new();
+    let mut rounds: Vec<FixpointRound> = Vec::new();
+    let slot = |open: &mut Vec<OpenRound>, driver: &str| -> usize {
+        match open.iter().position(|(d, _, _)| d == driver) {
+            Some(i) => i,
+            None => {
+                open.push((driver.to_string(), Vec::new(), Vec::new()));
+                open.len() - 1
+            }
+        }
+    };
+    for e in events {
+        match e.op {
+            "fixpoint-rule" => {
+                let (driver, rule) = e.site.split_once(": ").unwrap_or((e.site.as_str(), ""));
+                let i = slot(&mut open, driver);
+                open[i].1.push((rule.to_string(), e.nanos));
+            }
+            "fixpoint-delta" => {
+                let (driver, rel) = e.site.split_once(": ").unwrap_or((e.site.as_str(), ""));
+                let i = slot(&mut open, driver);
+                open[i].2.push((rel.to_string(), e.result_nodes as u64));
+            }
+            "fixpoint-round" => {
+                let i = slot(&mut open, &e.site);
+                let (driver, rules, deltas) = open.swap_remove(i);
+                let round = rounds.iter().filter(|r| r.driver == driver).count() + 1;
+                rounds.push(FixpointRound {
+                    driver,
+                    round,
+                    nanos: e.nanos,
+                    rules,
+                    deltas,
+                });
+            }
+            _ => {}
+        }
+    }
+    rounds
+}
+
+/// Renders the reconstructed fixpoint rounds: one row per round with its
+/// wall time, rule timings, and delta tuple counts — the semi-naive
+/// engine's progress log, browsable next to the kernel statistics that
+/// explain it.
+fn fixpoint_section(rounds: &[FixpointRound]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<h2 id=\"fixpoint\">Fixpoint rounds</h2><table>\
+         <tr><th class=l>driver</th><th>round</th><th>time (µs)</th>\
+         <th class=l>rules (µs)</th><th class=l>deltas (tuples)</th></tr>"
+    );
+    for r in rounds {
+        let rules = r
+            .rules
+            .iter()
+            .map(|(name, ns)| format!("{} {:.1}", esc(name), *ns as f64 / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let deltas = r
+            .deltas
+            .iter()
+            .map(|(name, tuples)| format!("{} {}", esc(name), tuples))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "<tr><td class=l>{}</td><td>{}</td><td>{:.1}</td>\
+             <td class=l>{}</td><td class=l>{}</td></tr>",
+            esc(&r.driver),
+            r.round,
+            r.nanos as f64 / 1000.0,
+            rules,
+            deltas
+        );
+    }
+    let _ = writeln!(out, "</table>");
     out
 }
 
@@ -261,6 +368,49 @@ mod tests {
         assert!(html.contains("cache sweeps"));
         // Plain render stays kernel-free.
         assert!(!render_html(&p).contains("Kernel statistics"));
+    }
+
+    #[test]
+    fn fixpoint_rounds_render_rules_and_deltas() {
+        let p = Profiler::new();
+        let ev = |op: &'static str, site: &str, nanos: u64, tuples: usize| OpEvent {
+            op,
+            site: site.into(),
+            nanos,
+            operand_nodes: 0,
+            result_nodes: tuples,
+            shape: None,
+        };
+        // Two pointsto rounds with an inner driver interleaved, as the
+        // semi-naive engine emits them: rule* delta* round per driver.
+        p.record(&ev("fixpoint-round", "pointsto-copy", 900, 0));
+        p.record(&ev("fixpoint-rule", "pointsto: stores", 4200, 0));
+        p.record(&ev("fixpoint-delta", "pointsto: Δpt", 0, 25));
+        p.record(&ev("fixpoint-delta", "pointsto: Δcg", 0, 3));
+        p.record(&ev("fixpoint-round", "pointsto", 10_000, 28));
+        p.record(&ev("fixpoint-rule", "pointsto: resolve", 1500, 0));
+        p.record(&ev("fixpoint-delta", "pointsto: Δpt", 0, 0));
+        p.record(&ev("fixpoint-round", "pointsto", 2000, 0));
+        let html = render_html(&p);
+        assert!(html.contains("Fixpoint rounds"));
+        assert!(html.contains("stores 4.2"), "rule timing rendered");
+        assert!(html.contains("Δpt 25"), "delta tuple count rendered");
+        assert!(html.contains("resolve 1.5"), "second round keeps its own rules");
+        assert!(html.contains("pointsto-copy"), "inner driver listed separately");
+    }
+
+    #[test]
+    fn fixpoint_section_absent_without_events() {
+        let p = Profiler::new();
+        p.record(&OpEvent {
+            op: "union",
+            site: "main".into(),
+            nanos: 1,
+            operand_nodes: 0,
+            result_nodes: 0,
+            shape: None,
+        });
+        assert!(!render_html(&p).contains("Fixpoint rounds"));
     }
 
     #[test]
