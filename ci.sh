@@ -1,15 +1,40 @@
 #!/usr/bin/env sh
 # Offline CI: build, test, lint. No network access is required (the
 # workspace has no external dependencies).
+#
+# Usage: ci.sh [--stress]
+#   --stress  additionally run the #[ignore] concurrency stress tests
+#             (4 workers hammering mk/apply through GC safepoints).
 set -eu
 
 cd "$(dirname "$0")"
 
+STRESS=0
+for arg in "$@"; do
+    case "$arg" in
+        --stress) STRESS=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test (workspace)"
-cargo test --workspace --offline -q
+# The whole suite runs twice: once on the default sequential kernel and
+# once with the 4-worker parallel apply engine (cutoff lowered so
+# test-sized operands actually engage it). The differential fuzzer in
+# tests/differential.rs and the JEDD_THREADS=1,2,4 determinism test in
+# crates/analyses are part of both passes.
+echo "==> cargo test (workspace, JEDD_THREADS=1)"
+JEDD_THREADS=1 cargo test --workspace --offline -q
+
+echo "==> cargo test (workspace, JEDD_THREADS=4)"
+JEDD_THREADS=4 JEDD_PAR_CUTOFF=64 cargo test --workspace --offline -q
+
+if [ "$STRESS" = 1 ]; then
+    echo "==> stress tests (ignored set)"
+    JEDD_THREADS=4 cargo test --workspace --offline -q -- --ignored
+fi
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -28,6 +53,15 @@ JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
 # regression fails CI here.
 JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench fixpoint_seminaive --offline
+# The parallel-apply bench validates thread-count-independence of the
+# fixpoint and records the 1-vs-4-thread wall-clock ratio. The >= 1.5x
+# speedup gate only means something with >= 4 real CPUs, so it is armed
+# conditionally.
+CPUS="$(nproc 2>/dev/null || echo 1)"
+GATE=0
+[ "$CPUS" -ge 4 ] && GATE=1
+JEDD_BENCH_SAMPLES=1 JEDD_BENCH_GATE="$GATE" JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench parallel_apply --offline
 test -s BENCH_kernel.json
 
 echo "==> OK"

@@ -51,6 +51,7 @@ mod extras;
 mod manager;
 mod node;
 mod ops;
+mod par;
 mod permute;
 mod quant;
 mod reorder;

@@ -143,6 +143,36 @@ impl BddManager {
         self.inner.borrow_mut().set_fail_plan(plan);
     }
 
+    /// Sets the worker-thread count of the parallel apply engine. `1`
+    /// (the default, or the `JEDD_THREADS` environment variable) keeps
+    /// every operation on the sequential path; `n >= 2` routes large
+    /// top-level operations (`and`/`or`/`diff`, `exists`, `and_exists`,
+    /// `replace`) through a pool of `n` workers. Results are identical for
+    /// every thread count; node ids are identical across all counts >= 2
+    /// (see `DESIGN.md` §9 for the determinism argument).
+    pub fn set_threads(&self, n: usize) {
+        self.inner.borrow_mut().set_par_threads(n);
+    }
+
+    /// The configured worker-thread count (see [`BddManager::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.inner.borrow().par_threads()
+    }
+
+    /// Sets the parallel engagement cutoff: a top-level operation only
+    /// takes the parallel path once its operands hold at least this many
+    /// distinct nodes (default 8192, or `JEDD_PAR_CUTOFF`). Values are
+    /// clamped to >= 2. Mostly useful for tests that want to force the
+    /// parallel path on small inputs.
+    pub fn set_par_cutoff(&self, nodes: usize) {
+        self.inner.borrow_mut().set_par_cutoff(nodes);
+    }
+
+    /// The configured parallel engagement cutoff (node count).
+    pub fn par_cutoff(&self) -> usize {
+        self.inner.borrow().par_cutoff()
+    }
+
     /// Number of variables currently allocated.
     pub fn num_vars(&self) -> usize {
         self.inner.borrow().num_vars() as usize

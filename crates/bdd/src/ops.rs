@@ -18,7 +18,7 @@ pub(crate) enum BinOp {
 }
 
 impl BinOp {
-    fn cache_op(self) -> CacheOp {
+    pub(crate) fn cache_op(self) -> CacheOp {
         match self {
             BinOp::And => CacheOp::And,
             BinOp::Or => CacheOp::Or,
@@ -29,13 +29,13 @@ impl BinOp {
     }
 
     /// Commutative operators may sort their cache keys.
-    fn commutative(self) -> bool {
+    pub(crate) fn commutative(self) -> bool {
         matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Biimp)
     }
 
     /// Resolves the operation when at least one argument is terminal (or the
     /// arguments are equal). Returns `None` when recursion is required.
-    fn terminal_case(self, a: u32, b: u32) -> Option<u32> {
+    pub(crate) fn terminal_case(self, a: u32, b: u32) -> Option<u32> {
         match self {
             BinOp::And => {
                 if a == F || b == F {
@@ -95,12 +95,30 @@ impl BinOp {
 }
 
 impl Inner {
+    /// Top-level entry for binary operations: routes large operands to the
+    /// parallel apply engine (when `JEDD_THREADS` >= 2) and everything
+    /// else to the sequential recursion. The engagement decision — probe
+    /// past the size cutoff — depends only on the operand structure, so it
+    /// is identical for every thread count.
+    pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
+        if self.par_enabled()
+            && op.terminal_case(a, b).is_none()
+            && self.probe_at_least(&[a, b], self.par_cutoff())
+        {
+            match self.par_run(crate::par::Job::Bin(op), a, b, self.num_vars())? {
+                crate::par::ParAttempt::Done(r) => return Ok(r),
+                crate::par::ParAttempt::Fallback => {}
+            }
+        }
+        self.apply_rec(op, a, b)
+    }
+
     /// The standard Bryant `apply` with memoisation.
     ///
     /// Fails only when a budget or fail plan is active (see
     /// [`Inner::mk`]); a failed call leaves the table consistent because
     /// partial results carry no external references.
-    pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
+    pub(crate) fn apply_rec(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
         if let Some(r) = op.terminal_case(a, b) {
             return Ok(r);
         }
@@ -125,8 +143,8 @@ impl Inner {
         } else {
             (b, b)
         };
-        let r0 = self.apply(op, a0, b0)?;
-        let r1 = self.apply(op, a1, b1)?;
+        let r0 = self.apply_rec(op, a0, b0)?;
+        let r1 = self.apply_rec(op, a1, b1)?;
         let r = self.mk(m, r0, r1)?;
         self.cache_store(op.cache_op(), ka, kb, 0, r);
         Ok(r)

@@ -1,0 +1,1028 @@
+//! The parallel apply engine: hot top-level operations (`and`/`or`/`diff`,
+//! `exists`, `and_exists`, `replace`) run on a work-pool of `JEDD_THREADS`
+//! workers over a **sharded scratch unique table** and a **striped shared
+//! operation cache**, then import their results into the master arena in a
+//! deterministic sequential pass.
+//!
+//! # The three phases
+//!
+//! 1. **Split (sequential, `&mut Inner`).** The top of the operation's
+//!    recursion tree is unrolled for up to [`SPLIT_DEPTH`] levels, exactly
+//!    mirroring the sequential recursion's cofactoring, producing a *plan*:
+//!    an `mk`-combine tree whose leaves are deduplicated subproblems
+//!    ("tasks"). Splitting stops above the first quantified level
+//!    (`exists`/`and_exists`) or the first permuted level (`replace`), so
+//!    every combine is a plain `mk` — no OR-combines are ever needed in the
+//!    master phase.
+//! 2. **Work pool (parallel, `&Inner`).** Tasks are dealt round-robin into
+//!    per-worker deques; idle workers steal from the back of other deques.
+//!    Workers run the standard recursions, reading the master table
+//!    immutably and allocating result nodes in a shared scratch table of
+//!    [`NUM_SHARDS`] mutex-protected shards (the shard is selected by the
+//!    node hash, so contention is spread). Memoisation goes through a
+//!    worker-private L1 cache backed by a shared striped L2 cache, so
+//!    workers share subresults across tasks. Budget/cancel checks run on
+//!    per-worker counters flushed to a shared governor every
+//!    [`Budget::CHECK_INTERVAL`] steps.
+//! 3. **Import (sequential, `&mut Inner`).** After all workers have joined,
+//!    the plan is emitted in canonical order (low child before high child),
+//!    translating scratch nodes into master nodes with ordinary `mk` calls.
+//!
+//! # Determinism
+//!
+//! Master-table mutations happen only in phases 1 and 3, which are
+//! sequential and depend only on the operands' structure — never on thread
+//! count or scheduling. The scratch results workers hand to phase 3 are
+//! canonical ROBDDs of deterministic boolean functions, and the import
+//! walks them in a fixed order, so **the master node ids produced are
+//! identical for every thread count >= 2**. Relative to the sequential
+//! path (threads = 1) the ids may differ — the sequential recursion interns
+//! its intermediate results in the master arena while the parallel engine
+//! keeps them in scratch — but the *functions* are identical, and after a
+//! full GC the live node set (the canonical DAG of the live functions) is
+//! identical too. Cache contents never influence results, only speed:
+//! every cached value is the hash-consed canonical node of its key.
+//!
+//! # GC safepoint protocol
+//!
+//! Collections only ever run between top-level operations (`maybe_gc`, the
+//! recovery ladder, or an explicit `gc()`), and a parallel operation joins
+//! all its workers before returning. The join *is* the quiescence point:
+//! when a GC runs, no worker can hold a reference into the arena, so the
+//! stop-the-world property of the seed collector — including the op-cache
+//! survival semantics of the sweep — is preserved without any per-node
+//! synchronisation. Scratch tables are operation-local and dropped (or
+//! fully imported) before any GC can observe them.
+
+use crate::budget::{BddError, Budget, CancelToken};
+use crate::node::{NIL, SCRATCH_TAG};
+use crate::ops::BinOp;
+use crate::table::{triple_hash, CacheOp, Inner};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of scratch-table shards and cache stripes (a power of two).
+const NUM_SHARDS: usize = 64;
+/// Bits of a scratch id holding the slot; the shard index sits above.
+const SHARD_SHIFT: u32 = 25;
+const SLOT_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+/// Levels of the recursion tree unrolled by the split phase: at most
+/// `2^SPLIT_DEPTH` leaf paths, deduplicated into tasks. This is the
+/// subproblem granularity cutoff — everything below a task stays
+/// sequential within one worker, so small subtrees never pay
+/// synchronisation costs.
+const SPLIT_DEPTH: u32 = 8;
+/// Direct-mapped slots per shared-cache stripe.
+const STRIPE_SLOTS: usize = 1 << 12;
+/// Direct-mapped slots of each worker's private L1 cache.
+const L1_SLOTS: usize = 1 << 12;
+/// Initial buckets per scratch shard (grows by doubling under load).
+const SHARD_BUCKETS: usize = 256;
+
+#[inline]
+fn is_scratch(id: u32) -> bool {
+    id & SCRATCH_TAG != 0
+}
+
+#[inline]
+fn scratch_id(shard: usize, slot: usize) -> u32 {
+    debug_assert!(slot <= SLOT_MASK as usize, "scratch shard overflow");
+    SCRATCH_TAG | ((shard as u32) << SHARD_SHIFT) | slot as u32
+}
+
+#[inline]
+fn scratch_loc(id: u32) -> (usize, usize) {
+    (
+        ((id >> SHARD_SHIFT) as usize) & (NUM_SHARDS - 1),
+        (id & SLOT_MASK) as usize,
+    )
+}
+
+#[inline]
+fn cache_hash(op: CacheOp, a: u32, b: u32, c: u32) -> u64 {
+    triple_hash(a ^ ((op as u32) << 24), b, c)
+}
+
+/// A node in a scratch shard. Children may live in the master arena
+/// (untagged) or any scratch shard (tagged); they are opaque to the shard.
+#[derive(Clone, Copy)]
+struct SNode {
+    level: u32,
+    low: u32,
+    high: u32,
+    /// Intra-shard bucket chain (slot index, `NIL` ends the chain).
+    next: u32,
+}
+
+/// One lock-protected shard of the scratch unique table.
+struct ScratchShard {
+    nodes: Vec<SNode>,
+    buckets: Vec<u32>,
+    mask: usize,
+}
+
+impl ScratchShard {
+    fn new() -> ScratchShard {
+        ScratchShard {
+            nodes: Vec::new(),
+            buckets: vec![NIL; SHARD_BUCKETS],
+            mask: SHARD_BUCKETS - 1,
+        }
+    }
+
+    /// Finds or inserts `(level, low, high)`; returns the slot and whether
+    /// a node was created. Runs under the shard lock.
+    fn find_or_insert(&mut self, level: u32, low: u32, high: u32, h: u64) -> (u32, bool) {
+        let b = h as usize & self.mask;
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if n.level == level && n.low == low && n.high == high {
+                return (cur, false);
+            }
+            cur = n.next;
+        }
+        let slot = self.nodes.len() as u32;
+        self.nodes.push(SNode {
+            level,
+            low,
+            high,
+            next: self.buckets[b],
+        });
+        self.buckets[b] = slot;
+        if self.nodes.len() * 2 > self.buckets.len() * 3 {
+            self.grow();
+        }
+        (slot, true)
+    }
+
+    /// Doubles the bucket array and rehashes every node, keeping the load
+    /// factor bounded under concurrent growth.
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        self.buckets.clear();
+        self.buckets.resize(new_len, NIL);
+        self.mask = new_len - 1;
+        for i in 0..self.nodes.len() {
+            let n = self.nodes[i];
+            let b = triple_hash(n.level, n.low, n.high) as usize & self.mask;
+            self.nodes[i].next = self.buckets[b];
+            self.buckets[b] = i as u32;
+        }
+    }
+}
+
+/// The sharded scratch unique table shared by all workers of one parallel
+/// operation. The shard is picked from high hash bits (the bucket within a
+/// shard uses the low bits), so concurrent `mk`s spread over the locks.
+struct ScratchTable {
+    shards: Vec<Mutex<ScratchShard>>,
+}
+
+impl ScratchTable {
+    fn new() -> ScratchTable {
+        ScratchTable {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(ScratchShard::new())).collect(),
+        }
+    }
+
+    /// Hash-consing find-or-insert across the shards. The reduction rule
+    /// (`low == high`) is applied by the caller.
+    fn mk(&self, level: u32, low: u32, high: u32) -> (u32, bool) {
+        let h = triple_hash(level, low, high);
+        let shard_idx = (h >> 40) as usize & (NUM_SHARDS - 1);
+        let mut shard = self.shards[shard_idx].lock().unwrap();
+        let (slot, created) = shard.find_or_insert(level, low, high, h);
+        (scratch_id(shard_idx, slot as usize), created)
+    }
+
+    /// Reads a scratch node's triple (brief shard lock). Only quantifier
+    /// and replace recursions ever read scratch nodes — the pure binop
+    /// recursion descends master operands exclusively.
+    fn get(&self, id: u32) -> (u32, u32, u32) {
+        let (shard_idx, slot) = scratch_loc(id);
+        let shard = self.shards[shard_idx].lock().unwrap();
+        let n = shard.nodes[slot];
+        (n.level, n.low, n.high)
+    }
+
+    /// Unwraps the shards after all workers joined, for lock-free reads
+    /// during the import phase.
+    fn into_shards(self) -> Vec<ScratchShard> {
+        self.shards
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct CEntry {
+    op: CacheOp,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+}
+
+impl CEntry {
+    const EMPTY: CEntry = CEntry {
+        op: CacheOp::None,
+        a: NIL,
+        b: NIL,
+        c: NIL,
+        result: NIL,
+    };
+}
+
+/// The striped shared operation cache: `NUM_SHARDS` stripes of
+/// direct-mapped entries, each behind its own mutex. Sharing results
+/// across workers is what keeps the parallel engine's total work close to
+/// the sequential `O(|f||g|)` bound when subproblems overlap.
+struct ParCache {
+    stripes: Vec<Mutex<Vec<CEntry>>>,
+}
+
+impl ParCache {
+    fn new() -> ParCache {
+        ParCache {
+            stripes: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(vec![CEntry::EMPTY; STRIPE_SLOTS]))
+                .collect(),
+        }
+    }
+
+    fn get(&self, h: u64, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
+        let stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)].lock().unwrap();
+        let e = stripe[h as usize & (STRIPE_SLOTS - 1)];
+        if e.op == op && e.a == a && e.b == b && e.c == c {
+            Some(e.result)
+        } else {
+            None
+        }
+    }
+
+    fn put(&self, h: u64, e: CEntry) {
+        let mut stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)].lock().unwrap();
+        stripe[h as usize & (STRIPE_SLOTS - 1)] = e;
+    }
+}
+
+/// The shared governor: per-worker budget counters flush here, and the
+/// first tripped limit aborts every worker at its next check.
+struct SharedGov {
+    /// Mirrors the master's `checks_active` at operation entry.
+    active: bool,
+    abort: AtomicBool,
+    /// Recursion steps of the current top-level op (master steps taken so
+    /// far seed the counter; workers add their flushed batches).
+    steps: AtomicU64,
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    node_limit: Option<usize>,
+    master_live: usize,
+    scratch_nodes: AtomicUsize,
+    error: Mutex<Option<BddError>>,
+}
+
+impl SharedGov {
+    fn new(inner: &Inner) -> SharedGov {
+        let budget = inner.budget();
+        SharedGov {
+            active: inner.checks_active(),
+            abort: AtomicBool::new(false),
+            steps: AtomicU64::new(inner.op_steps()),
+            max_steps: budget.max_steps,
+            deadline: budget.deadline,
+            cancel: budget.cancel,
+            node_limit: budget.max_live_nodes,
+            master_live: inner.live_nodes(),
+            scratch_nodes: AtomicUsize::new(0),
+            error: Mutex::new(None),
+        }
+    }
+
+    #[inline]
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
+
+    /// Records the first error and raises the abort flag. Later errors are
+    /// dropped — the first trip is the one reported, matching the
+    /// sequential engine's single-error semantics.
+    fn trip(&self, e: BddError) -> BddError {
+        let mut slot = self.error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.abort.store(true, Ordering::Release);
+        e
+    }
+
+    fn take_error(&self) -> Option<BddError> {
+        self.error.lock().unwrap().take()
+    }
+}
+
+/// What a parallel operation computes; carried by every worker.
+#[derive(Clone, Copy)]
+pub(crate) enum Job<'p> {
+    /// A binary boolean operation.
+    Bin(BinOp),
+    /// `exists cube. f` — `cube` already skipped above `f`'s top level.
+    Exists {
+        /// Master id of the (pre-skipped) positive cube.
+        cube: u32,
+    },
+    /// The fused relational product `exists cube. (f & g)`.
+    AndExists {
+        /// Master id of the (pre-skipped) positive cube.
+        cube: u32,
+    },
+    /// Variable replacement under an interned permutation.
+    Replace {
+        /// The permutation (borrowed from the caller).
+        perm: &'p crate::node::Permutation,
+        /// Its interned id, the `CacheOp::Replace` cache key.
+        pid: u32,
+    },
+}
+
+/// Outcome of a parallel attempt: either the finished master id, or a
+/// deterministic decision to fall back to the sequential recursion
+/// (e.g. the split produced fewer than two distinct tasks).
+pub(crate) enum ParAttempt {
+    /// The operation ran on the work pool; here is the master result.
+    Done(u32),
+    /// Not worth parallelising — caller should run the sequential path.
+    Fallback,
+}
+
+enum PlanNode {
+    /// Resolved during the split (terminal case or trivial operand).
+    Done(u32),
+    /// Index into the task list; result imported from scratch.
+    Task(u32),
+    /// Combine children with `mk` at this level (canonical order: lo, hi).
+    Mk { level: u32, lo: u32, hi: u32 },
+}
+
+struct Plan {
+    nodes: Vec<PlanNode>,
+    tasks: Vec<(u32, u32)>,
+    root: u32,
+}
+
+/// Unrolls the top `SPLIT_DEPTH` levels of the operation's recursion,
+/// mirroring the sequential cofactoring exactly, and deduplicates the leaf
+/// subproblems. Reads the master table only; fully deterministic.
+fn build_plan(inner: &Inner, job: &Job, a: u32, b: u32, limit: u32) -> Plan {
+    let mut plan = Plan {
+        nodes: Vec::new(),
+        tasks: Vec::new(),
+        root: 0,
+    };
+    let mut dedup: HashMap<(u32, u32), u32> = HashMap::new();
+    plan.root = expand(inner, job, &mut plan, &mut dedup, a, b, limit, SPLIT_DEPTH);
+    plan
+}
+
+fn immediate(job: &Job, a: u32, b: u32) -> Option<u32> {
+    match job {
+        Job::Bin(op) => op.terminal_case(a, b),
+        Job::Exists { .. } | Job::Replace { .. } => {
+            if a <= 1 {
+                Some(a)
+            } else {
+                None
+            }
+        }
+        Job::AndExists { .. } => {
+            if a == 0 || b == 0 {
+                Some(0)
+            } else if a == 1 && b == 1 {
+                Some(1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    inner: &Inner,
+    job: &Job,
+    plan: &mut Plan,
+    dedup: &mut HashMap<(u32, u32), u32>,
+    a: u32,
+    b: u32,
+    limit: u32,
+    depth: u32,
+) -> u32 {
+    let node = if let Some(r) = immediate(job, a, b) {
+        PlanNode::Done(r)
+    } else {
+        let pair_op = matches!(job, Job::Bin(_) | Job::AndExists { .. });
+        let m = if pair_op {
+            inner.level(a).min(inner.level(b))
+        } else {
+            inner.level(a)
+        };
+        if depth == 0 || m >= limit {
+            let next = plan.tasks.len() as u32;
+            let t = *dedup.entry((a, b)).or_insert_with(|| {
+                plan.tasks.push((a, b));
+                next
+            });
+            PlanNode::Task(t)
+        } else {
+            let (a0, a1) = if inner.level(a) == m {
+                (inner.low(a), inner.high(a))
+            } else {
+                (a, a)
+            };
+            let (b0, b1) = if pair_op && inner.level(b) == m {
+                (inner.low(b), inner.high(b))
+            } else {
+                (b, b)
+            };
+            let lo = expand(inner, job, plan, dedup, a0, b0, limit, depth - 1);
+            let hi = expand(inner, job, plan, dedup, a1, b1, limit, depth - 1);
+            PlanNode::Mk { level: m, lo, hi }
+        }
+    };
+    plan.nodes.push(node);
+    (plan.nodes.len() - 1) as u32
+}
+
+/// Everything a worker borrows for the duration of the parallel phase.
+struct Shared<'a, 'p> {
+    inner: &'a Inner,
+    job: Job<'p>,
+    tasks: &'a [(u32, u32)],
+    scratch: &'a ScratchTable,
+    cache: &'a ParCache,
+    gov: &'a SharedGov,
+    deques: &'a [Mutex<VecDeque<u32>>],
+    results: &'a [AtomicU32],
+}
+
+/// Per-worker counters, merged into [`crate::KernelStats`] after the join.
+/// Each worker's `lookups >= hits` invariant holds locally, so it holds
+/// for the merged totals too — no interleaving can undercount lookups.
+#[derive(Clone, Copy)]
+struct WorkerStats {
+    steps: u64,
+    lookups: u64,
+    hits: u64,
+    per_op: [(u64, u64); 10],
+    scratch_created: u64,
+    scratch_hits: u64,
+    steals: u64,
+}
+
+impl WorkerStats {
+    fn new() -> WorkerStats {
+        WorkerStats {
+            steps: 0,
+            lookups: 0,
+            hits: 0,
+            per_op: [(0, 0); 10],
+            scratch_created: 0,
+            scratch_hits: 0,
+            steals: 0,
+        }
+    }
+}
+
+struct Worker<'a, 'p> {
+    sh: &'a Shared<'a, 'p>,
+    stats: WorkerStats,
+    l1: Vec<CEntry>,
+    /// Steps since the last governor flush.
+    pending: u64,
+}
+
+impl<'a, 'p> Worker<'a, 'p> {
+    fn new(sh: &'a Shared<'a, 'p>) -> Worker<'a, 'p> {
+        Worker {
+            sh,
+            stats: WorkerStats::new(),
+            l1: vec![CEntry::EMPTY; L1_SLOTS],
+            pending: 0,
+        }
+    }
+
+    /// Reads a node triple from either address space. Master reads are
+    /// lock-free; scratch reads take the owning shard's lock briefly.
+    #[inline]
+    fn node3(&self, id: u32) -> (u32, u32, u32) {
+        if is_scratch(id) {
+            self.sh.scratch.get(id)
+        } else {
+            let inner = self.sh.inner;
+            (inner.level(id), inner.low(id), inner.high(id))
+        }
+    }
+
+    #[inline]
+    fn level_any(&self, id: u32) -> u32 {
+        if is_scratch(id) {
+            self.sh.scratch.get(id).0
+        } else {
+            self.sh.inner.level(id)
+        }
+    }
+
+    /// One recursion step: counts locally, flushes to the shared governor
+    /// every [`Budget::CHECK_INTERVAL`] steps.
+    #[inline]
+    fn tick(&mut self) -> Result<(), BddError> {
+        self.stats.steps += 1;
+        self.pending += 1;
+        if self.pending >= Budget::CHECK_INTERVAL {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the pending step batch and probes every limit. An abort
+    /// raised by another worker surfaces as `Cancelled` here; the
+    /// authoritative error is whatever the first tripping worker recorded.
+    fn flush(&mut self) -> Result<(), BddError> {
+        let gov = self.sh.gov;
+        let pending = std::mem::take(&mut self.pending);
+        if gov.aborted() {
+            return Err(BddError::Cancelled);
+        }
+        if !gov.active {
+            return Ok(());
+        }
+        let total = gov.steps.fetch_add(pending, Ordering::Relaxed) + pending;
+        if let Some(limit) = gov.max_steps {
+            if total > limit {
+                return Err(gov.trip(BddError::StepLimit { steps: total, limit }));
+            }
+        }
+        if let Some(token) = &gov.cancel {
+            if token.is_cancelled() {
+                return Err(gov.trip(BddError::Cancelled));
+            }
+        }
+        if let Some(deadline) = gov.deadline {
+            if Instant::now() >= deadline {
+                return Err(gov.trip(BddError::Deadline));
+            }
+        }
+        if let Some(limit) = gov.node_limit {
+            let live = gov.master_live + gov.scratch_nodes.load(Ordering::Relaxed);
+            if live >= limit {
+                return Err(gov.trip(BddError::NodeLimit { live, limit }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scratch `mk`: reduction rule, then hash-consing in the sharded
+    /// table. Counts allocations against the node budget.
+    fn smk(&mut self, level: u32, low: u32, high: u32) -> Result<u32, BddError> {
+        if low == high {
+            return Ok(low);
+        }
+        let (id, created) = self.sh.scratch.mk(level, low, high);
+        if created {
+            self.stats.scratch_created += 1;
+            let gov = self.sh.gov;
+            let n = gov.scratch_nodes.fetch_add(1, Ordering::Relaxed) + 1;
+            if gov.active {
+                if let Some(limit) = gov.node_limit {
+                    let live = gov.master_live + n;
+                    if live >= limit {
+                        return Err(gov.trip(BddError::NodeLimit { live, limit }));
+                    }
+                }
+            }
+        } else {
+            self.stats.scratch_hits += 1;
+        }
+        Ok(id)
+    }
+
+    #[inline]
+    fn cache_get(&mut self, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
+        self.stats.lookups += 1;
+        self.stats.per_op[op as usize - 1].0 += 1;
+        let h = cache_hash(op, a, b, c);
+        let slot = h as usize & (L1_SLOTS - 1);
+        let e = self.l1[slot];
+        if e.op == op && e.a == a && e.b == b && e.c == c {
+            self.stats.hits += 1;
+            self.stats.per_op[op as usize - 1].1 += 1;
+            return Some(e.result);
+        }
+        if let Some(r) = self.sh.cache.get(h, op, a, b, c) {
+            self.l1[slot] = CEntry { op, a, b, c, result: r };
+            self.stats.hits += 1;
+            self.stats.per_op[op as usize - 1].1 += 1;
+            return Some(r);
+        }
+        None
+    }
+
+    #[inline]
+    fn cache_put(&mut self, op: CacheOp, a: u32, b: u32, c: u32, result: u32) {
+        let h = cache_hash(op, a, b, c);
+        let e = CEntry { op, a, b, c, result };
+        self.l1[h as usize & (L1_SLOTS - 1)] = e;
+        self.sh.cache.put(h, e);
+    }
+
+    fn run_task(&mut self, key: (u32, u32)) -> Result<u32, BddError> {
+        match self.sh.job {
+            Job::Bin(op) => self.wapply(op, key.0, key.1),
+            Job::Exists { cube } => self.wexists(key.0, cube),
+            Job::AndExists { cube } => self.wand_exists(key.0, key.1, cube),
+            Job::Replace { perm, pid } => self.wreplace(key.0, perm, pid),
+        }
+    }
+
+    /// Bryant apply over mixed master/scratch operands. For pure binop
+    /// tasks the operands are always master nodes; scratch operands only
+    /// appear via the OR-combines of quantifier recursions.
+    fn wapply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
+        if let Some(r) = op.terminal_case(a, b) {
+            return Ok(r);
+        }
+        self.tick()?;
+        let (ka, kb) = if op.commutative() && a > b { (b, a) } else { (a, b) };
+        if let Some(r) = self.cache_get(op.cache_op(), ka, kb, 0) {
+            return Ok(r);
+        }
+        let (la, alo, ahi) = self.node3(a);
+        let (lb, blo, bhi) = self.node3(b);
+        let m = la.min(lb);
+        let (a0, a1) = if la == m { (alo, ahi) } else { (a, a) };
+        let (b0, b1) = if lb == m { (blo, bhi) } else { (b, b) };
+        let r0 = self.wapply(op, a0, b0)?;
+        let r1 = self.wapply(op, a1, b1)?;
+        let r = self.smk(m, r0, r1)?;
+        self.cache_put(op.cache_op(), ka, kb, 0, r);
+        Ok(r)
+    }
+
+    /// Existential quantification; mirrors `Inner::exists`. `f` and `cube`
+    /// are always master nodes — only the OR of subresults touches scratch.
+    fn wexists(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
+        if f <= 1 || cube == 1 {
+            return Ok(f);
+        }
+        self.tick()?;
+        let inner = self.sh.inner;
+        let lf = inner.level(f);
+        let mut c = cube;
+        while c != 1 && inner.level(c) < lf {
+            c = inner.high(c);
+        }
+        if c == 1 {
+            return Ok(f);
+        }
+        if let Some(r) = self.cache_get(CacheOp::Exists, f, c, 0) {
+            return Ok(r);
+        }
+        let lc = inner.level(c);
+        let (f0, f1) = (inner.low(f), inner.high(f));
+        let r = if lf == lc {
+            let next = inner.high(c);
+            let r0 = self.wexists(f0, next)?;
+            let r1 = self.wexists(f1, next)?;
+            self.wapply(BinOp::Or, r0, r1)?
+        } else {
+            debug_assert!(lf < lc);
+            let r0 = self.wexists(f0, c)?;
+            let r1 = self.wexists(f1, c)?;
+            self.smk(lf, r0, r1)?
+        };
+        self.cache_put(CacheOp::Exists, f, c, 0, r);
+        Ok(r)
+    }
+
+    /// Fused relational product; mirrors `Inner::and_exists`.
+    fn wand_exists(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, BddError> {
+        if f == 0 || g == 0 {
+            return Ok(0);
+        }
+        if cube == 1 {
+            return self.wapply(BinOp::And, f, g);
+        }
+        if f == 1 && g == 1 {
+            return Ok(1);
+        }
+        self.tick()?;
+        let inner = self.sh.inner;
+        let (f, g) = if f > g { (g, f) } else { (f, g) };
+        let (lf, lg) = (inner.level(f), inner.level(g));
+        let m = lf.min(lg);
+        let mut c = cube;
+        while c != 1 && inner.level(c) < m {
+            c = inner.high(c);
+        }
+        if c == 1 {
+            return self.wapply(BinOp::And, f, g);
+        }
+        if let Some(r) = self.cache_get(CacheOp::AndExists, f, g, c) {
+            return Ok(r);
+        }
+        let (f0, f1) = if lf == m {
+            (inner.low(f), inner.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (inner.low(g), inner.high(g))
+        } else {
+            (g, g)
+        };
+        let r = if inner.level(c) == m {
+            let next = inner.high(c);
+            let r0 = self.wand_exists(f0, g0, next)?;
+            if r0 == 1 {
+                1
+            } else {
+                let r1 = self.wand_exists(f1, g1, next)?;
+                self.wapply(BinOp::Or, r0, r1)?
+            }
+        } else {
+            let r0 = self.wand_exists(f0, g0, c)?;
+            let r1 = self.wand_exists(f1, g1, c)?;
+            self.smk(m, r0, r1)?
+        };
+        self.cache_put(CacheOp::AndExists, f, g, c, r);
+        Ok(r)
+    }
+
+    /// Variable replacement; mirrors `Inner::replace_rec`, with the
+    /// order-reversing fallback going through the worker's `ite`.
+    fn wreplace(
+        &mut self,
+        f: u32,
+        perm: &crate::node::Permutation,
+        pid: u32,
+    ) -> Result<u32, BddError> {
+        if f <= 1 {
+            return Ok(f);
+        }
+        self.tick()?;
+        if let Some(r) = self.cache_get(CacheOp::Replace, f, pid, 0) {
+            return Ok(r);
+        }
+        let inner = self.sh.inner;
+        let (lo, hi) = (inner.low(f), inner.high(f));
+        let lo2 = self.wreplace(lo, perm, pid)?;
+        let hi2 = self.wreplace(hi, perm, pid)?;
+        let new_var = perm.apply(inner.var_at_level(inner.level(f)));
+        let new_level = inner.level_of_var(new_var);
+        let r = if new_level < self.level_any(lo2) && new_level < self.level_any(hi2) {
+            self.smk(new_level, lo2, hi2)?
+        } else {
+            let var = self.smk(new_level, 0, 1)?;
+            self.wite(var, hi2, lo2)?
+        };
+        self.cache_put(CacheOp::Replace, f, pid, 0, r);
+        Ok(r)
+    }
+
+    /// If-then-else over mixed operands; mirrors `Inner::ite`. Only
+    /// reachable from the order-reversing branch of `wreplace`.
+    fn wite(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
+        if f == 1 {
+            return Ok(g);
+        }
+        if f == 0 {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == 1 && h == 0 {
+            return Ok(f);
+        }
+        self.tick()?;
+        if let Some(r) = self.cache_get(CacheOp::Ite, f, g, h) {
+            return Ok(r);
+        }
+        let (lf, flo, fhi) = self.node3(f);
+        let (lg, glo, ghi) = self.node3(g);
+        let (lh, hlo, hhi) = self.node3(h);
+        let m = lf.min(lg).min(lh);
+        let (f0, f1) = if lf == m { (flo, fhi) } else { (f, f) };
+        let (g0, g1) = if lg == m { (glo, ghi) } else { (g, g) };
+        let (h0, h1) = if lh == m { (hlo, hhi) } else { (h, h) };
+        let r0 = self.wite(f0, g0, h0)?;
+        let r1 = self.wite(f1, g1, h1)?;
+        let r = self.smk(m, r0, r1)?;
+        self.cache_put(CacheOp::Ite, f, g, h, r);
+        Ok(r)
+    }
+}
+
+/// Pops from the worker's own deque front, then steals from the back of
+/// the other deques (round-robin from the right neighbour).
+fn next_task(sh: &Shared, idx: usize, stats: &mut WorkerStats) -> Option<u32> {
+    if let Some(t) = sh.deques[idx].lock().unwrap().pop_front() {
+        return Some(t);
+    }
+    let n = sh.deques.len();
+    for k in 1..n {
+        let j = (idx + k) % n;
+        if let Some(t) = sh.deques[j].lock().unwrap().pop_back() {
+            stats.steals += 1;
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn worker_main(sh: &Shared, idx: usize) -> WorkerStats {
+    let mut w = Worker::new(sh);
+    loop {
+        if sh.gov.aborted() {
+            break;
+        }
+        let Some(t) = next_task(sh, idx, &mut w.stats) else {
+            break;
+        };
+        match w.run_task(sh.tasks[t as usize]) {
+            Ok(r) => sh.results[t as usize].store(r, Ordering::Release),
+            // The error (if it was this worker's own trip) is already
+            // recorded in the governor; stop draining tasks.
+            Err(_) => break,
+        }
+    }
+    // Flush the remainder below one check interval: a step limit smaller
+    // than the interval must still fire even when every task is tiny.
+    let _ = w.flush();
+    w.stats
+}
+
+fn master_key(job: &Job, a: u32, b: u32) -> (CacheOp, u32, u32, u32) {
+    match *job {
+        Job::Bin(op) => {
+            let (ka, kb) = if op.commutative() && a > b { (b, a) } else { (a, b) };
+            (op.cache_op(), ka, kb, 0)
+        }
+        Job::Exists { cube } => (CacheOp::Exists, a, cube, 0),
+        Job::AndExists { cube } => (CacheOp::AndExists, a, b, cube),
+        Job::Replace { pid, .. } => (CacheOp::Replace, a, pid, 0),
+    }
+}
+
+impl Inner {
+    /// `true` when the parallel engine is switched on (threads >= 2).
+    pub(crate) fn par_enabled(&self) -> bool {
+        self.par_threads() >= 2
+    }
+
+    /// Runs one top-level operation on the work pool. `a`/`b` are the
+    /// (pre-normalised) operands, `limit` the first level splitting must
+    /// not cross. Returns `Fallback` when the split yields fewer than two
+    /// distinct tasks — a structural property of the operands, so the
+    /// decision is identical for every thread count.
+    pub(crate) fn par_run(
+        &mut self,
+        job: Job,
+        a: u32,
+        b: u32,
+        limit: u32,
+    ) -> Result<ParAttempt, BddError> {
+        // A warm master cache answers repeated top-level operations (the
+        // fixpoint engines re-issue many) without spawning anything.
+        let (ck, ka, kb, kc) = master_key(&job, a, b);
+        if let Some(r) = self.cache_lookup(ck, ka, kb, kc) {
+            return Ok(ParAttempt::Done(r));
+        }
+        let plan = build_plan(self, &job, a, b, limit);
+        if plan.tasks.len() < 2 {
+            return Ok(ParAttempt::Fallback);
+        }
+        let threads = self.par_threads().min(plan.tasks.len());
+        let scratch = ScratchTable::new();
+        let cache = ParCache::new();
+        let gov = SharedGov::new(self);
+        let results: Vec<AtomicU32> =
+            (0..plan.tasks.len()).map(|_| AtomicU32::new(NIL)).collect();
+        // Deal tasks round-robin; dealing order is deterministic, and
+        // stealing only redistributes who computes a task, never what it
+        // computes.
+        let deques: Vec<Mutex<VecDeque<u32>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (t, dq) in (0..plan.tasks.len() as u32).zip((0..threads).cycle()) {
+            deques[dq].lock().unwrap().push_back(t);
+        }
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(threads);
+        {
+            let shared = Shared {
+                inner: &*self,
+                job,
+                tasks: &plan.tasks,
+                scratch: &scratch,
+                cache: &cache,
+                gov: &gov,
+                deques: &deques,
+                results: &results,
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|i| {
+                        let sh = &shared;
+                        s.spawn(move || worker_main(sh, i))
+                    })
+                    .collect();
+                for h in handles {
+                    worker_stats.push(h.join().expect("parallel worker panicked"));
+                }
+            });
+        }
+        // Merge per-worker counters into the shared KernelStats. Sums are
+        // order-independent, so the merged stats keep their invariants
+        // (lookups >= hits) regardless of scheduling.
+        let mut steps = 0u64;
+        for w in &worker_stats {
+            steps += w.steps;
+            self.stats.cache_lookups += w.lookups;
+            self.stats.cache_hits += w.hits;
+            for (i, &(l, h)) in w.per_op.iter().enumerate() {
+                self.stats.per_op_cache[i].lookups += l;
+                self.stats.per_op_cache[i].hits += h;
+            }
+            self.stats.unique_hits += w.scratch_hits;
+            self.stats.par_scratch_nodes += w.scratch_created;
+            self.stats.par_steals += w.steals;
+        }
+        self.stats.par_ops += 1;
+        self.stats.par_tasks += plan.tasks.len() as u64;
+        if gov.active {
+            self.stats.governed_steps += steps;
+            self.add_op_steps(steps);
+        }
+        if let Some(e) = gov.take_error() {
+            return Err(e);
+        }
+        // Import phase: emit the plan in canonical order, translating
+        // scratch results into master nodes.
+        let shards = scratch.into_shards();
+        let mut memo: HashMap<u32, u32> = HashMap::new();
+        let r = self.emit_plan(&plan, plan.root, &results, &shards, &mut memo)?;
+        self.cache_store(ck, ka, kb, kc, r);
+        Ok(ParAttempt::Done(r))
+    }
+
+    fn emit_plan(
+        &mut self,
+        plan: &Plan,
+        idx: u32,
+        results: &[AtomicU32],
+        shards: &[ScratchShard],
+        memo: &mut HashMap<u32, u32>,
+    ) -> Result<u32, BddError> {
+        match plan.nodes[idx as usize] {
+            PlanNode::Done(id) => Ok(id),
+            PlanNode::Task(t) => {
+                let r = results[t as usize].load(Ordering::Acquire);
+                debug_assert_ne!(r, NIL, "parallel task finished without a result");
+                self.import_scratch(shards, memo, r)
+            }
+            PlanNode::Mk { level, lo, hi } => {
+                let l = self.emit_plan(plan, lo, results, shards, memo)?;
+                let h = self.emit_plan(plan, hi, results, shards, memo)?;
+                self.mk(level, l, h)
+            }
+        }
+    }
+
+    /// Translates a scratch node (and its closure) into master nodes,
+    /// memoised per scratch id, children first in low-then-high order.
+    fn import_scratch(
+        &mut self,
+        shards: &[ScratchShard],
+        memo: &mut HashMap<u32, u32>,
+        id: u32,
+    ) -> Result<u32, BddError> {
+        if !is_scratch(id) {
+            return Ok(id);
+        }
+        if let Some(&m) = memo.get(&id) {
+            return Ok(m);
+        }
+        let (shard, slot) = scratch_loc(id);
+        let n = shards[shard].nodes[slot];
+        let lo = self.import_scratch(shards, memo, n.low)?;
+        let hi = self.import_scratch(shards, memo, n.high)?;
+        let r = self.mk(n.level, lo, hi)?;
+        memo.insert(id, r);
+        Ok(r)
+    }
+}

@@ -10,9 +10,36 @@ const F: u32 = NodeId::FALSE.0;
 const T: u32 = NodeId::TRUE.0;
 
 impl Inner {
+    /// Top-level entry for existential quantification: routes large
+    /// operands to the parallel apply engine, everything else to the
+    /// sequential recursion. The cube is pre-skipped above `f`'s top level
+    /// exactly as the sequential recursion would, so both paths share one
+    /// cache key; splitting stops above the first quantified level, which
+    /// keeps every master-phase combine a plain `mk`.
+    pub(crate) fn exists(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
+        if self.par_enabled() && f > 1 && cube > 1 {
+            let lf = self.level(f);
+            let mut c = cube;
+            while c != T && self.level(c) < lf {
+                c = self.high(c);
+            }
+            if c == T {
+                return Ok(f);
+            }
+            let limit = self.level(c);
+            if limit >= 2 && self.probe_at_least(&[f], self.par_cutoff()) {
+                match self.par_run(crate::par::Job::Exists { cube: c }, f, 0, limit)? {
+                    crate::par::ParAttempt::Done(r) => return Ok(r),
+                    crate::par::ParAttempt::Fallback => {}
+                }
+            }
+        }
+        self.exists_rec(f, cube)
+    }
+
     /// Existentially quantifies the variables of the positive cube `cube`
     /// out of `f`.
-    pub(crate) fn exists(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
+    pub(crate) fn exists_rec(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
         if f <= 1 || cube == T {
             return Ok(f);
         }
@@ -34,13 +61,13 @@ impl Inner {
         let (f0, f1) = (self.low(f), self.high(f));
         let r = if lf == lc {
             let next = self.high(c);
-            let r0 = self.exists(f0, next)?;
-            let r1 = self.exists(f1, next)?;
-            self.apply(BinOp::Or, r0, r1)?
+            let r0 = self.exists_rec(f0, next)?;
+            let r1 = self.exists_rec(f1, next)?;
+            self.apply_rec(BinOp::Or, r0, r1)?
         } else {
             debug_assert!(lf < lc);
-            let r0 = self.exists(f0, c)?;
-            let r1 = self.exists(f1, c)?;
+            let r0 = self.exists_rec(f0, c)?;
+            let r1 = self.exists_rec(f1, c)?;
             self.mk(lf, r0, r1)?
         };
         self.cache_store(CacheOp::Exists, f, c, 0, r);
@@ -54,17 +81,43 @@ impl Inner {
         self.not(e)
     }
 
+    /// Top-level entry for the fused relational product: routes large
+    /// operand pairs to the parallel apply engine (same normalisation —
+    /// commutative swap and cube skip — as the sequential recursion, so
+    /// the cache keys coincide).
+    pub(crate) fn and_exists(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, BddError> {
+        if self.par_enabled() && f > 1 && g > 1 && cube > 1 {
+            let m = self.level(f).min(self.level(g));
+            let mut c = cube;
+            while c != T && self.level(c) < m {
+                c = self.high(c);
+            }
+            if c == T {
+                return self.apply(BinOp::And, f, g);
+            }
+            let limit = self.level(c);
+            if limit >= 2 && self.probe_at_least(&[f, g], self.par_cutoff()) {
+                let (f2, g2) = if f > g { (g, f) } else { (f, g) };
+                match self.par_run(crate::par::Job::AndExists { cube: c }, f2, g2, limit)? {
+                    crate::par::ParAttempt::Done(r) => return Ok(r),
+                    crate::par::ParAttempt::Fallback => {}
+                }
+            }
+        }
+        self.and_exists_rec(f, g, cube)
+    }
+
     /// The fused relational product `exists cube. (f & g)`.
     ///
     /// This is the BDD-library primitive behind Jedd's composition (`<>`)
     /// operator; the paper notes it is implemented "more efficiently in one
     /// step" than a join followed by a projection.
-    pub(crate) fn and_exists(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, BddError> {
+    pub(crate) fn and_exists_rec(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, BddError> {
         if f == F || g == F {
             return Ok(F);
         }
         if cube == T {
-            return self.apply(BinOp::And, f, g);
+            return self.apply_rec(BinOp::And, f, g);
         }
         if f == T && g == T {
             return Ok(T);
@@ -80,7 +133,7 @@ impl Inner {
             c = self.high(c);
         }
         if c == T {
-            return self.apply(BinOp::And, f, g);
+            return self.apply_rec(BinOp::And, f, g);
         }
         if let Some(r) = self.cache_lookup(CacheOp::AndExists, f, g, c) {
             return Ok(r);
@@ -97,16 +150,16 @@ impl Inner {
         };
         let r = if self.level(c) == m {
             let next = self.high(c);
-            let r0 = self.and_exists(f0, g0, next)?;
+            let r0 = self.and_exists_rec(f0, g0, next)?;
             if r0 == T {
                 T
             } else {
-                let r1 = self.and_exists(f1, g1, next)?;
-                self.apply(BinOp::Or, r0, r1)?
+                let r1 = self.and_exists_rec(f1, g1, next)?;
+                self.apply_rec(BinOp::Or, r0, r1)?
             }
         } else {
-            let r0 = self.and_exists(f0, g0, c)?;
-            let r1 = self.and_exists(f1, g1, c)?;
+            let r0 = self.and_exists_rec(f0, g0, c)?;
+            let r1 = self.and_exists_rec(f1, g1, c)?;
             self.mk(m, r0, r1)?
         };
         self.cache_store(CacheOp::AndExists, f, g, c, r);

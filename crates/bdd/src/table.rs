@@ -102,6 +102,16 @@ pub struct KernelStats {
     pub cache_entries_swept: u64,
     /// Cache entries that survived a sweep (all referenced nodes live).
     pub cache_entries_kept: u64,
+    /// Top-level operations executed by the parallel apply engine
+    /// (`JEDD_THREADS` >= 2 and operands past the size cutoff).
+    pub par_ops: u64,
+    /// Subproblems (tasks) executed by parallel workers.
+    pub par_tasks: u64,
+    /// Tasks a parallel worker stole from another worker's deque.
+    pub par_steals: u64,
+    /// Nodes allocated in the sharded scratch tables of parallel
+    /// operations (before the deterministic import into the master arena).
+    pub par_scratch_nodes: u64,
 }
 
 impl KernelStats {
@@ -174,14 +184,32 @@ pub(crate) struct Inner {
     alloc_count: u64,
     /// Cache inserts observed by the fail plan (since installation).
     cache_insert_count: u64,
+    /// Worker threads for the parallel apply engine; 1 = sequential
+    /// (the seed behaviour). Seeded from `JEDD_THREADS`.
+    par_threads: usize,
+    /// Minimum combined operand size (distinct nodes) before a top-level
+    /// operation takes the parallel path. Seeded from `JEDD_PAR_CUTOFF`.
+    par_cutoff: usize,
 }
 
 const INITIAL_BUCKETS: usize = 1 << 12;
 const INITIAL_CACHE: usize = 1 << 14;
 const MAX_CACHE: usize = 1 << 22;
+/// Default parallel engagement cutoff: combined operand node count below
+/// which thread spawn/import overhead dwarfs any speedup.
+pub(crate) const DEFAULT_PAR_CUTOFF: usize = 8192;
+
+/// Parses a positive integer from the environment; absent, empty or
+/// malformed values fall back to the caller's default.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
 
 #[inline]
-fn triple_hash(level: u32, low: u32, high: u32) -> u64 {
+pub(crate) fn triple_hash(level: u32, low: u32, high: u32) -> u64 {
     // Fibonacci-style mixing of the triple; cheap and well distributed.
     let mut h = (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     h ^= (low as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
@@ -219,7 +247,70 @@ impl Inner {
             steps: 0,
             alloc_count: 0,
             cache_insert_count: 0,
+            par_threads: env_usize("JEDD_THREADS").unwrap_or(1),
+            par_cutoff: env_usize("JEDD_PAR_CUTOFF").unwrap_or(DEFAULT_PAR_CUTOFF).max(2),
         }
+    }
+
+    /// Worker-thread count of the parallel apply engine (1 = sequential).
+    pub(crate) fn par_threads(&self) -> usize {
+        self.par_threads
+    }
+
+    pub(crate) fn set_par_threads(&mut self, n: usize) {
+        self.par_threads = n.max(1);
+    }
+
+    /// Engagement cutoff of the parallel apply engine (combined operand
+    /// node count).
+    pub(crate) fn par_cutoff(&self) -> usize {
+        self.par_cutoff
+    }
+
+    pub(crate) fn set_par_cutoff(&mut self, nodes: usize) {
+        self.par_cutoff = nodes.max(2);
+    }
+
+    /// `true` while budget / fail-plan checks are live (not suspended).
+    pub(crate) fn checks_active(&self) -> bool {
+        self.checks_active
+    }
+
+    /// Recursion steps taken so far by the current top-level operation.
+    pub(crate) fn op_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Adds worker-side recursion steps flushed back by a parallel
+    /// operation, so `max_steps` accounting stays per top-level op.
+    pub(crate) fn add_op_steps(&mut self, n: u64) {
+        self.steps += n;
+    }
+
+    /// Returns `true` once the union of the sub-DAGs under `roots` holds at
+    /// least `threshold` distinct internal nodes; stops walking early
+    /// either way, so the probe costs at most `threshold` node visits.
+    /// Deterministic for a given master table, which keeps the parallel
+    /// engagement decision independent of thread count.
+    pub(crate) fn probe_at_least(&self, roots: &[u32], threshold: usize) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(threshold.min(1 << 16));
+        let mut stack: Vec<u32> = roots.iter().copied().filter(|&r| r > 1).collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if seen.len() >= threshold {
+                return true;
+            }
+            let n = &self.nodes[id as usize];
+            if n.low > 1 {
+                stack.push(n.low);
+            }
+            if n.high > 1 {
+                stack.push(n.high);
+            }
+        }
+        false
     }
 
     /// Installs (or clears, with `Budget::unlimited()`) the resource budget.

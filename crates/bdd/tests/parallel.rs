@@ -1,0 +1,191 @@
+//! Differential, determinism and stress tests for the parallel apply
+//! engine: the same operations must produce the same functions at every
+//! thread count, identical node ids for every count >= 2, race-free
+//! `KernelStats`, and a unique table that stays consistent under
+//! concurrent growth with GCs between operations.
+
+use jedd_bdd::rng::XorShift64Star;
+use jedd_bdd::{Bdd, BddManager, Permutation};
+
+const NBITS: usize = 24;
+
+/// A dense BDD (a union of random minterms) big enough to clear the test
+/// cutoff, so top-level operations take the parallel path.
+fn dense(mgr: &BddManager, terms: usize, seed: u64) -> Bdd {
+    let mut rng = XorShift64Star::new(seed);
+    let bits: Vec<u32> = (0..NBITS as u32).collect();
+    let mut acc = mgr.constant_false();
+    for _ in 0..terms {
+        let value = rng.next_u64() & ((1u64 << NBITS) - 1);
+        acc = acc.or(&mgr.encode_value(&bits, value));
+    }
+    acc
+}
+
+/// A fixed workload hitting every parallelised operation: the binary ops,
+/// quantification, the fused relational product and replace.
+fn workload(mgr: &BddManager) -> Vec<Bdd> {
+    let f = dense(mgr, 300, 1);
+    let g = dense(mgr, 300, 2);
+    let h = dense(mgr, 300, 3);
+    // Quantified / moved variables sit below the top levels: splitting
+    // stops above the first such level, so deep cubes and permutations
+    // leave room for the plan to fan out.
+    let cube = mgr.cube(&[12, 15, 18, 21]);
+    let swap = Permutation::from_pairs(&[(16, 20), (20, 16), (17, 21), (21, 17)]);
+    let shift = Permutation::from_pairs(&[(20, 22), (21, 23), (22, 20), (23, 21)]);
+    vec![
+        f.and(&g),
+        f.or(&h),
+        f.diff(&g),
+        g.xor(&h),
+        f.exists(&cube),
+        f.and_exists(&g, &cube),
+        f.replace(&swap),
+        h.replace(&shift),
+    ]
+}
+
+fn manager(threads: usize) -> BddManager {
+    let mgr = BddManager::new(NBITS);
+    mgr.set_threads(threads);
+    // Force parallel engagement on test-sized operands.
+    mgr.set_par_cutoff(32);
+    mgr
+}
+
+#[test]
+fn parallel_results_match_sequential() {
+    let m1 = manager(1);
+    let m4 = manager(4);
+    let r1 = workload(&m1);
+    let r4 = workload(&m4);
+    let vars: Vec<u32> = (0..NBITS as u32).collect();
+    for (a, b) in r1.iter().zip(r4.iter()) {
+        assert_eq!(a.satcount(), b.satcount());
+        assert_eq!(a.sat_assignments(&vars), b.sat_assignments(&vars));
+    }
+    assert_eq!(m1.kernel_stats().par_ops, 0, "threads=1 must stay sequential");
+    assert!(
+        m4.kernel_stats().par_ops >= 6,
+        "the workload should engage the parallel engine, got {} par ops",
+        m4.kernel_stats().par_ops
+    );
+}
+
+#[test]
+fn node_ids_identical_across_thread_counts() {
+    // Phase 1 and phase 3 of a parallel operation are sequential and
+    // depend only on operand structure, so every thread count >= 2 mints
+    // exactly the same master node ids in the same order.
+    let m2 = manager(2);
+    let m4 = manager(4);
+    let r2 = workload(&m2);
+    let r4 = workload(&m4);
+    for (a, b) in r2.iter().zip(r4.iter()) {
+        assert_eq!(a.raw_id(), b.raw_id());
+    }
+    assert_eq!(
+        m2.kernel_stats().nodes_created,
+        m4.kernel_stats().nodes_created,
+        "the master arena must see the same allocation sequence"
+    );
+    assert_eq!(m2.live_nodes(), m4.live_nodes());
+}
+
+#[test]
+fn live_nodes_identical_after_gc_vs_sequential() {
+    // Sequential and parallel runs differ in which garbage intermediates
+    // the master arena ever saw, but the live functions are identical, so
+    // after a full collection the canonical live DAGs coincide.
+    let m1 = manager(1);
+    let m4 = manager(4);
+    let r1 = workload(&m1);
+    let r4 = workload(&m4);
+    m1.gc();
+    m4.gc();
+    assert_eq!(m1.live_nodes(), m4.live_nodes());
+    drop(r1);
+    drop(r4);
+}
+
+#[test]
+fn kernel_stats_invariants_survive_worker_merge() {
+    // Per-worker counters are merged by summation after the join; no
+    // interleaving may make hits overtake lookups, globally or per op.
+    let m4 = manager(4);
+    let r = workload(&m4);
+    // Re-run some operations so the shared parallel cache produces hits.
+    let f = dense(&m4, 300, 1);
+    let g = dense(&m4, 300, 2);
+    let _ = f.and(&g);
+    let _ = f.and(&g);
+    let s = m4.kernel_stats();
+    assert!(s.cache_lookups >= s.cache_hits);
+    for (i, op) in s.per_op_cache.iter().enumerate() {
+        assert!(
+            op.lookups >= op.hits,
+            "per-op cache invariant violated for {}",
+            jedd_bdd::KernelStats::CACHE_OP_NAMES[i]
+        );
+    }
+    assert!(s.par_ops > 0);
+    assert!(s.par_tasks >= 2 * s.par_ops, "every parallel op splits into >= 2 tasks");
+    assert!(s.par_scratch_nodes > 0);
+    drop(r);
+}
+
+#[test]
+fn budget_types_cross_thread_boundaries() {
+    // The types handed to workers (budgets, cancellation, error values,
+    // merged stats) must stay Send + Sync; a regression here breaks the
+    // worker spawn without a clear message.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<jedd_bdd::KernelStats>();
+    assert_send_sync::<jedd_bdd::BddError>();
+    assert_send_sync::<jedd_bdd::Budget>();
+    assert_send_sync::<jedd_bdd::CancelToken>();
+}
+
+/// Stress: four workers hammering mk/apply with forced parallel
+/// engagement on every operation, concurrent scratch-shard growth, and a
+/// stop-the-world GC between rounds. "No lost nodes" is checked by
+/// running a second collection immediately after the first: if the sweep
+/// or the import phase ever dropped or duplicated a reachable node, the
+/// recount would disagree and the second GC would reclaim something.
+///
+/// Run with `cargo test -- --ignored` or `./ci.sh --stress`.
+#[test]
+#[ignore]
+fn stress_concurrent_growth_and_gc() {
+    let mgr = BddManager::new(NBITS);
+    mgr.set_threads(4);
+    mgr.set_par_cutoff(2);
+    let vars: Vec<u32> = (0..NBITS as u32).collect();
+    let mut rng = XorShift64Star::new(0xfeed);
+    for round in 0..12u64 {
+        let f = dense(&mgr, 900, round * 7 + 1);
+        let g = dense(&mgr, 900, round * 7 + 2);
+        let union = f.or(&g);
+        let inter = f.and(&g);
+        let d = union.diff(&inter);
+        // Inclusion-exclusion ties the three parallel results together.
+        assert_eq!(
+            union.satcount() + inter.satcount(),
+            f.satcount() + g.satcount(),
+            "round {round}: |f∪g| + |f∩g| != |f| + |g|"
+        );
+        assert_eq!(d.satcount(), f.xor(&g).satcount(), "round {round}");
+        let cube_vars: Vec<u32> = (0..4).map(|_| rng.gen_range(0..NBITS as u64) as u32).collect();
+        let e = union.exists(&mgr.cube(&cube_vars));
+        assert!(e.satcount() >= union.satcount());
+        // Quiesced safepoint: all workers joined, so a full collection
+        // must leave a consistent table...
+        mgr.gc();
+        // ...and everything reachable must have survived it.
+        assert_eq!(mgr.gc(), 0, "round {round}: second GC reclaimed nodes");
+        assert_eq!(d.sat_assignments(&vars).len(), d.satcount() as usize);
+    }
+    let s = mgr.kernel_stats();
+    assert!(s.par_ops >= 36, "stress must keep the pool busy, got {}", s.par_ops);
+}

@@ -1,0 +1,130 @@
+//! Parallel apply speedup on the points-to kernel workload: the same
+//! propagation rounds (compose / rename / union over a points-to-shaped
+//! edge and points-to relation) run on 1 worker and on 4, on fresh
+//! managers, and the wall-clock ratio is the headline number.
+//!
+//! The physical domains are laid out so the quantified variables sit at
+//! the *bottom* of the order (DST on top, then OBJ, then VAR): the
+//! parallel engine splits on the top levels and stops above the first
+//! quantified level, so this layout gives the relational product its full
+//! split depth. Results are validated against each other (same tuple
+//! count at every thread count) before anything is timed.
+//!
+//! With `JEDD_BENCH_JSON` set, a `parallel_apply` section with the 1- and
+//! 4-thread times and the speedup lands in the report. With
+//! `JEDD_BENCH_GATE=1` (set by `ci.sh` on machines with >= 4 CPUs) the
+//! bench additionally asserts the >= 1.5x acceptance gate.
+
+use jedd_bench::criterion::Criterion;
+use jedd_bench::report::{write_section, JsonObject};
+use jedd_bdd::rng::XorShift64Star;
+use jedd_core::{AttrId, Relation, Universe};
+use std::time::Instant;
+
+const VARS: u64 = 1 << 10;
+const OBJS: u64 = 1 << 9;
+const EDGES: usize = 8_000;
+const SEEDS: usize = 3_000;
+const ROUNDS: usize = 2;
+
+struct Setup {
+    edges: Relation,
+    pt0: Relation,
+    var: AttrId,
+    dst: AttrId,
+}
+
+/// A fresh universe per timed run, so no run can feed another's op cache.
+fn setup(threads: usize) -> Setup {
+    let u = Universe::new();
+    let var_d = u.add_domain("Var", VARS);
+    let obj_d = u.add_domain("Obj", OBJS);
+    // Allocation order is variable order: DST takes the top levels (where
+    // the planner splits), VAR the bottom ones (where compose quantifies).
+    let p_dst = u.add_physical_domain("DST", 10);
+    let p_obj = u.add_physical_domain("OBJ", 9);
+    let p_var = u.add_physical_domain("VAR", 10);
+    let var = u.add_attribute("var", var_d);
+    let dst = u.add_attribute("dst", var_d);
+    let obj = u.add_attribute("obj", obj_d);
+    u.bdd_manager().set_threads(threads);
+    let mut rng = XorShift64Star::new(0x5eed);
+    let e: Vec<Vec<u64>> = (0..EDGES)
+        .map(|_| vec![rng.gen_range(0..VARS), rng.gen_range(0..VARS)])
+        .collect();
+    let edges = Relation::from_tuples(&u, &[(dst, p_dst), (var, p_var)], &e).expect("valid edges");
+    let s: Vec<Vec<u64>> = (0..SEEDS)
+        .map(|_| vec![rng.gen_range(0..VARS), rng.gen_range(0..OBJS)])
+        .collect();
+    let pt0 = Relation::from_tuples(&u, &[(var, p_var), (obj, p_obj)], &s).expect("valid seeds");
+    Setup { edges, pt0, var, dst }
+}
+
+/// The points-to propagation kernel: `pt ∪= ∃var. edges(dst,var) ∧
+/// pt(var,obj)`, renamed back onto `var`. Every round changes `pt`, so no
+/// round is answered from the top-level op cache.
+fn propagate(s: &Setup) -> Relation {
+    let mut pt = s.pt0.clone();
+    for _ in 0..ROUNDS {
+        let step = s.edges.compose(&[s.var], &pt, &[s.var]).expect("compose");
+        let step = step.rename(s.dst, s.var).expect("rename");
+        pt = pt.union(&step).expect("union");
+    }
+    pt
+}
+
+fn timed_run(threads: usize) -> (f64, u64, jedd_bdd::KernelStats) {
+    let s = setup(threads);
+    let start = Instant::now();
+    let pt = propagate(&s);
+    let secs = start.elapsed().as_secs_f64();
+    let stats = s.pt0.universe().bdd_manager().kernel_stats();
+    (secs, pt.size(), stats)
+}
+
+fn bench_parallel_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_apply");
+    g.sample_size(3);
+    for threads in [1usize, 4] {
+        g.bench_function(&format!("pointsto_rounds/{threads}t"), |b| {
+            let s = setup(threads);
+            b.iter(|| propagate(&s));
+        });
+    }
+    g.finish();
+
+    // Headline: fresh managers, one timed propagation each.
+    let (t1_s, n1, k1) = timed_run(1);
+    let (t4_s, n4, k4) = timed_run(4);
+    assert_eq!(n1, n4, "thread count must not change the fixpoint");
+    assert_eq!(k1.par_ops, 0, "threads=1 must stay on the sequential path");
+    assert!(k4.par_ops > 0, "threads=4 must engage the parallel engine");
+    let speedup = t1_s / t4_s;
+    eprintln!(
+        "parallel_apply: 1t {:.3}s, 4t {:.3}s, speedup {:.2}x ({} parallel ops, {} tasks, {} steals)",
+        t1_s, t4_s, speedup, k4.par_ops, k4.par_tasks, k4.par_steals
+    );
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    write_section(
+        "parallel_apply",
+        &JsonObject::new()
+            .int("rounds", ROUNDS as u64)
+            .int("cpus", cpus as u64)
+            .int("pt_pairs", n1)
+            .float("t1_s", t1_s)
+            .float("t4_s", t4_s)
+            .float("speedup_x", speedup)
+            .int("par_ops_4t", k4.par_ops)
+            .int("par_tasks_4t", k4.par_tasks)
+            .int("par_steals_4t", k4.par_steals),
+    );
+    if std::env::var("JEDD_BENCH_GATE").as_deref() == Ok("1") {
+        assert!(
+            speedup >= 1.5,
+            "parallel apply gate: expected >= 1.5x at 4 threads, got {speedup:.2}x"
+        );
+    }
+}
+
+jedd_bench::criterion_group!(benches, bench_parallel_apply);
+jedd_bench::criterion_main!(benches);

@@ -258,6 +258,21 @@ fn kernel_section(k: &KernelStats) -> String {
             k.cache_hits as f64 / k.cache_lookups as f64 * 100.0
         }
     );
+    let _ = writeln!(
+        out,
+        "<h3>Parallelism</h3>\
+         <p>{} parallel operations ({} tasks, {:.1} per op), \
+         {} work-steals, {} scratch nodes imported.</p>",
+        k.par_ops,
+        k.par_tasks,
+        if k.par_ops == 0 {
+            0.0
+        } else {
+            k.par_tasks as f64 / k.par_ops as f64
+        },
+        k.par_steals,
+        k.par_scratch_nodes
+    );
     out
 }
 
@@ -366,8 +381,25 @@ mod tests {
         assert!(html.contains("Kernel statistics"));
         assert!(html.contains("<td class=l>and</td>"));
         assert!(html.contains("cache sweeps"));
+        // The parallelism row is always present, zeroed on sequential runs.
+        assert!(html.contains("Parallelism"));
+        assert!(html.contains("0 parallel operations"));
         // Plain render stays kernel-free.
         assert!(!render_html(&p).contains("Kernel statistics"));
+    }
+
+    #[test]
+    fn kernel_section_reports_parallel_counters() {
+        let stats = KernelStats {
+            par_ops: 3,
+            par_tasks: 24,
+            par_steals: 5,
+            par_scratch_nodes: 100,
+            ..Default::default()
+        };
+        let html = render_html_with_kernel(&Profiler::new(), Some(&stats));
+        assert!(html.contains("3 parallel operations (24 tasks, 8.0 per op)"));
+        assert!(html.contains("5 work-steals, 100 scratch nodes imported"));
     }
 
     #[test]
