@@ -36,8 +36,23 @@ if [ "$STRESS" = 1 ]; then
     JEDD_THREADS=4 cargo test --workspace --offline -q -- --ignored
 fi
 
+echo "==> jeddc --lint --deny warnings (embedded analysis corpus)"
+# The five Table-1 module combinations (mirroring jedd_src::modules())
+# must be lint-clean: jeddlint gating its own shipped analyses keeps the
+# corpus honest about dead stores, redundant ops and forced replaces.
+JEDDC=target/release/jeddc
+SRC=crates/analyses/jedd-src
+"$JEDDC" --lint --deny warnings "$SRC/prelude.jedd" "$SRC/vcr.jedd"
+"$JEDDC" --lint --deny warnings "$SRC/prelude.jedd" "$SRC/hierarchy.jedd"
+"$JEDDC" --lint --deny warnings "$SRC/prelude.jedd" "$SRC/pointsto.jedd"
+"$JEDDC" --lint --deny warnings "$SRC/prelude.jedd" "$SRC/sideeffect.jedd" "$SRC/callgraph.jedd"
+"$JEDDC" --lint --deny warnings "$SRC/prelude.jedd" "$SRC/callgraph.jedd"
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+# jeddc is the user-facing compiler crate; its API docs are load-bearing,
+# so missing docs are a hard error there (warn-level elsewhere).
+cargo clippy -p jeddc --offline -- -D warnings -D missing-docs
 
 echo "==> bench smoke (BENCH_kernel.json)"
 # Few-sample bench runs double as integration tests of the kernel's

@@ -277,6 +277,36 @@ mod tests {
     }
 
     #[test]
+    fn replace_estimate_counts_broken_edges() {
+        // Two pinned declarations in different domains joined by an
+        // assignment edge: the edge must break, costing one replace.
+        let mut p = AssignmentProblem::new();
+        let t1 = p.add_physdom("T1");
+        let t2 = p.add_physdom("T2");
+        let src = p.add_expr("relation r", pos(1, 1));
+        let o1 = p.add_occurrence(src, "x");
+        let dst = p.add_expr("relation s", pos(2, 1));
+        let o2 = p.add_occurrence(dst, "x");
+        p.specify(o1, t1);
+        p.specify(o2, t2);
+        p.add_assignment(o1, o2);
+        let s = p.solve().unwrap();
+        assert_eq!(s.replace_estimate(&p), 1);
+        assert_eq!(p.broken_assignment_edges(&s), vec![(o1, o2)]);
+        assert_eq!(p.assignment_edges(), &[(o1, o2)]);
+        assert_eq!(p.specified_physdom(o1), Some(t1));
+        assert_eq!(p.specified_physdom(OccId(99)), None);
+
+        // Re-pinning the destination into T1 removes the forced replace.
+        let mut q = p.clone();
+        q.respecify(o2, t1);
+        assert_eq!(q.specified_physdom(o2), Some(t1));
+        let s2 = q.solve().unwrap();
+        assert_eq!(s2.replace_estimate(&q), 0);
+        assert!(q.broken_assignment_edges(&s2).is_empty());
+    }
+
+    #[test]
     fn stats_count_constraints() {
         let mut p = AssignmentProblem::new();
         let t1 = p.add_physdom("T1");

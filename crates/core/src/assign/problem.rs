@@ -214,6 +214,44 @@ impl AssignmentProblem {
     pub fn occ_expr(&self, o: OccId) -> ExprId {
         self.occs[o.0 as usize].expr
     }
+
+    /// All assignment (breakable dummy-replace) edges, in insertion order.
+    pub fn assignment_edges(&self) -> &[(OccId, OccId)] {
+        &self.assignment
+    }
+
+    /// The physical domain an occurrence was pinned to via
+    /// [`AssignmentProblem::specify`], if any. When an occurrence was
+    /// specified more than once, the most recent specification wins.
+    pub fn specified_physdom(&self, occ: OccId) -> Option<PhysId> {
+        self.specified
+            .iter()
+            .rev()
+            .find(|&&(o, _)| o == occ)
+            .map(|&(_, p)| p)
+    }
+
+    /// Replaces every specification for `occ` with a pin to `phys`.
+    ///
+    /// This is the knob the replace-cost advisory turns: re-pin one
+    /// declaration-side occurrence, re-solve, and compare the resulting
+    /// [`Solution::replace_estimate`] against the original.
+    pub fn respecify(&mut self, occ: OccId, phys: PhysId) {
+        self.specified.retain(|&(o, _)| o != occ);
+        self.specified.push((occ, phys));
+    }
+
+    /// The assignment edges a solution *breaks*: edges whose endpoints were
+    /// assigned different physical domains. Each broken edge is a replace
+    /// operation the runtime must perform when values flow across that
+    /// boundary (§3.3.2).
+    pub fn broken_assignment_edges(&self, sol: &Solution) -> Vec<(OccId, OccId)> {
+        self.assignment
+            .iter()
+            .copied()
+            .filter(|&(a, b)| sol.physdom_of(a) != sol.physdom_of(b))
+            .collect()
+    }
 }
 
 /// Sizing and timing data for one assignment run — the columns of the
@@ -260,6 +298,14 @@ impl Solution {
     /// Problem/solution statistics (Table 1 columns).
     pub fn stats(&self) -> AssignmentStats {
         self.stats
+    }
+
+    /// The number of replace operations this assignment forces: how many
+    /// assignment edges of `problem` it breaks. Grouping broken edges into
+    /// per-site replace calls is the front end's job; this is the raw
+    /// per-edge count.
+    pub fn replace_estimate(&self, problem: &AssignmentProblem) -> usize {
+        problem.broken_assignment_edges(self).len()
     }
 }
 

@@ -5,10 +5,31 @@
 //! physical domain assignment algorithm to assign the rest").
 
 use crate::check::{AttrIdx, PdIdx, TCond, TExpr, TExprId, TExprKind, TStmt, TypedProgram, VarIdx};
+use crate::diag::Pos;
 use jedd_core::assign::{
-    AssignError, AssignmentProblem, AssignmentStats, ExprId as PExprId, OccId, PhysId, SourcePos,
+    AssignError, AssignmentProblem, AssignmentStats, ExprId as PExprId, OccId, PhysId, Solution,
+    SourcePos,
 };
 use std::collections::HashMap;
+
+/// One replace operation the physical-domain assignment forces: all the
+/// broken assignment edges between one (source expression, destination
+/// expression) pair, which the executor performs as a single
+/// `with_assignment` call at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForcedReplace {
+    /// Label of the expression the value flows out of.
+    pub from_label: String,
+    /// Position of the source expression.
+    pub from_pos: Pos,
+    /// Label of the expression (or `relation <name>` declaration, or
+    /// `Compare_expression`) the value flows into.
+    pub to_label: String,
+    /// Position of the destination expression.
+    pub to_pos: Pos,
+    /// `(attribute, from physdom, to physdom)` names per broken edge.
+    pub moves: Vec<(String, String, String)>,
+}
 
 /// The computed attribute → physical-domain assignment for every
 /// expression node and variable.
@@ -32,6 +53,17 @@ pub struct Assignment {
     /// Number of auto-pinned physical domains (0 when the program's own
     /// specifications sufficed).
     pub auto_pins: usize,
+    /// The replace operations this assignment forces (broken assignment
+    /// edges, grouped per site), for the replace-cost lint.
+    pub forced: Vec<ForcedReplace>,
+    /// The solved constraint problem, kept so the replace-cost advisory
+    /// can re-pin a declaration and re-solve.
+    pub problem: Option<AssignmentProblem>,
+    /// The solution the runtime executes.
+    pub solution: Option<Solution>,
+    /// Problem occurrence of each (variable, attribute) declaration —
+    /// the handles the advisory re-pins.
+    pub var_occ: HashMap<(VarIdx, AttrIdx), OccId>,
 }
 
 struct Builder<'a> {
@@ -54,6 +86,13 @@ struct Builder<'a> {
 
 fn to_pos(p: crate::diag::Pos) -> SourcePos {
     SourcePos {
+        line: p.line,
+        col: p.col,
+    }
+}
+
+fn from_spos(p: SourcePos) -> Pos {
+    Pos {
         line: p.line,
         col: p.col,
     }
@@ -459,6 +498,40 @@ impl<'a> Builder<'a> {
             stats: sol.stats(),
             ..Assignment::default()
         };
+        // Forced replaces: broken assignment edges grouped by their
+        // (source expression, destination expression) pair — one group
+        // per runtime replace call.
+        let mut groups: Vec<((PExprId, PExprId), ForcedReplace)> = Vec::new();
+        for &(a, b) in &self.assignment_edges {
+            let (pa, pb) = (sol.physdom_of(a), sol.physdom_of(b));
+            if pa == pb {
+                continue;
+            }
+            let key = (self.problem.occ_expr(a), self.problem.occ_expr(b));
+            let mv = (
+                self.problem.occ_attr(a).to_string(),
+                self.problem.physdom_name(pa).to_string(),
+                self.problem.physdom_name(pb).to_string(),
+            );
+            if let Some((_, g)) = groups.iter_mut().find(|(k, _)| *k == key) {
+                g.moves.push(mv);
+            } else {
+                let (ea, eb) = key;
+                groups.push((
+                    key,
+                    ForcedReplace {
+                        from_label: self.problem.expr_label(ea).to_string(),
+                        from_pos: from_spos(self.problem.expr_pos(ea)),
+                        to_label: self.problem.expr_label(eb).to_string(),
+                        to_pos: from_spos(self.problem.expr_pos(eb)),
+                        moves: vec![mv],
+                    },
+                ));
+            }
+        }
+        out.forced = groups.into_iter().map(|(_, g)| g).collect();
+        out.var_occ = self.var_occ.clone();
+        out.problem = Some(self.problem.clone());
         // Physdom names: program order + auto pins.
         for (i, p) in self.phys.iter().enumerate() {
             let _ = p;
@@ -485,6 +558,7 @@ impl<'a> Builder<'a> {
         for (&(v, a), &occ) in &self.var_occ {
             out.var_pd.insert((v, a), phys_to_pd(sol.physdom_of(occ)));
         }
+        out.solution = Some(sol);
         out
     }
 }

@@ -289,4 +289,7 @@ impl Expr {
 pub struct Program {
     /// Top-level declarations.
     pub decls: Vec<Decl>,
+    /// `// jedd:allow(<lint>)` annotations collected by the lexer, in
+    /// source order. The lint driver uses them to suppress diagnostics.
+    pub allows: Vec<crate::diag::Allow>,
 }

@@ -6,7 +6,7 @@
 //! unique expression id used by the physical-domain-assignment pass.
 
 use crate::ast::{self, AssignOp, Decl, DomainSpec, Expr, LiteralObj, Program, Replacement, Stmt};
-use crate::diag::{CompileError, Pos};
+use crate::diag::{Allow, CompileError, Pos};
 
 /// Index of a domain in the typed program.
 pub type DomainIdx = u32;
@@ -221,6 +221,9 @@ pub struct TypedProgram {
     pub rules: Vec<TRule>,
     /// Number of expression nodes allocated (ids are `0..num_exprs`).
     pub num_exprs: u32,
+    /// `// jedd:allow(<lint>)` annotations, carried through from the
+    /// lexer for the lint driver.
+    pub allows: Vec<Allow>,
 }
 
 impl TypedProgram {
@@ -273,27 +276,60 @@ impl TypedProgram {
 struct Checker {
     prog: TypedProgram,
     next_expr: u32,
+    /// Accumulated errors, in source order. The checker recovers after
+    /// each one instead of aborting, so one run reports every
+    /// independent error.
+    errors: Vec<CompileError>,
 }
 
 /// Runs semantic analysis over a parsed program.
 ///
 /// # Errors
 ///
-/// Returns the first name-resolution or typing (Fig. 6) error.
+/// Returns the first name-resolution or typing (Fig. 6) error — the same
+/// error, byte for byte, that the single-shot seed checker produced. Use
+/// [`check_all`] to get every independent error in one run.
 pub fn check(program: &Program) -> Result<TypedProgram, CompileError> {
+    check_all(program).map_err(|mut errs| errs.remove(0))
+}
+
+/// Runs semantic analysis, accumulating all independent errors.
+///
+/// The checker recovers after each error: a declaration with a bad
+/// schema is still entered into scope (with an empty schema) so uses of
+/// it don't cascade into `unknown relation` storms, and a statement that
+/// fails to type is dropped while the rest of its block is still
+/// checked. Errors come back in source order; the first one is exactly
+/// what [`check`] returns.
+///
+/// # Errors
+///
+/// Returns every name-resolution or typing error found, in source order
+/// (the list is never empty on `Err`).
+pub fn check_all(program: &Program) -> Result<TypedProgram, Vec<CompileError>> {
     let mut c = Checker {
         prog: TypedProgram::default(),
         next_expr: 0,
+        errors: Vec::new(),
     };
-    c.collect_decls(program)?;
-    c.check_rules(program)?;
+    c.collect_decls(program);
+    c.check_rules(program);
     c.prog.num_exprs = c.next_expr;
-    Ok(c.prog)
+    c.prog.allows = program.allows.clone();
+    if c.errors.is_empty() {
+        Ok(c.prog)
+    } else {
+        Err(c.errors)
+    }
 }
 
 impl Checker {
     fn err(&self, pos: Pos, message: String) -> CompileError {
         CompileError { pos, message }
+    }
+
+    fn report(&mut self, pos: Pos, message: String) {
+        self.errors.push(CompileError { pos, message });
     }
 
     fn fresh_id(&mut self) -> TExprId {
@@ -302,13 +338,14 @@ impl Checker {
         id
     }
 
-    fn collect_decls(&mut self, program: &Program) -> Result<(), CompileError> {
+    fn collect_decls(&mut self, program: &Program) {
         let mut group_counter = 0u32;
         for d in &program.decls {
             match d {
                 Decl::Domain { name, spec, pos } => {
                     if self.prog.domain_idx(name).is_some() {
-                        return Err(self.err(*pos, format!("duplicate domain `{name}`")));
+                        self.report(*pos, format!("duplicate domain `{name}`"));
+                        continue;
                     }
                     self.prog.domains.push(DomainDef {
                         name: name.clone(),
@@ -317,10 +354,12 @@ impl Checker {
                 }
                 Decl::Attribute { name, domain, pos } => {
                     if self.prog.attr_idx(name).is_some() {
-                        return Err(self.err(*pos, format!("duplicate attribute `{name}`")));
+                        self.report(*pos, format!("duplicate attribute `{name}`"));
+                        continue;
                     }
                     let Some(didx) = self.prog.domain_idx(domain) else {
-                        return Err(self.err(*pos, format!("unknown domain `{domain}`")));
+                        self.report(*pos, format!("unknown domain `{domain}`"));
+                        continue;
                     };
                     self.prog.attributes.push(AttrDef {
                         name: name.clone(),
@@ -340,7 +379,8 @@ impl Checker {
                     };
                     for n in names {
                         if self.prog.physdom_idx(n).is_some() {
-                            return Err(self.err(*pos, format!("duplicate physical domain `{n}`")));
+                            self.report(*pos, format!("duplicate physical domain `{n}`"));
+                            continue;
                         }
                         self.prog.physdoms.push(PhysdomDef {
                             name: n.clone(),
@@ -350,9 +390,19 @@ impl Checker {
                 }
                 Decl::Relation { name, schema, pos } => {
                     if self.prog.global_idx(name).is_some() {
-                        return Err(self.err(*pos, format!("duplicate relation `{name}`")));
+                        self.report(*pos, format!("duplicate relation `{name}`"));
+                        continue;
                     }
-                    let (s, written) = self.check_schema_ast(schema)?;
+                    // On a bad schema, declare the relation anyway (with
+                    // an empty schema) so later uses don't cascade into
+                    // `unknown relation` errors.
+                    let (s, written) = match self.check_schema_ast(schema) {
+                        Ok(x) => x,
+                        Err(e) => {
+                            self.errors.push(e);
+                            (Vec::new(), Vec::new())
+                        }
+                    };
                     self.prog.vars.push(VarDef {
                         name: name.clone(),
                         schema: s,
@@ -364,7 +414,6 @@ impl Checker {
                 Decl::Rule { .. } => {}
             }
         }
-        Ok(())
     }
 
     /// Resolves a schema annotation to sorted attribute/physdom indices,
@@ -399,22 +448,22 @@ impl Checker {
         Ok((out, written))
     }
 
-    fn check_rules(&mut self, program: &Program) -> Result<(), CompileError> {
+    fn check_rules(&mut self, program: &Program) {
         for d in &program.decls {
             if let Decl::Rule { name, body, pos } = d {
                 if self.prog.rule(name).is_some() {
-                    return Err(self.err(*pos, format!("duplicate rule `{name}`")));
+                    self.report(*pos, format!("duplicate rule `{name}`"));
+                    continue;
                 }
                 // Locals: name -> VarIdx, in scope from declaration on.
                 let mut locals: Vec<(String, VarIdx)> = Vec::new();
-                let tbody = self.check_block(body, &mut locals)?;
+                let tbody = self.check_block(body, &mut locals);
                 self.prog.rules.push(TRule {
                     name: name.clone(),
                     body: tbody,
                 });
             }
         }
-        Ok(())
     }
 
     fn lookup_var(&self, name: &str, locals: &[(String, VarIdx)]) -> Option<VarIdx> {
@@ -427,23 +476,23 @@ impl Checker {
         self.prog.global_idx(name)
     }
 
-    fn check_block(
-        &mut self,
-        body: &[Stmt],
-        locals: &mut Vec<(String, VarIdx)>,
-    ) -> Result<Vec<TStmt>, CompileError> {
+    /// Checks a statement block, recording each failing statement's
+    /// errors and dropping only that statement — the rest of the block is
+    /// still checked, so independent errors surface in one run.
+    fn check_block(&mut self, body: &[Stmt], locals: &mut Vec<(String, VarIdx)>) -> Vec<TStmt> {
         let mut out = Vec::new();
         for s in body {
-            out.push(self.check_stmt(s, locals)?);
+            if let Some(ts) = self.check_stmt(s, locals) {
+                out.push(ts);
+            }
         }
-        Ok(out)
+        out
     }
 
-    fn check_stmt(
-        &mut self,
-        s: &Stmt,
-        locals: &mut Vec<(String, VarIdx)>,
-    ) -> Result<TStmt, CompileError> {
+    /// Checks one statement, pushing any errors onto the accumulator (in
+    /// source order) and returning `None` when the statement cannot be
+    /// typed.
+    fn check_stmt(&mut self, s: &Stmt, locals: &mut Vec<(String, VarIdx)>) -> Option<TStmt> {
         match s {
             Stmt::Local {
                 name,
@@ -451,7 +500,16 @@ impl Checker {
                 init,
                 pos,
             } => {
-                let (sch, written) = self.check_schema_ast(schema)?;
+                // Recover from a bad schema or initialiser: the local is
+                // declared regardless, so later statements that use it
+                // don't cascade into `unknown relation` errors.
+                let (sch, written) = match self.check_schema_ast(schema) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        self.errors.push(e);
+                        (Vec::new(), Vec::new())
+                    }
+                };
                 let attrs: Vec<AttrIdx> = sch.iter().map(|&(a, _)| a).collect();
                 let var = self.prog.vars.len() as VarIdx;
                 self.prog.vars.push(VarDef {
@@ -462,14 +520,24 @@ impl Checker {
                     pos: *pos,
                 });
                 let tinit = match init {
-                    Some(e) => Some(self.check_expr(e, Some(&attrs), locals)?),
+                    Some(e) => match self.check_expr(e, Some(&attrs), locals) {
+                        Ok(te) => {
+                            if let Err(e2) =
+                                self.require_same_schema(&attrs, &te.schema, te.pos, "initialisation")
+                            {
+                                self.errors.push(e2);
+                            }
+                            Some(te)
+                        }
+                        Err(e) => {
+                            self.errors.push(e);
+                            None
+                        }
+                    },
                     None => None,
                 };
-                if let Some(ti) = &tinit {
-                    self.require_same_schema(&attrs, &ti.schema, ti.pos, "initialisation")?;
-                }
                 locals.push((name.clone(), var));
-                Ok(TStmt::Local {
+                Some(TStmt::Local {
                     var,
                     init: tinit,
                     pos: *pos,
@@ -482,16 +550,26 @@ impl Checker {
                 pos,
             } => {
                 let Some(var) = self.lookup_var(name, locals) else {
-                    return Err(self.err(*pos, format!("unknown relation `{name}`")));
+                    self.report(*pos, format!("unknown relation `{name}`"));
+                    return None;
                 };
                 let attrs: Vec<AttrIdx> = self.prog.vars[var as usize]
                     .schema
                     .iter()
                     .map(|&(a, _)| a)
                     .collect();
-                let te = self.check_expr(expr, Some(&attrs), locals)?;
-                self.require_same_schema(&attrs, &te.schema, te.pos, "assignment")?;
-                Ok(TStmt::Assign {
+                let te = match self.check_expr(expr, Some(&attrs), locals) {
+                    Ok(te) => te,
+                    Err(e) => {
+                        self.errors.push(e);
+                        return None;
+                    }
+                };
+                if let Err(e) = self.require_same_schema(&attrs, &te.schema, te.pos, "assignment") {
+                    self.errors.push(e);
+                    return None;
+                }
+                Some(TStmt::Assign {
                     var,
                     op: *op,
                     expr: te,
@@ -500,23 +578,33 @@ impl Checker {
             }
             Stmt::DoWhile { body, cond, pos } => {
                 let scope = locals.len();
-                let tbody = self.check_block(body, locals)?;
-                let tcond = self.check_cond(cond, locals)?;
+                let tbody = self.check_block(body, locals);
+                let tcond = self.check_cond(cond, locals);
                 locals.truncate(scope);
                 let _ = pos;
-                Ok(TStmt::DoWhile {
+                let tcond = match tcond {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.errors.push(e);
+                        return None;
+                    }
+                };
+                Some(TStmt::DoWhile {
                     body: tbody,
                     cond: tcond,
                 })
             }
             Stmt::While { cond, body, pos } => {
-                let tcond = self.check_cond(cond, locals)?;
+                let tcond = self.check_cond(cond, locals);
+                if let Err(e) = &tcond {
+                    self.errors.push(e.clone());
+                }
                 let scope = locals.len();
-                let tbody = self.check_block(body, locals)?;
+                let tbody = self.check_block(body, locals);
                 locals.truncate(scope);
                 let _ = pos;
-                Ok(TStmt::While {
-                    cond: tcond,
+                Some(TStmt::While {
+                    cond: tcond.ok()?,
                     body: tbody,
                 })
             }
@@ -526,15 +614,18 @@ impl Checker {
                 else_body,
                 pos,
             } => {
-                let tcond = self.check_cond(cond, locals)?;
+                let tcond = self.check_cond(cond, locals);
+                if let Err(e) = &tcond {
+                    self.errors.push(e.clone());
+                }
                 let scope = locals.len();
-                let tthen = self.check_block(then_body, locals)?;
+                let tthen = self.check_block(then_body, locals);
                 locals.truncate(scope);
-                let telse = self.check_block(else_body, locals)?;
+                let telse = self.check_block(else_body, locals);
                 locals.truncate(scope);
                 let _ = pos;
-                Ok(TStmt::If {
-                    cond: tcond,
+                Some(TStmt::If {
+                    cond: tcond.ok()?,
                     then_body: tthen,
                     else_body: telse,
                 })

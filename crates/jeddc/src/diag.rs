@@ -1,4 +1,11 @@
 //! Source positions and compile-time diagnostics.
+//!
+//! Two layers live here. [`CompileError`] is the single-shot error the
+//! seed pipeline produced; its `Display` strings are frozen (tests match
+//! them byte-for-byte). On top of it, [`Diagnostic`] is the structured
+//! form `jeddlint` and the multi-error checker emit: a severity, an
+//! optional lint name, a position, and an optional suggestion, renderable
+//! as text or JSON.
 
 use std::fmt;
 
@@ -15,6 +22,189 @@ impl fmt::Display for Pos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{},{}", self.line, self.col)
     }
+}
+
+/// Maps char offsets to line/column positions via a table of line-start
+/// offsets.
+///
+/// The lexer used to thread mutable `line`/`col` counters through every
+/// arm of its dispatch loop, and arms that forgot to update them (comment
+/// skipping, multi-char tokens inside `{ ... }` tuple literals spanning a
+/// newline) produced positions on the wrong line. Building the table up
+/// front makes positions a pure function of the offset.
+#[derive(Clone, Debug, Default)]
+pub struct LineMap {
+    /// Char offset of the first character of each line, ascending;
+    /// `starts[0] == 0` always.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    /// Builds the line table for a source text. Offsets are in `char`s,
+    /// matching how the lexer indexes its input.
+    pub fn new(src: &str) -> LineMap {
+        let mut starts = vec![0usize];
+        for (i, c) in src.chars().enumerate() {
+            if c == '\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// The 1-based position of the char at `offset`. Offsets past the end
+    /// of the text land on the last line.
+    pub fn pos_at(&self, offset: usize) -> Pos {
+        let line = self.starts.partition_point(|&s| s <= offset);
+        Pos {
+            line: line as u32,
+            col: (offset - self.starts[line - 1] + 1) as u32,
+        }
+    }
+}
+
+/// A `// jedd:allow(<lint>, ...)` annotation carried out of the lexer.
+///
+/// An allow suppresses diagnostics of the named lint anchored on the
+/// annotation's own line (trailing comment) or the line directly below it
+/// (standalone comment above the statement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the annotation comment starts on.
+    pub line: u32,
+    /// The lint name inside the parentheses.
+    pub lint: String,
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Purely informational advice (e.g. per-site replace-cost notes).
+    Note,
+    /// Suspicious but not fatal; fails the build under `--deny warnings`.
+    Warning,
+    /// A hard error: the program is rejected.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase display name (`"note"` / `"warning"` / `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured diagnostic: what `jeddlint` passes and the multi-error
+/// checker report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious it is.
+    pub severity: Severity,
+    /// The lint that produced it, `None` for plain compile errors.
+    pub lint: Option<&'static str>,
+    /// Anchor position in the source.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+    /// A concrete rewrite or ascription change that addresses it, if one
+    /// is known.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Wraps a [`CompileError`] as an error-severity diagnostic, keeping
+    /// the message text untouched.
+    pub fn from_compile_error(e: &CompileError) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            lint: None,
+            pos: e.pos,
+            message: e.message.clone(),
+            suggestion: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lint {
+            Some(lint) => write!(
+                f,
+                "{}[{}]: {}: {}",
+                self.severity, lint, self.pos, self.message
+            )?,
+            None => write!(f, "{}: {}: {}", self.severity, self.pos, self.message)?,
+        }
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders diagnostics as one text block, one diagnostic per line (plus
+/// indented `help:` lines for suggestions).
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array of objects with `severity`,
+/// `lint` (optional), `line`, `col`, `message` and `suggestion`
+/// (optional) fields. Hand-rolled — the workspace carries no serde.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"severity\":\"{}\"", d.severity));
+        if let Some(lint) = d.lint {
+            out.push_str(&format!(",\"lint\":\"{}\"", json_escape(lint)));
+        }
+        out.push_str(&format!(",\"line\":{},\"col\":{}", d.pos.line, d.pos.col));
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&d.message)));
+        if let Some(s) = &d.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A compile-time error with its source position.
@@ -81,5 +271,55 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "4,25: boom");
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let m = LineMap::new("ab\ncd\n\nf");
+        assert_eq!(m.pos_at(0), Pos { line: 1, col: 1 });
+        assert_eq!(m.pos_at(1), Pos { line: 1, col: 2 });
+        assert_eq!(m.pos_at(3), Pos { line: 2, col: 1 });
+        assert_eq!(m.pos_at(6), Pos { line: 3, col: 1 });
+        assert_eq!(m.pos_at(7), Pos { line: 4, col: 1 });
+        // One past the end still lands on the last line.
+        assert_eq!(m.pos_at(8), Pos { line: 4, col: 2 });
+    }
+
+    #[test]
+    fn diagnostic_text_rendering() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            lint: Some("dead-store"),
+            pos: Pos { line: 4, col: 9 },
+            message: "value stored to `x` is never read".into(),
+            suggestion: Some("remove the store".into()),
+        };
+        assert_eq!(
+            d.to_string(),
+            "warning[dead-store]: 4,9: value stored to `x` is never read\n  help: remove the store"
+        );
+        let e = Diagnostic::from_compile_error(&CompileError {
+            pos: Pos { line: 2, col: 1 },
+            message: "unknown relation `q`".into(),
+        });
+        assert_eq!(e.to_string(), "error: 2,1: unknown relation `q`");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_omits() {
+        let diags = vec![Diagnostic {
+            severity: Severity::Note,
+            lint: Some("replace-cost"),
+            pos: Pos { line: 1, col: 2 },
+            message: "a \"quoted\"\nthing".into(),
+            suggestion: None,
+        }];
+        let json = render_json(&diags);
+        assert_eq!(
+            json,
+            "[\n  {\"severity\":\"note\",\"lint\":\"replace-cost\",\"line\":1,\"col\":2,\
+             \"message\":\"a \\\"quoted\\\"\\nthing\"}\n]"
+        );
+        assert_eq!(render_json(&[]), "[]");
     }
 }

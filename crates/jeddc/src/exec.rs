@@ -548,9 +548,27 @@ impl Executor {
     }
 
     fn eval_cond(&mut self, c: &TCond) -> Result<bool, ExecError> {
-        let l = self.eval(&c.left)?;
-        let r = self.eval(&c.right)?;
-        let eq = l.equals(&r)?;
+        // Constant sides never need alignment: `x == 0B` is an emptiness
+        // test, and `x == 1B` compares against a full relation built
+        // directly on `x`'s current physical domains. Both avoid the
+        // schema-alignment replace `equals` would otherwise perform.
+        let eq = match (&c.left.kind, &c.right.kind) {
+            (TExprKind::Empty, _) => self.eval(&c.right)?.is_empty(),
+            (_, TExprKind::Empty) => self.eval(&c.left)?.is_empty(),
+            (TExprKind::Full, _) => {
+                let r = self.eval(&c.right)?;
+                r.equals(&Relation::full(&self.universe, r.schema())?)?
+            }
+            (_, TExprKind::Full) => {
+                let l = self.eval(&c.left)?;
+                l.equals(&Relation::full(&self.universe, l.schema())?)?
+            }
+            _ => {
+                let l = self.eval(&c.left)?;
+                let r = self.eval(&c.right)?;
+                l.equals(&r)?
+            }
+        };
         Ok(if c.eq { eq } else { !eq })
     }
 

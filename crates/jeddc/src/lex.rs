@@ -5,7 +5,7 @@
 //! `<>`, replacement casts `(a=>b)`, tuple literals `new { ... }`, and the
 //! constants `0B`/`1B`, plus the statement syntax the analyses need.
 
-use crate::diag::{CompileError, Pos};
+use crate::diag::{Allow, CompileError, LineMap, Pos};
 
 /// A lexical token kind.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -146,143 +146,109 @@ pub struct Token {
 /// Returns a [`CompileError`] on unrecognised characters or malformed
 /// numbers.
 pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    lex_with_allows(src).map(|(toks, _)| toks)
+}
+
+/// Tokenizes mini-Jedd source, also collecting `// jedd:allow(<lint>)`
+/// annotations from line comments.
+///
+/// Positions come from a [`LineMap`] built up front, so every token —
+/// including those inside `new { ... }` tuple literals that span
+/// newlines — is located by its char offset rather than by counters
+/// threaded through the dispatch loop.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unrecognised characters or malformed
+/// numbers.
+pub fn lex_with_allows(src: &str) -> Result<(Vec<Token>, Vec<Allow>), CompileError> {
     let mut out = Vec::new();
+    let mut allows = Vec::new();
     let chars: Vec<char> = src.chars().collect();
+    let map = LineMap::new(src);
     let mut i = 0usize;
-    let mut line = 1u32;
-    let mut col = 1u32;
-    macro_rules! pos {
-        () => {
-            Pos { line, col }
-        };
-    }
     while i < chars.len() {
         let c = chars[i];
-        let p = pos!();
-        let advance = |n: usize, i: &mut usize, col: &mut u32| {
-            *i += n;
-            *col += n as u32;
-        };
+        let p = map.pos_at(i);
         match c {
-            '\n' => {
-                i += 1;
-                line += 1;
-                col = 1;
-            }
-            ' ' | '\t' | '\r' => advance(1, &mut i, &mut col),
+            ' ' | '\t' | '\r' | '\n' => i += 1,
             '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
                 while i < chars.len() && chars[i] != '\n' {
                     i += 1;
                 }
+                let body: String = chars[start..i].iter().collect();
+                parse_allow(body.trim(), p.line, &mut allows);
             }
             '/' if chars.get(i + 1) == Some(&'*') => {
-                advance(2, &mut i, &mut col);
+                i += 2;
                 while i < chars.len() && !(chars[i] == '*' && chars.get(i + 1) == Some(&'/')) {
-                    if chars[i] == '\n' {
-                        line += 1;
-                        col = 1;
-                        i += 1;
-                    } else {
-                        advance(1, &mut i, &mut col);
-                    }
+                    i += 1;
                 }
                 if i < chars.len() {
-                    advance(2, &mut i, &mut col);
+                    i += 2;
                 }
             }
             '>' if chars.get(i + 1) == Some(&'<') => {
                 out.push(Token { tok: Tok::JoinSym, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '<' if chars.get(i + 1) == Some(&'>') => {
                 out.push(Token { tok: Tok::ComposeSym, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '=' if chars.get(i + 1) == Some(&'>') => {
                 out.push(Token { tok: Tok::Arrow, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '=' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Token { tok: Tok::EqEq, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Token { tok: Tok::NotEq, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '|' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Token { tok: Tok::OrAssign, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '&' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Token { tok: Tok::AndAssign, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
             '-' if chars.get(i + 1) == Some(&'=') => {
                 out.push(Token { tok: Tok::MinusAssign, pos: p });
-                advance(2, &mut i, &mut col);
+                i += 2;
             }
-            '<' => {
-                out.push(Token { tok: Tok::Lt, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '>' => {
-                out.push(Token { tok: Tok::Gt, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '(' => {
-                out.push(Token { tok: Tok::LParen, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            ')' => {
-                out.push(Token { tok: Tok::RParen, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '{' => {
-                out.push(Token { tok: Tok::LBrace, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '}' => {
-                out.push(Token { tok: Tok::RBrace, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            ',' => {
-                out.push(Token { tok: Tok::Comma, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            ';' => {
-                out.push(Token { tok: Tok::Semi, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            ':' => {
-                out.push(Token { tok: Tok::Colon, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '=' => {
-                out.push(Token { tok: Tok::Assign, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '|' => {
-                out.push(Token { tok: Tok::Pipe, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '&' => {
-                out.push(Token { tok: Tok::Amp, pos: p });
-                advance(1, &mut i, &mut col);
-            }
-            '-' => {
-                out.push(Token { tok: Tok::Minus, pos: p });
-                advance(1, &mut i, &mut col);
+            '<' | '>' | '(' | ')' | '{' | '}' | ',' | ';' | ':' | '=' | '|' | '&' | '-' => {
+                let tok = match c {
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    '=' => Tok::Assign,
+                    '|' => Tok::Pipe,
+                    '&' => Tok::Amp,
+                    _ => Tok::Minus,
+                };
+                out.push(Token { tok, pos: p });
+                i += 1;
             }
             '0'..='9' => {
                 let start = i;
                 while i < chars.len() && chars[i].is_ascii_digit() {
-                    advance(1, &mut i, &mut col);
+                    i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
                 // `0B` / `1B` constants.
                 if i < chars.len() && chars[i] == 'B' && (text == "0" || text == "1") {
-                    advance(1, &mut i, &mut col);
+                    i += 1;
                     out.push(Token {
                         tok: if text == "0" { Tok::ZeroB } else { Tok::OneB },
                         pos: p,
@@ -303,7 +269,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 while i < chars.len()
                     && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
                 {
-                    advance(1, &mut i, &mut col);
+                    i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
                 let tok = match text.as_str() {
@@ -332,9 +298,29 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
     }
     out.push(Token {
         tok: Tok::Eof,
-        pos: pos!(),
+        pos: map.pos_at(chars.len()),
     });
-    Ok(out)
+    Ok((out, allows))
+}
+
+/// Recognises `jedd:allow(<lint>, ...)` in a trimmed comment body and
+/// records one [`Allow`] per listed lint name. Anything else is ignored.
+fn parse_allow(body: &str, line: u32, allows: &mut Vec<Allow>) {
+    let Some(rest) = body.strip_prefix("jedd:allow(") else {
+        return;
+    };
+    let Some(inner) = rest.strip_suffix(')') else {
+        return;
+    };
+    for name in inner.split(',') {
+        let name = name.trim();
+        if !name.is_empty() {
+            allows.push(Allow {
+                line,
+                lint: name.to_string(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -413,5 +399,63 @@ mod tests {
     #[test]
     fn bad_character_errors() {
         assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn multiline_tuple_literal_spans() {
+        // Tokens inside a `new { ... }` literal spanning newlines must be
+        // anchored on their own lines — the lint passes point at them.
+        let src = "s = new {\n  A => x,\n  B => y\n};";
+        let toks = lex(src).unwrap();
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .pos
+        };
+        assert_eq!(find("A"), Pos { line: 2, col: 3 });
+        assert_eq!(find("x"), Pos { line: 2, col: 8 });
+        assert_eq!(find("B"), Pos { line: 3, col: 3 });
+        assert_eq!(find("y"), Pos { line: 3, col: 8 });
+        // The closing `};` sits on line 4.
+        let rbrace = toks.iter().find(|t| t.tok == Tok::RBrace).unwrap();
+        assert_eq!(rbrace.pos, Pos { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn position_after_line_comment_without_newline_reset() {
+        // A token on the line after a trailing comment keeps a correct
+        // column (the old counter-threading lexer got this wrong when an
+        // arm forgot to update `col`).
+        let toks = lex("a // trailing\n   b").unwrap();
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 4 });
+    }
+
+    #[test]
+    fn allow_annotations_are_carried() {
+        let src = "\
+// jedd:allow(dead-store)
+x = y;
+z = w; // jedd:allow(projection-pushdown, replace-cost)
+// not an annotation
+// jedd:allow() \n";
+        let (_, allows) = lex_with_allows(src).unwrap();
+        assert_eq!(
+            allows,
+            vec![
+                Allow {
+                    line: 1,
+                    lint: "dead-store".into()
+                },
+                Allow {
+                    line: 3,
+                    lint: "projection-pushdown".into()
+                },
+                Allow {
+                    line: 3,
+                    lint: "replace-cost".into()
+                },
+            ]
+        );
     }
 }

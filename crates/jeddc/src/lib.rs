@@ -13,6 +13,10 @@
 //!   problem (conflict/equality/assignment edges, §3.3.2) solved through
 //!   `jedd-core`'s SAT pipeline, including the unsat-core-driven error
 //!   reporting of §3.3.3 and an optional auto-pinning mode;
+//! * [`lint`] — `jeddlint`: CFG-based dataflow passes (definite
+//!   assignment, liveness, redundant operations) and physical-domain
+//!   advisories (replace cost, projection push-down) over the typed IR,
+//!   reported as structured [`Diagnostic`]s;
 //! * [`Executor`] — the runtime: universe construction with physical
 //!   domains sized to their widest assigned attribute, and rule
 //!   interpretation that inserts exactly the replace operations the
@@ -54,8 +58,9 @@ pub mod diag;
 mod emit;
 pub mod exec;
 pub mod lex;
+pub mod lint;
 pub mod parse;
 
-pub use diag::{CompileError, JeddcError, Pos};
+pub use diag::{CompileError, Diagnostic, JeddcError, Pos, Severity};
 pub use emit::emit_java_like;
 pub use exec::{compile, compile_auto, compile_named, CompiledProgram, ExecError, Executor};

@@ -1,0 +1,225 @@
+//! A control-flow graph over rule bodies, shared by the dataflow lint
+//! passes.
+//!
+//! Each rule body is lowered to basic blocks of *events* — declarations,
+//! reads, and stores of relation variables, in evaluation order — joined
+//! by edges that mirror the structured control flow of mini-Jedd
+//! (`do/while`, `while`, `if/else`). The forward pass (definite
+//! assignment) and the backward pass (liveness) both run as ordinary
+//! worklist fixpoints over this graph.
+
+use crate::check::{TCond, TExpr, TExprKind, TStmt, VarIdx};
+use crate::diag::Pos;
+
+/// One variable-relevant action inside a basic block, in evaluation
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A local declaration. `init` is true when the declaration carries an
+    /// initialiser (and therefore also assigns).
+    Decl {
+        /// The declared variable.
+        var: VarIdx,
+        /// Whether an initialiser was present.
+        init: bool,
+        /// Position of the declaration.
+        pos: Pos,
+    },
+    /// A read of a variable inside an expression or condition.
+    Read {
+        /// The variable read.
+        var: VarIdx,
+        /// Position of the reference.
+        pos: Pos,
+    },
+    /// A store to a variable (`=`, `|=`, `&=`, `-=`). Compound stores are
+    /// preceded by a [`Event::Read`] of the same variable.
+    Store {
+        /// The variable stored to.
+        var: VarIdx,
+        /// Whether the operator was compound (reads the old value).
+        compound: bool,
+        /// Position of the assignment.
+        pos: Pos,
+    },
+}
+
+/// A basic block: straight-line events plus successor/predecessor edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Events in evaluation order.
+    pub events: Vec<Event>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+/// The control-flow graph of one rule body.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; indices are block ids.
+    pub blocks: Vec<Block>,
+    /// Entry block (always 0).
+    pub entry: usize,
+    /// Exit block; every terminating path ends here.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Lowers a rule body into a CFG.
+    pub fn build(body: &[TStmt]) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![Block::default()],
+            cur: 0,
+        };
+        b.stmts(body);
+        let exit = b.new_block();
+        b.edge_from_cur(exit);
+        let mut cfg = Cfg {
+            blocks: b.blocks,
+            entry: 0,
+            exit,
+        };
+        for i in 0..cfg.blocks.len() {
+            for s in cfg.blocks[i].succs.clone() {
+                cfg.blocks[s].preds.push(i);
+            }
+        }
+        cfg
+    }
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    cur: usize,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+    }
+
+    fn edge_from_cur(&mut self, to: usize) {
+        self.edge(self.cur, to);
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.blocks[self.cur].events.push(ev);
+    }
+
+    fn expr_reads(&mut self, e: &TExpr) {
+        match &e.kind {
+            TExprKind::Var(v) => self.push(Event::Read {
+                var: *v,
+                pos: e.pos,
+            }),
+            TExprKind::Empty | TExprKind::Full | TExprKind::Literal(_) => {}
+            TExprKind::Replace { operand, .. } => self.expr_reads(operand),
+            TExprKind::JoinLike { left, right, .. } | TExprKind::SetOp { left, right, .. } => {
+                self.expr_reads(left);
+                self.expr_reads(right);
+            }
+        }
+    }
+
+    fn cond_reads(&mut self, c: &TCond) {
+        self.expr_reads(&c.left);
+        self.expr_reads(&c.right);
+    }
+
+    fn stmts(&mut self, body: &[TStmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &TStmt) {
+        match s {
+            TStmt::Local { var, init, pos } => {
+                if let Some(e) = init {
+                    self.expr_reads(e);
+                }
+                self.push(Event::Decl {
+                    var: *var,
+                    init: init.is_some(),
+                    pos: *pos,
+                });
+            }
+            TStmt::Assign { var, op, expr, pos } => {
+                self.expr_reads(expr);
+                let compound = !matches!(op, crate::ast::AssignOp::Set);
+                if compound {
+                    self.push(Event::Read {
+                        var: *var,
+                        pos: *pos,
+                    });
+                }
+                self.push(Event::Store {
+                    var: *var,
+                    compound,
+                    pos: *pos,
+                });
+            }
+            TStmt::DoWhile { body, cond } => {
+                // entry -> body; body falls into cond; cond -> body
+                // (backedge) and cond -> after.
+                let body_start = self.new_block();
+                self.edge_from_cur(body_start);
+                self.cur = body_start;
+                self.stmts(body);
+                let cond_block = self.new_block();
+                self.edge_from_cur(cond_block);
+                self.cur = cond_block;
+                self.cond_reads(cond);
+                let after = self.new_block();
+                self.edge(cond_block, body_start);
+                self.edge(cond_block, after);
+                self.cur = after;
+            }
+            TStmt::While { cond, body } => {
+                // entry -> cond; cond -> body -> cond (backedge);
+                // cond -> after.
+                let cond_block = self.new_block();
+                self.edge_from_cur(cond_block);
+                self.cur = cond_block;
+                self.cond_reads(cond);
+                let body_start = self.new_block();
+                let after = self.new_block();
+                self.edge(cond_block, body_start);
+                self.edge(cond_block, after);
+                self.cur = body_start;
+                self.stmts(body);
+                self.edge_from_cur(cond_block);
+                self.cur = after;
+            }
+            TStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.cond_reads(cond);
+                let cond_block = self.cur;
+                let then_start = self.new_block();
+                self.edge(cond_block, then_start);
+                self.cur = then_start;
+                self.stmts(then_body);
+                let then_end = self.cur;
+                let else_start = self.new_block();
+                self.edge(cond_block, else_start);
+                self.cur = else_start;
+                self.stmts(else_body);
+                let else_end = self.cur;
+                let join = self.new_block();
+                self.edge(then_end, join);
+                self.edge(else_end, join);
+                self.cur = join;
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::ast::*;
 use crate::diag::{CompileError, Pos};
-use crate::lex::{lex, Tok, Token};
+use crate::lex::{lex_with_allows, Tok, Token};
 
 struct Parser {
     toks: Vec<Token>,
@@ -17,9 +17,11 @@ struct Parser {
 ///
 /// Returns the first lexical or syntactic error with its position.
 pub fn parse(src: &str) -> Result<Program, CompileError> {
-    let toks = lex(src)?;
+    let (toks, allows) = lex_with_allows(src)?;
     let mut p = Parser { toks, i: 0 };
-    p.program()
+    let mut prog = p.program()?;
+    prog.allows = allows;
+    Ok(prog)
 }
 
 impl Parser {
@@ -74,7 +76,10 @@ impl Parser {
         while *self.peek() != Tok::Eof {
             decls.push(self.decl()?);
         }
-        Ok(Program { decls })
+        Ok(Program {
+            decls,
+            allows: Vec::new(),
+        })
     }
 
     fn decl(&mut self) -> Result<Decl, CompileError> {

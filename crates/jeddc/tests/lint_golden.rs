@@ -1,0 +1,195 @@
+//! Golden-file tests for the `jeddlint` passes (text and JSON renderings
+//! on firing and silent fixtures), plus equivalence tests checking that
+//! the advisory lints' suggested rewrites — applied by hand in paired
+//! fixtures — leave the executed tuples identical. Advisories must only
+//! ever talk about *how* a program computes, never *what*.
+
+use jeddc::diag::{render_json, render_text};
+use jeddc::lint::lint_program;
+
+fn lint_output(src: &str) -> (String, String) {
+    let prog = jeddc::parse::parse(src).expect("parse");
+    let typed = jeddc::check::check_all(&prog).expect("check");
+    let assignment = jeddc::assignc::assign(&typed, false).expect("assign");
+    let diags = lint_program(&typed, Some(&assignment));
+    (render_text(&diags), render_json(&diags))
+}
+
+/// Compares against the `.txt` golden (exact bytes) and, when given, the
+/// `.json` golden (modulo the shell's trailing newline).
+fn check_golden(src: &str, txt: &str, json: Option<&str>) {
+    let (text, js) = lint_output(src);
+    assert_eq!(text, txt, "text golden mismatch");
+    if let Some(j) = json {
+        assert_eq!(js, j.trim_end_matches('\n'), "json golden mismatch");
+    }
+}
+
+macro_rules! golden {
+    ($name:ident, $fixture:literal, fire) => {
+        #[test]
+        fn $name() {
+            check_golden(
+                include_str!(concat!("fixtures/lint/", $fixture, ".jedd")),
+                include_str!(concat!("fixtures/lint/", $fixture, ".txt")),
+                Some(include_str!(concat!("fixtures/lint/", $fixture, ".json"))),
+            );
+            // A firing fixture's golden must actually contain its lint.
+            let txt = include_str!(concat!("fixtures/lint/", $fixture, ".txt"));
+            assert!(!txt.is_empty(), "fire fixture produced no diagnostics");
+        }
+    };
+    ($name:ident, $fixture:literal, silent) => {
+        #[test]
+        fn $name() {
+            check_golden(
+                include_str!(concat!("fixtures/lint/", $fixture, ".jedd")),
+                include_str!(concat!("fixtures/lint/", $fixture, ".txt")),
+                None,
+            );
+        }
+    };
+}
+
+golden!(definite_assignment_fire, "definite_assignment_fire", fire);
+golden!(
+    definite_assignment_silent,
+    "definite_assignment_silent",
+    silent
+);
+golden!(dead_store_fire, "dead_store_fire", fire);
+golden!(dead_store_silent, "dead_store_silent", silent);
+golden!(never_read_fire, "never_read_fire", fire);
+golden!(never_read_silent, "never_read_silent", silent);
+golden!(redundant_op_fire, "redundant_op_fire", fire);
+golden!(redundant_op_silent, "redundant_op_silent", silent);
+golden!(replace_cost_fire, "replace_cost_fire", fire);
+golden!(replace_cost_silent, "replace_cost_silent", silent);
+golden!(projection_pushdown_fire, "projection_pushdown_fire", fire);
+golden!(
+    projection_pushdown_silent,
+    "projection_pushdown_silent",
+    silent
+);
+
+#[test]
+fn silent_fixtures_have_empty_goldens() {
+    for txt in [
+        include_str!("fixtures/lint/definite_assignment_silent.txt"),
+        include_str!("fixtures/lint/dead_store_silent.txt"),
+        include_str!("fixtures/lint/never_read_silent.txt"),
+        include_str!("fixtures/lint/redundant_op_silent.txt"),
+        include_str!("fixtures/lint/replace_cost_silent.txt"),
+        include_str!("fixtures/lint/projection_pushdown_silent.txt"),
+    ] {
+        assert!(txt.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Advisory rewrites preserve semantics.
+
+/// Runs `rule` in both programs with the same inputs and asserts that
+/// every named output relation holds identical tuples afterwards.
+fn assert_same_tuples(
+    before: &str,
+    after: &str,
+    rule: &str,
+    inputs: &[(&str, &[Vec<u64>])],
+    outputs: &[&str],
+) {
+    let run = |src: &str| -> Vec<(String, Vec<Vec<u64>>)> {
+        let compiled = jeddc::compile(src).expect("compile");
+        let mut exec = jeddc::Executor::new(&compiled).expect("executor");
+        for (name, tuples) in inputs {
+            exec.set_input(name, tuples).expect("set_input");
+        }
+        exec.run(rule).expect("run");
+        outputs
+            .iter()
+            .map(|o| {
+                let mut t = exec.tuples(o).expect("tuples");
+                t.sort();
+                (o.to_string(), t)
+            })
+            .collect()
+    };
+    assert_eq!(run(before), run(after), "rewrite changed the output tuples");
+}
+
+#[test]
+fn pushdown_rewrite_is_tuple_identical() {
+    assert_same_tuples(
+        include_str!("fixtures/lint/projection_pushdown_fire.jedd"),
+        include_str!("fixtures/lint/projection_pushdown_silent.jedd"),
+        "r",
+        &[
+            ("gab", &[vec![0, 1], vec![1, 0], vec![1, 1]]),
+            ("gbc", &[vec![1, 0], vec![0, 0]]),
+        ],
+        &["gac"],
+    );
+}
+
+#[test]
+fn redundant_op_rewrite_is_tuple_identical() {
+    assert_same_tuples(
+        include_str!("fixtures/lint/rewrite_redundant_before.jedd"),
+        include_str!("fixtures/lint/rewrite_redundant_after.jedd"),
+        "r",
+        &[
+            ("gab", &[vec![0, 0], vec![0, 1], vec![1, 1]]),
+            ("gbc", &[vec![1, 1]]),
+        ],
+        &["gac"],
+    );
+}
+
+#[test]
+fn replace_cost_rewrite_is_tuple_identical() {
+    // The ascription change the advisory suggests (s's `a` from P3 to P1)
+    // only moves data between physical domains; the relation's contents
+    // are untouched.
+    assert_same_tuples(
+        include_str!("fixtures/lint/replace_cost_fire.jedd"),
+        include_str!("fixtures/lint/replace_cost_silent.jedd"),
+        "mv",
+        &[("r", &[vec![0, 1], vec![1, 0]])],
+        &["s"],
+    );
+}
+
+#[test]
+fn rewrite_pairs_really_differ_in_lint_output() {
+    // Guard against fixture drift: the "before" side of each pair fires
+    // its advisory, the "after" side does not.
+    let fires = |src: &str, lint: &str| {
+        let prog = jeddc::parse::parse(src).expect("parse");
+        let typed = jeddc::check::check_all(&prog).expect("check");
+        let assignment = jeddc::assignc::assign(&typed, false).expect("assign");
+        lint_program(&typed, Some(&assignment))
+            .iter()
+            .any(|d| d.lint == Some(lint))
+    };
+    let cases = [
+        (
+            include_str!("fixtures/lint/projection_pushdown_fire.jedd"),
+            include_str!("fixtures/lint/projection_pushdown_silent.jedd"),
+            "projection-pushdown",
+        ),
+        (
+            include_str!("fixtures/lint/rewrite_redundant_before.jedd"),
+            include_str!("fixtures/lint/rewrite_redundant_after.jedd"),
+            "redundant-op",
+        ),
+        (
+            include_str!("fixtures/lint/replace_cost_fire.jedd"),
+            include_str!("fixtures/lint/replace_cost_silent.jedd"),
+            "replace-cost",
+        ),
+    ];
+    for (before, after, lint) in cases {
+        assert!(fires(before, lint), "{lint}: before side should fire");
+        assert!(!fires(after, lint), "{lint}: after side should be silent");
+    }
+}

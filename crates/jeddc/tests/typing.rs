@@ -278,3 +278,45 @@ fn local_initialiser_must_match_declared_schema() {
     let msg = compile_err("<a:P1, b:P2> x = ra;");
     assert!(msg.contains("schema mismatch"), "{msg}");
 }
+
+// --- multi-error accumulation ----------------------------------------
+
+#[test]
+fn check_all_reports_every_independent_error() {
+    let src = with_rule(
+        "ra = nosuch;\n        rab = ra;\n        <a:P1> x = rb;\n        x = new { A => a };",
+    );
+    let prog = jeddc::parse::parse(&src).unwrap();
+    let errs = jeddc::check::check_all(&prog).unwrap_err();
+    // Three independent errors: the unknown relation, the ra/rab schema
+    // mismatch, and the x/rb initialiser mismatch. The final statement
+    // (a correct use of the recovered local `x`) adds none.
+    assert_eq!(errs.len(), 3, "{errs:?}");
+    assert!(errs[0].message.contains("unknown relation `nosuch`"), "{errs:?}");
+    assert!(errs[1].message.contains("schema mismatch"), "{errs:?}");
+    assert!(errs[2].message.contains("schema mismatch"), "{errs:?}");
+    // Errors come back in source order.
+    assert!(errs[0].pos.line < errs[1].pos.line && errs[1].pos.line < errs[2].pos.line);
+}
+
+#[test]
+fn check_first_error_matches_check_all_head() {
+    let src = with_rule("ra = nosuch;\n        rab = ra;");
+    let prog = jeddc::parse::parse(&src).unwrap();
+    let first = jeddc::check::check(&prog).unwrap_err();
+    let all = jeddc::check::check_all(&prog).unwrap_err();
+    assert_eq!(first, all[0]);
+    assert_eq!(all.len(), 2);
+}
+
+#[test]
+fn bad_local_schema_does_not_cascade() {
+    // The local with the unknown attribute is still declared, so the
+    // statement using it reports a mismatch against the empty schema
+    // rather than an `unknown relation` storm.
+    let src = with_rule("<zz:P1> x = 0B;\n        ra = ra;");
+    let prog = jeddc::parse::parse(&src).unwrap();
+    let errs = jeddc::check::check_all(&prog).unwrap_err();
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    assert!(errs[0].message.contains("unknown attribute `zz`"), "{errs:?}");
+}

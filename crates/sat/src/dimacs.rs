@@ -48,6 +48,11 @@ impl Cnf {
 
 /// Parses a DIMACS CNF document.
 ///
+/// Tolerates blank lines, leading whitespace, `c` comment lines, and the
+/// SAT-competition trailing footer (a `%` line followed by a lone `0`):
+/// everything after a `%` line is ignored rather than parsed as clause
+/// data, so the footer's `0` does not become a spurious empty clause.
+///
 /// # Errors
 ///
 /// Returns [`ParseDimacsError`] on malformed headers, out-of-range
@@ -59,7 +64,10 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
     for (lineno, line) in input.lines().enumerate() {
         let line = line.trim();
         let lineno = lineno + 1;
-        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+        if line.starts_with('%') {
+            break;
+        }
+        if line.is_empty() || line.starts_with('c') {
             continue;
         }
         if line.starts_with('p') {

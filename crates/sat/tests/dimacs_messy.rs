@@ -1,0 +1,42 @@
+//! Regression test: the DIMACS reader must tolerate real-world files —
+//! blank lines, leading whitespace, and the SAT-competition trailing
+//! `%` / `0` footer (which must not become a spurious empty clause).
+
+use jedd_sat::{parse_dimacs, Lit, SatOutcome};
+
+const MESSY: &str = include_str!("fixtures/messy.cnf");
+
+#[test]
+fn messy_fixture_parses() {
+    let cnf = parse_dimacs(MESSY).expect("messy fixture must parse");
+    assert_eq!(cnf.num_vars, 4);
+    assert_eq!(cnf.clauses.len(), 5, "footer `0` must not add a clause");
+    assert!(
+        cnf.clauses.iter().all(|c| !c.is_empty()),
+        "no empty clauses: {:?}",
+        cnf.clauses
+    );
+    assert_eq!(
+        cnf.clauses[2],
+        vec![Lit::from_dimacs(-1), Lit::from_dimacs(4)],
+        "clauses may span lines with blank lines in between"
+    );
+}
+
+#[test]
+fn messy_fixture_is_satisfiable() {
+    // Without the footer fix the phantom empty clause made this UNSAT.
+    let cnf = parse_dimacs(MESSY).unwrap();
+    let mut solver = cnf.into_solver();
+    assert_eq!(solver.solve(), SatOutcome::Sat);
+}
+
+#[test]
+fn footer_terminates_parsing() {
+    // Anything after the `%` line is ignored, even junk.
+    let cnf = parse_dimacs("p cnf 2 1\n1 2 0\n%\n0\nnot dimacs at all\n").unwrap();
+    assert_eq!(cnf.clauses.len(), 1);
+
+    // A clause left open before the footer is still an error.
+    assert!(parse_dimacs("p cnf 2 1\n1 2\n%\n0\n").is_err());
+}
