@@ -36,19 +36,8 @@ pub fn build_with(
     strategy: Strategy,
 ) -> Result<CallGraph, JeddError> {
     f.u.set_site("callgraph");
-    // edges(caller, method) = ∃site. site_caller(site, caller) ∧ site_targets(site, method)
-    let edges = f
-        .site_caller
-        .compose(&[f.site], site_targets, &[f.site])?;
-
-    // callees of methods in `r`: rename the method to caller, compose
-    // with edges over caller.
-    let callees = |r: &Relation| -> Result<Relation, JeddError> {
-        let as_caller = r
-            .rename(f.method, f.caller)?
-            .with_assignment(&[(f.caller, f.m2)])?;
-        as_caller.compose(&[f.caller], &edges, &[f.caller])
-    };
+    let edges = derive_edges(f, site_targets)?;
+    let callees = |r: &Relation| callees(f, &edges, r);
 
     // reachable = entry ∪ targets of reachable callers, to fixpoint.
     let reachable = match strategy {
@@ -84,6 +73,22 @@ pub fn build_with(
         edges,
         reachable,
     })
+}
+
+/// `edges(caller, method) = ∃site. site_caller(site, caller) ∧
+/// site_targets(site, method)` — shared by both strategies and the
+/// checkpointed driver.
+pub(crate) fn derive_edges(f: &Facts, site_targets: &Relation) -> Result<Relation, JeddError> {
+    f.site_caller.compose(&[f.site], site_targets, &[f.site])
+}
+
+/// Callees of the methods in `r`: rename the method to caller, compose
+/// with edges over caller.
+pub(crate) fn callees(f: &Facts, edges: &Relation, r: &Relation) -> Result<Relation, JeddError> {
+    let as_caller = r
+        .rename(f.method, f.caller)?
+        .with_assignment(&[(f.caller, f.m2)])?;
+    as_caller.compose(&[f.caller], edges, &[f.caller])
 }
 
 #[cfg(test)]

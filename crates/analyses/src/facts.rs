@@ -391,6 +391,118 @@ impl Facts {
         })
     }
 
+    /// Every base relation with the name it is persisted under in a
+    /// checkpoint snapshot — the full fact base, so snapshots are
+    /// self-contained and a resume needs no access to the original
+    /// [`Program`].
+    pub fn base_relations(&self) -> Vec<(&'static str, &Relation)> {
+        vec![
+            ("base.extend", &self.extend),
+            ("base.declares", &self.declares),
+            ("base.objtype", &self.objtype),
+            ("base.news", &self.news),
+            ("base.assigns", &self.assigns),
+            ("base.loads", &self.loads),
+            ("base.stores", &self.stores),
+            ("base.site_caller", &self.site_caller),
+            ("base.site_recv", &self.site_recv),
+            ("base.site_sig", &self.site_sig),
+            ("base.site_arg", &self.site_arg),
+            ("base.site_ret", &self.site_ret),
+            ("base.method_this", &self.method_this),
+            ("base.method_param", &self.method_param),
+            ("base.method_ret", &self.method_ret),
+            ("base.entry", &self.entry),
+            ("base.load_in", &self.load_in),
+            ("base.store_in", &self.store_in),
+            ("base.var_type", &self.var_type),
+        ]
+    }
+
+    /// Reassembles a `Facts` from a restored universe and the named
+    /// relations of a checkpoint snapshot. Attribute and physical-domain
+    /// ids are resolved by name (registration replay keeps ids stable, so
+    /// the names always resolve on a well-formed snapshot); base relations
+    /// are looked up under their [`Facts::base_relations`] names.
+    ///
+    /// # Errors
+    ///
+    /// [`JeddError::InvalidRestore`] when a name is missing — a snapshot
+    /// from a different producer or a truncated relation set.
+    pub fn reattach(u: &Universe, relations: &[(String, Relation)]) -> Result<Facts, JeddError> {
+        let attr = |name: &str| -> Result<jedd_core::AttrId, JeddError> {
+            u.find_attribute(name).ok_or_else(|| JeddError::InvalidRestore {
+                detail: format!("snapshot universe lacks attribute {name}"),
+            })
+        };
+        let phys = |name: &str| -> Result<PhysDomId, JeddError> {
+            u.find_physdom(name).ok_or_else(|| JeddError::InvalidRestore {
+                detail: format!("snapshot universe lacks physical domain {name}"),
+            })
+        };
+        let rel = |name: &str| -> Result<Relation, JeddError> {
+            relations
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| r.clone())
+                .ok_or_else(|| JeddError::InvalidRestore {
+                    detail: format!("snapshot lacks relation {name}"),
+                })
+        };
+        Ok(Facts {
+            u: u.clone(),
+            subtype: attr("subtype")?,
+            supertype: attr("supertype")?,
+            ty: attr("type")?,
+            tgttype: attr("tgttype")?,
+            signature: attr("signature")?,
+            method: attr("method")?,
+            caller: attr("caller")?,
+            field: attr("field")?,
+            var: attr("var")?,
+            dst: attr("dst")?,
+            src: attr("src")?,
+            base: attr("base")?,
+            obj: attr("obj")?,
+            baseobj: attr("baseobj")?,
+            site: attr("site")?,
+            idx: attr("idx")?,
+            t1: phys("T1")?,
+            t2: phys("T2")?,
+            t3: phys("T3")?,
+            s1: phys("S1")?,
+            m1: phys("M1")?,
+            m2: phys("M2")?,
+            f1: phys("F1")?,
+            v1: phys("V1")?,
+            v2: phys("V2")?,
+            h1: phys("H1")?,
+            h2: phys("H2")?,
+            h3: phys("H3")?,
+            c1: phys("C1")?,
+            p1: phys("P1")?,
+            extend: rel("base.extend")?,
+            declares: rel("base.declares")?,
+            objtype: rel("base.objtype")?,
+            news: rel("base.news")?,
+            assigns: rel("base.assigns")?,
+            loads: rel("base.loads")?,
+            stores: rel("base.stores")?,
+            site_caller: rel("base.site_caller")?,
+            site_recv: rel("base.site_recv")?,
+            site_sig: rel("base.site_sig")?,
+            site_arg: rel("base.site_arg")?,
+            site_ret: rel("base.site_ret")?,
+            method_this: rel("base.method_this")?,
+            method_param: rel("base.method_param")?,
+            method_ret: rel("base.method_ret")?,
+            entry: rel("base.entry")?,
+            load_in: rel("base.load_in")?,
+            store_in: rel("base.store_in")?,
+            var_type: rel("base.var_type")?,
+        })
+    }
+
     /// The identity relation over types: `(subtype, supertype)` pairs with
     /// equal components, used to seed the reflexive-transitive closure.
     ///

@@ -28,17 +28,8 @@ pub fn compute(f: &Facts) -> Result<Hierarchy, JeddError> {
 /// Propagates relational-layer errors.
 pub fn compute_with(f: &Facts, strategy: Strategy) -> Result<Hierarchy, JeddError> {
     f.u.set_site("hierarchy");
-    // step(subtype, supertype) = ∃m. c(subtype, m) ∧ extend(m, supertype).
-    // Move the middle onto T3 so the composition has three distinct
-    // domains (the standard closure layout).
-    let hop = |c: &Relation| -> Result<Relation, JeddError> {
-        let mid = c
-            .rename(f.supertype, f.tgttype)?
-            .with_assignment(&[(f.tgttype, f.t3)])?;
-        let ext_mid = f.extend.rename(f.subtype, f.tgttype)?;
-        mid.compose(&[f.tgttype], &ext_mid, &[f.tgttype])
-    };
-    let initial = f.type_identity()?.union(&f.extend)?;
+    let hop = |c: &Relation| hop(f, c);
+    let initial = initial(f)?;
     match strategy {
         Strategy::Naive => {
             let mut closure = initial;
@@ -69,6 +60,23 @@ pub fn compute_with(f: &Facts, strategy: Strategy) -> Result<Hierarchy, JeddErro
             })
         }
     }
+}
+
+/// One closure step, shared by both strategies and the checkpointed
+/// driver: `step(subtype, supertype) = ∃m. c(subtype, m) ∧ extend(m,
+/// supertype)`. The middle moves onto T3 so the composition has three
+/// distinct domains (the standard closure layout).
+pub(crate) fn hop(f: &Facts, c: &Relation) -> Result<Relation, JeddError> {
+    let mid = c
+        .rename(f.supertype, f.tgttype)?
+        .with_assignment(&[(f.tgttype, f.t3)])?;
+    let ext_mid = f.extend.rename(f.subtype, f.tgttype)?;
+    mid.compose(&[f.tgttype], &ext_mid, &[f.tgttype])
+}
+
+/// The closure seed: `identity ∪ extend`.
+pub(crate) fn initial(f: &Facts) -> Result<Relation, JeddError> {
+    f.type_identity()?.union(&f.extend)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod facts;
 pub mod hierarchy;
 pub mod ir;
 pub mod jedd_src;
+pub mod persist;
 pub mod pointsto;
 pub mod sideeffect;
 pub mod synth;

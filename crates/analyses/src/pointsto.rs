@@ -81,8 +81,14 @@ pub fn analyze_typed_with(
     subtype_of: &Relation,
     strategy: Strategy,
 ) -> Result<PointsTo, JeddError> {
-    // allowed(var, obj): the object's class is a subtype of the variable's
-    // declared type.
+    let allowed = typed_filter(f, subtype_of)?;
+    analyze_impl(f, mode, Some(&allowed), strategy)
+}
+
+/// `allowed(var, obj)`: the object's class is a subtype of the variable's
+/// declared type. Consumes the Hierarchy module's `subtypeOf` closure —
+/// shared by [`analyze_typed_with`] and the checkpointed driver.
+pub(crate) fn typed_filter(f: &Facts, subtype_of: &Relation) -> Result<Relation, JeddError> {
     f.u.set_site("pointsto-filter");
     // (obj, ty) with ty renamed to subtype (already at a T domain).
     let obj_sub = f.objtype.rename(f.ty, f.subtype)?.with_assignment(&[(f.subtype, f.t1)])?;
@@ -93,8 +99,7 @@ pub fn analyze_typed_with(
         .rename(f.supertype, f.ty)?
         .with_assignment(&[(f.ty, f.t2)])?;
     // (var, obj) = var_type{ty} <> obj_ok{ty}
-    let allowed = f.var_type.compose(&[f.ty], &obj_ok, &[f.ty])?;
-    analyze_impl(f, mode, Some(&allowed), strategy)
+    f.var_type.compose(&[f.ty], &obj_ok, &[f.ty])
 }
 
 fn analyze_impl(
@@ -229,6 +234,287 @@ fn analyze_naive(
     }
 }
 
+/// The mutable state of a semi-naive points-to run between outer rounds —
+/// everything [`pt_round`] reads and writes, and exactly what a
+/// checkpoint must persist to resume the run (`crate::persist`).
+pub(crate) struct PtState {
+    /// `(var, obj)` points-to pairs.
+    pub(crate) pt: DeltaRel,
+    /// `(baseobj, field, obj)` field points-to pairs.
+    pub(crate) field_pt: DeltaRel,
+    /// `(site, method)` discovered call edges.
+    pub(crate) cg: DeltaRel,
+    /// `(dst, src)` assignment edges (base plus interprocedural).
+    pub(crate) edges: DeltaRel,
+    /// `(site, type)` receiver types pending/consumed by resolution.
+    pub(crate) site_types: DeltaRel,
+    /// Everything in pt the store/load/call-graph rules have consumed so
+    /// far: snapshotted each round just before the loads fire, so next
+    /// round's delta for those rules is a single diff against it.
+    pub(crate) pt_seen: Relation,
+}
+
+impl PtState {
+    pub(crate) fn into_result(self, iterations: usize) -> PointsTo {
+        PointsTo {
+            pt: self.pt.into_current(),
+            field_pt: self.field_pt.into_current(),
+            cg: self.cg.into_current(),
+            iterations,
+        }
+    }
+}
+
+fn filtered(allowed: Option<&Relation>, r: Relation) -> Result<Relation, JeddError> {
+    match allowed {
+        Some(a) => r.intersect(a),
+        None => Ok(r),
+    }
+}
+
+/// The initial [`PtState`]: pt seeded from `news` (filtered), edges from
+/// `assigns`, everything else empty.
+pub(crate) fn pt_init(f: &Facts, allowed: Option<&Relation>) -> Result<PtState, JeddError> {
+    Ok(PtState {
+        pt: DeltaRel::new("pt", filtered(allowed, f.news.clone())?),
+        field_pt: DeltaRel::new(
+            "field_pt",
+            Relation::empty(
+                &f.u,
+                &[(f.baseobj, f.h2), (f.field, f.f1), (f.obj, f.h1)],
+            )?,
+        ),
+        cg: DeltaRel::new(
+            "cg",
+            Relation::empty(&f.u, &[(f.site, f.c1), (f.method, f.m1)])?,
+        ),
+        edges: DeltaRel::new("edges", f.assigns.clone()),
+        site_types: DeltaRel::new(
+            "site_types",
+            Relation::empty(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?,
+        ),
+        pt_seen: Relation::empty(&f.u, &[(f.var, f.v1), (f.obj, f.h1)])?,
+    })
+}
+
+/// One outer semi-naive round (`begin_round` through `end_round`),
+/// shared verbatim by [`analyze_seminaive`] and the checkpointed driver.
+/// Returns whether another round is needed.
+pub(crate) fn pt_round(
+    f: &Facts,
+    mode: CallGraphMode,
+    allowed: Option<&Relation>,
+    st: &mut PtState,
+    fp: &mut Fixpoint,
+) -> Result<bool, JeddError> {
+    let filter = |r: Relation| filtered(allowed, r);
+    // pt with the object moved aside and named baseobj, for matching base
+    // variables of loads/stores.
+    let to_base = |r: &Relation| -> Result<Relation, JeddError> {
+        r.rename(f.obj, f.baseobj)?
+            .with_assignment(&[(f.baseobj, f.h2)])
+    };
+    let PtState {
+        pt,
+        field_pt,
+        cg,
+        edges,
+        site_types,
+        pt_seen,
+    } = st;
+
+    fp.begin_round()?;
+
+    // --- 1. Copy propagation to a local fixpoint (semi-naive). ---
+    // Seed: new edges against all of pt, plus all edges against Δpt;
+    // afterwards only the fresh frontier needs propagating. Both
+    // frontiers empty (the confirming final round) means no seeding
+    // at all — an O(1) decision on the canonical node ids.
+    let mut inner = Fixpoint::new(&f.u, "pointsto-copy");
+    inner.begin_round()?;
+    // When Δpt is all of pt (the first round), the Δpt term alone is
+    // already `edges <> pt` in full and the Δedges term is redundant.
+    let pt_delta_is_all = pt.delta().equals(pt.current())?;
+    let mut changed = if edges.has_delta() || pt.has_delta() {
+        let seed = inner.rule("seed", || {
+            let via_new_pt = edges.current().compose(&[f.src], pt.delta(), &[f.var])?;
+            let combined = if edges.has_delta() && !pt_delta_is_all {
+                let via_new_edges =
+                    edges.delta().compose(&[f.src], pt.current(), &[f.var])?;
+                via_new_edges.union(&via_new_pt)?
+            } else {
+                via_new_pt
+            };
+            combined
+                .rename(f.dst, f.var)?
+                .with_assignment(&[(f.var, f.v1)])
+        })?;
+        pt.absorb(&filter(seed)?)?
+    } else {
+        false
+    };
+    inner.end_round(&[pt]);
+    while changed {
+        inner.begin_round()?;
+        // step(dst, obj) = ∃src. edges(dst, src) ∧ Δpt(src, obj)
+        let step = inner.rule("step", || {
+            edges
+                .current()
+                .compose(&[f.src], pt.delta(), &[f.var])?
+                .rename(f.dst, f.var)?
+                .with_assignment(&[(f.var, f.v1)])
+        })?;
+        changed = pt.absorb(&filter(step)?)?;
+        inner.end_round(&[pt]);
+    }
+
+    // This round's pt growth for the store/load/call-graph rules: the
+    // loads frontier carried in from the previous round plus whatever
+    // copy propagation just derived.
+    let pt_new = pt.current().minus(pt_seen)?;
+    let pt_grew = !pt_new.is_empty();
+    // Round one processes all of pt, so the delta terms alone already
+    // cover everything (O(1) to detect: same schema, same canonical
+    // root) and the full-side terms are redundant.
+    let pt_new_is_all = pt_new.equals(pt.current())?;
+    let pt_base_full = to_base(pt.current())?;
+    let pt_base_new = if pt_new_is_all {
+        pt_base_full.clone()
+    } else {
+        to_base(&pt_new)?
+    };
+    // Snapshot before the loads fire: the loads frontier belongs to
+    // the *next* round's pt_new.
+    *pt_seen = pt.current().clone();
+
+    // --- 2. Stores: base.field = src, one term per body literal. ---
+    if pt_grew {
+        let st = fp.rule("stores", || {
+            // Δ(base) resolved first, then the full src side.
+            let via_new_base = f
+                .stores
+                .compose(&[f.base], &pt_base_new, &[f.var])?
+                .compose(&[f.src], pt.current(), &[f.var])?;
+            if pt_new_is_all {
+                return Ok(via_new_base);
+            }
+            // Δ(src) resolved first, then the full base side.
+            let via_new_src = f
+                .stores
+                .compose(&[f.src], &pt_new, &[f.var])?
+                .compose(&[f.base], &pt_base_full, &[f.var])?;
+            via_new_base.union(&via_new_src)
+        })?;
+        field_pt.stage(&st)?;
+    }
+    field_pt.advance()?;
+
+    // --- 3. Loads: dst = base.field, one term per body literal. ---
+    let loads_changed = if pt_grew || field_pt.has_delta() {
+        let ld = fp.rule("loads", || {
+            let via_new_base = f
+                .loads
+                .compose(&[f.base], &pt_base_new, &[f.var])?
+                .compose(&[f.baseobj, f.field], field_pt.current(), &[f.baseobj, f.field])?;
+            let combined = if pt_new_is_all {
+                via_new_base
+            } else {
+                let via_new_field = f
+                    .loads
+                    .compose(&[f.field], field_pt.delta(), &[f.field])?
+                    .compose(&[f.base, f.baseobj], &pt_base_full, &[f.var, f.baseobj])?;
+                via_new_base.union(&via_new_field)?
+            };
+            combined
+                .rename(f.dst, f.var)?
+                .with_assignment(&[(f.var, f.v1)])
+        })?;
+        pt.absorb(&filter(ld)?)?
+    } else {
+        false
+    };
+
+    // --- 4. Call graph, driven by this round's pt growth. ---
+    // The load frontier has not been copy-propagated yet, but the
+    // naive driver resolves receivers from pt *including* this
+    // round's loads, so the delta fed to vcr must too.
+    let pt_for_cg = if loads_changed {
+        pt_new.union(pt.delta())?
+    } else {
+        pt_new.clone()
+    };
+    match mode {
+        CallGraphMode::OnTheFly if !pt_for_cg.is_empty() => {
+            let st_new = fp.rule("site-types", || {
+                // (site, type) = site_recv{var} <> Δpt{var} <> objtype{obj}
+                f.site_recv
+                    .compose(&[f.var], &pt_for_cg, &[f.var])?
+                    .compose(&[f.obj], &f.objtype, &[f.obj])
+            })?;
+            site_types.stage(&st_new)?;
+        }
+        CallGraphMode::OnTheFly => {}
+        CallGraphMode::AllTypes => {
+            // Constant: every type at every site, staged once.
+            if fp.rounds() == 0 {
+                site_types
+                    .stage(&Relation::full(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?)?;
+            }
+        }
+    }
+    site_types.advance()?;
+    if site_types.has_delta() {
+        // Resolution is pointwise in (site, type), so resolving only
+        // the frontier and accumulating unions is exact.
+        let resolved = fp.rule("resolve", || {
+            let r = vcr::resolve(f, site_types.delta());
+            f.u.set_site("pointsto");
+            r
+        })?;
+        cg.stage(&resolved)?;
+    }
+    cg.advance()?;
+
+    // --- 5. Interprocedural assignment edges from new call edges. ---
+    if cg.has_delta() {
+        let new_edges = fp.rule("call-edges", || {
+            let dcg = cg.delta();
+            // this-parameter: this(callee) := recv(site).
+            let this_edges = dcg
+                .join(&[f.method], &f.method_this, &[f.method])?
+                .rename(f.var, f.dst)?
+                .join(&[f.site], &f.site_recv, &[f.site])?
+                .rename(f.var, f.src)?
+                .project_onto(&[f.dst, f.src])?;
+            // parameters: param(callee, i) := arg(site, i).
+            let param_edges = dcg
+                .join(&[f.method], &f.method_param, &[f.method])?
+                .rename(f.var, f.dst)?
+                .join(&[f.site, f.idx], &f.site_arg, &[f.site, f.idx])?
+                .rename(f.var, f.src)?
+                .project_onto(&[f.dst, f.src])?;
+            // returns: ret(site) := retvar(callee).
+            let ret_edges = dcg
+                .join(&[f.method], &f.method_ret, &[f.method])?
+                .rename(f.var, f.src)?
+                .join(&[f.site], &f.site_ret, &[f.site])?
+                .rename(f.var, f.dst)?
+                .project_onto(&[f.dst, f.src])?;
+            this_edges.union(&param_edges)?.union(&ret_edges)
+        })?;
+        edges.stage(&new_edges)?;
+    }
+    edges.advance()?;
+
+    // Same termination condition as the naive driver's `done` check:
+    // loads, call edges and assignment edges all quiesced this round.
+    // (Δfield_pt and Δsite_types are excluded — their only consumers
+    // already ran against them above.)
+    let more = pt.has_delta() || cg.has_delta() || edges.has_delta();
+    fp.end_round(&[pt, field_pt, cg, edges]);
+    Ok(more)
+}
+
 /// The semi-naive driver: each round derives new tuples only from the
 /// frontiers of the previous round. Bilinear rules split into one term
 /// per body literal — `Δa ⊗ b_full ∪ a_full ⊗ Δb` — with the composes
@@ -242,240 +528,13 @@ fn analyze_seminaive(
     allowed: Option<&Relation>,
 ) -> Result<PointsTo, JeddError> {
     f.u.set_site("pointsto");
-    let filter = |r: Relation| -> Result<Relation, JeddError> {
-        match allowed {
-            Some(a) => r.intersect(a),
-            None => Ok(r),
-        }
-    };
-    // pt with the object moved aside and named baseobj, for matching base
-    // variables of loads/stores.
-    let to_base = |r: &Relation| -> Result<Relation, JeddError> {
-        r.rename(f.obj, f.baseobj)?
-            .with_assignment(&[(f.baseobj, f.h2)])
-    };
-
-    let mut pt = DeltaRel::new("pt", filter(f.news.clone())?);
-    let mut field_pt = DeltaRel::new(
-        "field_pt",
-        Relation::empty(
-            &f.u,
-            &[(f.baseobj, f.h2), (f.field, f.f1), (f.obj, f.h1)],
-        )?,
-    );
-    let mut cg = DeltaRel::new(
-        "cg",
-        Relation::empty(&f.u, &[(f.site, f.c1), (f.method, f.m1)])?,
-    );
-    let mut edges = DeltaRel::new("edges", f.assigns.clone());
-    let mut site_types = DeltaRel::new(
-        "site_types",
-        Relation::empty(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?,
-    );
-
-    // Everything in pt the store/load/call-graph rules have consumed so
-    // far: snapshotted each round just before the loads fire, so next
-    // round's delta for those rules is a single diff against it.
-    let mut pt_seen = Relation::empty(&f.u, &[(f.var, f.v1), (f.obj, f.h1)])?;
-
+    let mut st = pt_init(f, allowed)?;
     let mut fp = Fixpoint::new(&f.u, "pointsto");
     loop {
-        fp.begin_round()?;
-
-        // --- 1. Copy propagation to a local fixpoint (semi-naive). ---
-        // Seed: new edges against all of pt, plus all edges against Δpt;
-        // afterwards only the fresh frontier needs propagating. Both
-        // frontiers empty (the confirming final round) means no seeding
-        // at all — an O(1) decision on the canonical node ids.
-        let mut inner = Fixpoint::new(&f.u, "pointsto-copy");
-        inner.begin_round()?;
-        // When Δpt is all of pt (the first round), the Δpt term alone is
-        // already `edges <> pt` in full and the Δedges term is redundant.
-        let pt_delta_is_all = pt.delta().equals(pt.current())?;
-        let mut changed = if edges.has_delta() || pt.has_delta() {
-            let seed = inner.rule("seed", || {
-                let via_new_pt = edges.current().compose(&[f.src], pt.delta(), &[f.var])?;
-                let combined = if edges.has_delta() && !pt_delta_is_all {
-                    let via_new_edges =
-                        edges.delta().compose(&[f.src], pt.current(), &[f.var])?;
-                    via_new_edges.union(&via_new_pt)?
-                } else {
-                    via_new_pt
-                };
-                combined
-                    .rename(f.dst, f.var)?
-                    .with_assignment(&[(f.var, f.v1)])
-            })?;
-            pt.absorb(&filter(seed)?)?
-        } else {
-            false
-        };
-        inner.end_round(&[&pt]);
-        while changed {
-            inner.begin_round()?;
-            // step(dst, obj) = ∃src. edges(dst, src) ∧ Δpt(src, obj)
-            let step = inner.rule("step", || {
-                edges
-                    .current()
-                    .compose(&[f.src], pt.delta(), &[f.var])?
-                    .rename(f.dst, f.var)?
-                    .with_assignment(&[(f.var, f.v1)])
-            })?;
-            changed = pt.absorb(&filter(step)?)?;
-            inner.end_round(&[&pt]);
-        }
-
-        // This round's pt growth for the store/load/call-graph rules: the
-        // loads frontier carried in from the previous round plus whatever
-        // copy propagation just derived.
-        let pt_new = pt.current().minus(&pt_seen)?;
-        let pt_grew = !pt_new.is_empty();
-        // Round one processes all of pt, so the delta terms alone already
-        // cover everything (O(1) to detect: same schema, same canonical
-        // root) and the full-side terms are redundant.
-        let pt_new_is_all = pt_new.equals(pt.current())?;
-        let pt_base_full = to_base(pt.current())?;
-        let pt_base_new = if pt_new_is_all {
-            pt_base_full.clone()
-        } else {
-            to_base(&pt_new)?
-        };
-        // Snapshot before the loads fire: the loads frontier belongs to
-        // the *next* round's pt_new.
-        pt_seen = pt.current().clone();
-
-        // --- 2. Stores: base.field = src, one term per body literal. ---
-        if pt_grew {
-            let st = fp.rule("stores", || {
-                // Δ(base) resolved first, then the full src side.
-                let via_new_base = f
-                    .stores
-                    .compose(&[f.base], &pt_base_new, &[f.var])?
-                    .compose(&[f.src], pt.current(), &[f.var])?;
-                if pt_new_is_all {
-                    return Ok(via_new_base);
-                }
-                // Δ(src) resolved first, then the full base side.
-                let via_new_src = f
-                    .stores
-                    .compose(&[f.src], &pt_new, &[f.var])?
-                    .compose(&[f.base], &pt_base_full, &[f.var])?;
-                via_new_base.union(&via_new_src)
-            })?;
-            field_pt.stage(&st)?;
-        }
-        field_pt.advance()?;
-
-        // --- 3. Loads: dst = base.field, one term per body literal. ---
-        let loads_changed = if pt_grew || field_pt.has_delta() {
-            let ld = fp.rule("loads", || {
-                let via_new_base = f
-                    .loads
-                    .compose(&[f.base], &pt_base_new, &[f.var])?
-                    .compose(&[f.baseobj, f.field], field_pt.current(), &[f.baseobj, f.field])?;
-                let combined = if pt_new_is_all {
-                    via_new_base
-                } else {
-                    let via_new_field = f
-                        .loads
-                        .compose(&[f.field], field_pt.delta(), &[f.field])?
-                        .compose(&[f.base, f.baseobj], &pt_base_full, &[f.var, f.baseobj])?;
-                    via_new_base.union(&via_new_field)?
-                };
-                combined
-                    .rename(f.dst, f.var)?
-                    .with_assignment(&[(f.var, f.v1)])
-            })?;
-            pt.absorb(&filter(ld)?)?
-        } else {
-            false
-        };
-
-        // --- 4. Call graph, driven by this round's pt growth. ---
-        // The load frontier has not been copy-propagated yet, but the
-        // naive driver resolves receivers from pt *including* this
-        // round's loads, so the delta fed to vcr must too.
-        let pt_for_cg = if loads_changed {
-            pt_new.union(pt.delta())?
-        } else {
-            pt_new.clone()
-        };
-        match mode {
-            CallGraphMode::OnTheFly if !pt_for_cg.is_empty() => {
-                let st_new = fp.rule("site-types", || {
-                    // (site, type) = site_recv{var} <> Δpt{var} <> objtype{obj}
-                    f.site_recv
-                        .compose(&[f.var], &pt_for_cg, &[f.var])?
-                        .compose(&[f.obj], &f.objtype, &[f.obj])
-                })?;
-                site_types.stage(&st_new)?;
-            }
-            CallGraphMode::OnTheFly => {}
-            CallGraphMode::AllTypes => {
-                // Constant: every type at every site, staged once.
-                if fp.rounds() == 0 {
-                    site_types
-                        .stage(&Relation::full(&f.u, &[(f.site, f.c1), (f.ty, f.t1)])?)?;
-                }
-            }
-        }
-        site_types.advance()?;
-        if site_types.has_delta() {
-            // Resolution is pointwise in (site, type), so resolving only
-            // the frontier and accumulating unions is exact.
-            let resolved = fp.rule("resolve", || {
-                let r = vcr::resolve(f, site_types.delta());
-                f.u.set_site("pointsto");
-                r
-            })?;
-            cg.stage(&resolved)?;
-        }
-        cg.advance()?;
-
-        // --- 5. Interprocedural assignment edges from new call edges. ---
-        if cg.has_delta() {
-            let new_edges = fp.rule("call-edges", || {
-                let dcg = cg.delta();
-                // this-parameter: this(callee) := recv(site).
-                let this_edges = dcg
-                    .join(&[f.method], &f.method_this, &[f.method])?
-                    .rename(f.var, f.dst)?
-                    .join(&[f.site], &f.site_recv, &[f.site])?
-                    .rename(f.var, f.src)?
-                    .project_onto(&[f.dst, f.src])?;
-                // parameters: param(callee, i) := arg(site, i).
-                let param_edges = dcg
-                    .join(&[f.method], &f.method_param, &[f.method])?
-                    .rename(f.var, f.dst)?
-                    .join(&[f.site, f.idx], &f.site_arg, &[f.site, f.idx])?
-                    .rename(f.var, f.src)?
-                    .project_onto(&[f.dst, f.src])?;
-                // returns: ret(site) := retvar(callee).
-                let ret_edges = dcg
-                    .join(&[f.method], &f.method_ret, &[f.method])?
-                    .rename(f.var, f.src)?
-                    .join(&[f.site], &f.site_ret, &[f.site])?
-                    .rename(f.var, f.dst)?
-                    .project_onto(&[f.dst, f.src])?;
-                this_edges.union(&param_edges)?.union(&ret_edges)
-            })?;
-            edges.stage(&new_edges)?;
-        }
-        edges.advance()?;
-
-        // Same termination condition as the naive driver's `done` check:
-        // loads, call edges and assignment edges all quiesced this round.
-        // (Δfield_pt and Δsite_types are excluded — their only consumers
-        // already ran against them above.)
-        let more = pt.has_delta() || cg.has_delta() || edges.has_delta();
-        fp.end_round(&[&pt, &field_pt, &cg, &edges]);
+        let more = pt_round(f, mode, allowed, &mut st, &mut fp)?;
         if !more {
-            return Ok(PointsTo {
-                pt: pt.into_current(),
-                field_pt: field_pt.into_current(),
-                cg: cg.into_current(),
-                iterations: fp.rounds() as usize,
-            });
+            let iterations = fp.rounds() as usize;
+            return Ok(st.into_result(iterations));
         }
     }
 }

@@ -45,22 +45,8 @@ pub fn compute_with(
     strategy: Strategy,
 ) -> Result<SideEffects, JeddError> {
     f.u.set_site("sideeffect");
-    // Direct effects: resolve the base variable of each access through pt.
-    // load_in/store_in are (method, base, field).
-    let pt_base = pt
-        .rename(f.obj, f.baseobj)?
-        .with_assignment(&[(f.baseobj, f.h2)])?;
-    let reads = f.load_in.compose(&[f.base], &pt_base, &[f.var])?;
-    let writes = f.store_in.compose(&[f.base], &pt_base, &[f.var])?;
-
-    // (caller, baseobj, field) = edges{method} ∘ rw{method}: effects of
-    // callees lifted to their callers.
-    let lift = |rw: &Relation| -> Result<Relation, JeddError> {
-        edges
-            .compose(&[f.method], rw, &[f.method])?
-            .rename(f.caller, f.method)?
-            .with_assignment(&[(f.method, f.m1)])
-    };
+    let (reads, writes) = direct_effects(f, pt)?;
+    let lift = |rw: &Relation| lift(f, edges, rw);
 
     // Transitive closure over the call graph: rw*(caller) ⊇ rw*(callee).
     let close = |direct: &Relation| -> Result<Relation, JeddError> {
@@ -101,6 +87,31 @@ pub fn compute_with(
         reads_star,
         writes_star,
     })
+}
+
+/// Direct effects: resolve the base variable of each access through `pt`.
+/// `load_in`/`store_in` are `(method, base, field)`. Returns
+/// `(reads, writes)`. Shared by both strategies and the checkpointed
+/// driver.
+pub(crate) fn direct_effects(
+    f: &Facts,
+    pt: &Relation,
+) -> Result<(Relation, Relation), JeddError> {
+    let pt_base = pt
+        .rename(f.obj, f.baseobj)?
+        .with_assignment(&[(f.baseobj, f.h2)])?;
+    let reads = f.load_in.compose(&[f.base], &pt_base, &[f.var])?;
+    let writes = f.store_in.compose(&[f.base], &pt_base, &[f.var])?;
+    Ok((reads, writes))
+}
+
+/// `(caller, baseobj, field) = edges{method} ∘ rw{method}`: effects of
+/// callees lifted to their callers.
+pub(crate) fn lift(f: &Facts, edges: &Relation, rw: &Relation) -> Result<Relation, JeddError> {
+    edges
+        .compose(&[f.method], rw, &[f.method])?
+        .rename(f.caller, f.method)?
+        .with_assignment(&[(f.method, f.m1)])
 }
 
 #[cfg(test)]

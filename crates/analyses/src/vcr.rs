@@ -27,42 +27,65 @@ use jedd_core::{Fixpoint, JeddError, Relation};
 /// e.g. an `extend` cycle none of whose types declares the signature.
 pub fn resolve(f: &Facts, site_types: &Relation) -> Result<Relation, JeddError> {
     f.u.set_site("vcr");
-    // toResolve(site, signature, tgttype): pair each receiver type with
-    // its site's signature, and start the walk at the receiver type
-    // itself (the paper's attribute-copy is implicit: `type` is copied
-    // into the cursor attribute `tgttype`).
-    let with_sig = site_types.join(&[f.site], &f.site_sig, &[f.site])?;
-    let mut to_resolve = with_sig
-        .rename(f.ty, f.tgttype)?
-        .with_assignment(&[(f.tgttype, f.t2)])?;
-    let mut answer = Relation::empty(
-        &f.u,
-        &[(f.site, f.c1), (f.method, f.m1)],
-    )?;
+    let (mut to_resolve, mut answer) = init(f, site_types)?;
     let mut fp = Fixpoint::new(&f.u, "vcr");
     // Line 5-11 of Fig. 4.
     loop {
         fp.begin_round()?;
-        // resolved = toResolve{tgttype, signature} >< declares{type, signature}
-        let resolved = to_resolve.join(
-            &[f.tgttype, f.signature],
-            &f.declares,
-            &[f.ty, f.signature],
-        )?;
-        // answer |= resolved (projected onto the output schema).
-        answer = answer.union(&resolved.project_onto(&[f.site, f.method])?)?;
-        // toResolve -= (method=>) resolved.
-        to_resolve = to_resolve.minus(&resolved.project_away(&[f.method])?)?;
-        // Walk up: replace tgttype with its immediate superclass.
-        let stepped = to_resolve.compose(&[f.tgttype], &f.extend, &[f.subtype])?;
-        to_resolve = stepped
-            .rename(f.supertype, f.tgttype)?
-            .with_assignment(&[(f.tgttype, f.t2)])?;
+        let (tr, ans) = round(f, &to_resolve, &answer)?;
+        to_resolve = tr;
+        answer = ans;
         fp.end_round(&[]);
         if to_resolve.is_empty() {
             return Ok(answer);
         }
     }
+}
+
+/// Builds the initial `(to_resolve, answer)` pair:
+/// `toResolve(site, signature, tgttype)` pairs each receiver type with
+/// its site's signature and starts the walk at the receiver type itself
+/// (the paper's attribute-copy is implicit: `type` is copied into the
+/// cursor attribute `tgttype`); `answer` starts empty.
+pub(crate) fn init(
+    f: &Facts,
+    site_types: &Relation,
+) -> Result<(Relation, Relation), JeddError> {
+    let with_sig = site_types.join(&[f.site], &f.site_sig, &[f.site])?;
+    let to_resolve = with_sig
+        .rename(f.ty, f.tgttype)?
+        .with_assignment(&[(f.tgttype, f.t2)])?;
+    let answer = Relation::empty(
+        &f.u,
+        &[(f.site, f.c1), (f.method, f.m1)],
+    )?;
+    Ok((to_resolve, answer))
+}
+
+/// One resolution round: resolve cursors whose current type declares the
+/// signature, union them into the answer, and walk the rest one level up
+/// the hierarchy. Returns the next `(to_resolve, answer)` pair.
+pub(crate) fn round(
+    f: &Facts,
+    to_resolve: &Relation,
+    answer: &Relation,
+) -> Result<(Relation, Relation), JeddError> {
+    // resolved = toResolve{tgttype, signature} >< declares{type, signature}
+    let resolved = to_resolve.join(
+        &[f.tgttype, f.signature],
+        &f.declares,
+        &[f.ty, f.signature],
+    )?;
+    // answer |= resolved (projected onto the output schema).
+    let answer = answer.union(&resolved.project_onto(&[f.site, f.method])?)?;
+    // toResolve -= (method=>) resolved.
+    let to_resolve = to_resolve.minus(&resolved.project_away(&[f.method])?)?;
+    // Walk up: replace tgttype with its immediate superclass.
+    let stepped = to_resolve.compose(&[f.tgttype], &f.extend, &[f.subtype])?;
+    let to_resolve = stepped
+        .rename(f.supertype, f.tgttype)?
+        .with_assignment(&[(f.tgttype, f.t2)])?;
+    Ok((to_resolve, answer))
 }
 
 #[cfg(test)]

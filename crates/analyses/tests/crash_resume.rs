@@ -1,0 +1,366 @@
+//! Crash-recovery fuzz: kill a checkpointed run at every class of kill
+//! point — mid-snapshot-write, mid-rename, mid-log-append, and
+//! mid-fixpoint-round via kernel fault injection — for each of the five
+//! analyses, and assert the resumed run lands on tuple-identical results
+//! to an uninterrupted run.
+//!
+//! The case count is bounded by `JEDD_CRASH_CASES` (default: all), so CI
+//! smoke stages can run a prefix.
+
+use jedd_analyses::facts::Facts;
+use jedd_analyses::persist::{self, PersistError};
+use jedd_analyses::pointsto::{self, CallGraphMode};
+use jedd_analyses::synth::Benchmark;
+use jedd_analyses::{callgraph, ir::Program};
+use jedd_core::{Budget, FailPlan, Relation};
+use jedd_store::{read_records, CheckpointPolicy, Checkpointer, StoreError, StoreFaults, LOG_FILE};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+type TupleSet = BTreeSet<Vec<u64>>;
+
+fn ts(r: &Relation) -> TupleSet {
+    r.tuples().into_iter().collect()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "jedd-crash-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Which {
+    Hierarchy,
+    Vcr,
+    Callgraph,
+    Sideeffect,
+    Pointsto,
+}
+
+const ALL: [Which; 5] = [
+    Which::Hierarchy,
+    Which::Vcr,
+    Which::Callgraph,
+    Which::Sideeffect,
+    Which::Pointsto,
+];
+
+#[derive(Clone, Copy, Debug)]
+enum Killpoint {
+    /// Tear the Nth snapshot temp-file write.
+    Snapshot(u64),
+    /// Crash before the Nth atomic rename.
+    Rename(u64),
+    /// Tear the Nth checkpoint-log append.
+    LogAppend(u64),
+    /// Kernel fault: the Nth node allocation after arming dies, killing
+    /// the fixpoint round with `ResourceExhausted` and triggering the
+    /// policy's on-exhausted checkpoint of the last good round.
+    MidRound(u64),
+}
+
+/// Every receiver type at every site — a deterministic worst-case input
+/// for virtual call resolution.
+fn full_site_types(f: &Facts, p: &Program) -> Relation {
+    let mut tuples = Vec::new();
+    for c in &p.calls {
+        for t in 0..p.types as u32 {
+            tuples.push(vec![c.site as u64, t as u64]);
+        }
+    }
+    Relation::from_tuples(&f.u, &[(f.site, f.c1), (f.ty, f.t1)], &tuples).unwrap()
+}
+
+/// Runs one analysis under the given store faults and/or kernel fail
+/// plan, checkpointing into `dir`. Prerequisite analyses (points-to for
+/// the call graph, etc.) run before the fail plan is armed, so the kill
+/// always lands inside the analysis under test.
+fn run_checkpointed(
+    which: Which,
+    dir: &Path,
+    faults: Option<StoreFaults>,
+    plan: Option<FailPlan>,
+) -> Result<Vec<TupleSet>, PersistError> {
+    let p = Benchmark::Tiny.generate();
+    let f = Facts::load(&p).unwrap();
+    let mut cp = Checkpointer::create(dir, CheckpointPolicy::default()).unwrap();
+    if let Some(fa) = faults {
+        cp.set_faults(fa);
+    }
+    let arm = |f: &Facts| {
+        if let Some(pl) = plan {
+            f.u.set_fail_plan(Some(pl));
+        }
+    };
+    match which {
+        Which::Hierarchy => {
+            arm(&f);
+            let h = persist::hierarchy_checkpointed(&f, &mut cp)?;
+            Ok(vec![ts(&h.subtype_of)])
+        }
+        Which::Vcr => {
+            let site_types = full_site_types(&f, &p);
+            arm(&f);
+            let answer = persist::vcr_checkpointed(&f, &site_types, &mut cp)?;
+            Ok(vec![ts(&answer)])
+        }
+        Which::Callgraph => {
+            let ptres = pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap();
+            arm(&f);
+            let cg = persist::callgraph_checkpointed(&f, &ptres.cg, &mut cp)?;
+            Ok(vec![ts(&cg.edges), ts(&cg.reachable)])
+        }
+        Which::Sideeffect => {
+            let ptres = pointsto::analyze(&f, CallGraphMode::OnTheFly).unwrap();
+            let cg = callgraph::build(&f, &ptres.cg).unwrap();
+            arm(&f);
+            let se = persist::sideeffect_checkpointed(&f, &ptres.pt, &cg.edges, &mut cp)?;
+            Ok(vec![
+                ts(&se.reads),
+                ts(&se.writes),
+                ts(&se.reads_star),
+                ts(&se.writes_star),
+            ])
+        }
+        Which::Pointsto => {
+            arm(&f);
+            let r = persist::pointsto_checkpointed(&f, CallGraphMode::OnTheFly, &mut cp)?;
+            Ok(vec![ts(&r.pt), ts(&r.field_pt), ts(&r.cg)])
+        }
+    }
+}
+
+/// Resumes from the newest valid checkpoint in `dir` and drives the
+/// analysis to completion.
+fn resume_run(which: Which, dir: &Path) -> Result<Vec<TupleSet>, PersistError> {
+    let mut cp = Checkpointer::create(dir, CheckpointPolicy::default()).unwrap();
+    let budget = Budget::unlimited();
+    match which {
+        Which::Hierarchy => {
+            let (_, h) = persist::hierarchy_resume(dir, budget, &mut cp)?;
+            Ok(vec![ts(&h.subtype_of)])
+        }
+        Which::Vcr => {
+            let (_, answer) = persist::vcr_resume(dir, budget, &mut cp)?;
+            Ok(vec![ts(&answer)])
+        }
+        Which::Callgraph => {
+            let (_, cg) = persist::callgraph_resume(dir, budget, &mut cp)?;
+            Ok(vec![ts(&cg.edges), ts(&cg.reachable)])
+        }
+        Which::Sideeffect => {
+            let (_, se) = persist::sideeffect_resume(dir, budget, &mut cp)?;
+            Ok(vec![
+                ts(&se.reads),
+                ts(&se.writes),
+                ts(&se.reads_star),
+                ts(&se.writes_star),
+            ])
+        }
+        Which::Pointsto => {
+            let (_, r) = persist::pointsto_resume(dir, budget, &mut cp)?;
+            Ok(vec![ts(&r.pt), ts(&r.field_pt), ts(&r.cg)])
+        }
+    }
+}
+
+fn case_budget() -> usize {
+    std::env::var("JEDD_CRASH_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+fn run_case(i: usize, which: Which, kill: Killpoint, expected: &[TupleSet]) {
+    let dir = tmpdir(&format!("case-{i}"));
+    let (faults, plan) = match kill {
+        Killpoint::Snapshot(n) => (Some(StoreFaults::kill_snapshot(n, 64)), None),
+        Killpoint::Rename(n) => (Some(StoreFaults::kill_rename(n)), None),
+        Killpoint::LogAppend(n) => (Some(StoreFaults::kill_log(n, 6)), None),
+        Killpoint::MidRound(n) => (None, Some(FailPlan::fail_alloc_at(n))),
+    };
+    let got = match run_checkpointed(which, &dir, faults, plan) {
+        // The kill never fired (the run finished first): the results must
+        // still match the uninterrupted run exactly.
+        Ok(got) => got,
+        Err(_) => match resume_run(which, &dir) {
+            Ok(got) => got,
+            Err(PersistError::Store(StoreError::NoCheckpoint { .. })) => {
+                // The kill landed before any checkpoint committed; the
+                // recovery story is a restart from scratch.
+                let retry = tmpdir(&format!("case-{i}-retry"));
+                run_checkpointed(which, &retry, None, None).unwrap()
+            }
+            Err(e) => panic!("resume failed for {which:?} {kill:?}: {e}"),
+        },
+    };
+    assert_eq!(got, expected, "{which:?} {kill:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full kill matrix: every kill-point class against all five
+/// analyses, asserting tuple-identical recovery each time.
+#[test]
+fn every_kill_point_resumes_tuple_identical() {
+    let expected: Vec<Vec<TupleSet>> = ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let dir = tmpdir(&format!("expected-{i}"));
+            let r = run_checkpointed(w, &dir, None, None).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            r
+        })
+        .collect();
+    let kills = [
+        Killpoint::Snapshot(1),
+        Killpoint::Snapshot(2),
+        Killpoint::Rename(2),
+        Killpoint::LogAppend(2),
+        Killpoint::MidRound(200),
+        Killpoint::MidRound(2000),
+    ];
+    let mut cases = Vec::new();
+    for (wi, &w) in ALL.iter().enumerate() {
+        for &k in &kills {
+            cases.push((w, k, wi));
+        }
+    }
+    for (i, (w, k, wi)) in cases.into_iter().enumerate().take(case_budget()) {
+        run_case(i, w, k, &expected[wi]);
+    }
+}
+
+/// A checkpoint whose log append tears (the crash landing between the
+/// snapshot write and the commit) must leave the *previous* committed
+/// checkpoint resumable: the run dies at the torn commit, and resume
+/// falls back one round and still completes tuple-identically.
+#[test]
+fn torn_commit_falls_back_to_previous_checkpoint() {
+    // Probe: count how many checkpoints a clean hierarchy run commits.
+    let probe = tmpdir("torn-probe");
+    let expected = run_checkpointed(Which::Hierarchy, &probe, None, None).unwrap();
+    let commits = read_records(&probe.join(LOG_FILE)).unwrap().len() as u64;
+    let _ = std::fs::remove_dir_all(&probe);
+    assert!(
+        commits >= 2,
+        "need at least two checkpoints for a fallback window, got {commits}"
+    );
+
+    // Tear the final commit's log append: its snapshot file lands but the
+    // record never commits, so the previous checkpoint is the newest.
+    let dir = tmpdir("torn-commit");
+    let err = run_checkpointed(
+        Which::Hierarchy,
+        &dir,
+        Some(StoreFaults::kill_log(commits, 6)),
+        None,
+    )
+    
+    .expect_err("torn commit must kill the run");
+    assert!(
+        matches!(err, PersistError::Store(StoreError::Killed { .. })),
+        "unexpected error: {err}"
+    );
+    let records = read_records(&dir.join(LOG_FILE)).unwrap();
+    assert_eq!(records.len() as u64, commits - 1, "torn record must not commit");
+
+    let got = resume_run(Which::Hierarchy, &dir).unwrap();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ZDD backend through the same kill-and-resume cycle: an iterative
+/// family closure checkpointed per round, killed mid-rename, resumed
+/// from the previous commit, must land set-identical to an uninterrupted
+/// run.
+#[test]
+fn zdd_closure_resumes_after_kill() {
+    use jedd_bdd::{ZddId, ZddManager};
+    use jedd_store::{resume_latest_zdd, CheckpointMeta};
+
+    const ROUNDS: u32 = 6;
+    // One closure round: grow the family with the set {0, .., r}.
+    let step = |mgr: &ZddManager, state: ZddId, r: u32| {
+        let set: Vec<u32> = (0..=r).collect();
+        mgr.union(state, mgr.singleton(&set))
+    };
+    let run = |dir: &Path, faults: Option<StoreFaults>| -> Result<Vec<Vec<u32>>, PersistError> {
+        let mut cp = Checkpointer::create(dir, CheckpointPolicy::default()).unwrap();
+        if let Some(fa) = faults {
+            cp.set_faults(fa);
+        }
+        let mgr = ZddManager::new(ROUNDS as usize);
+        let mut state = mgr.family(&[]);
+        let mut round = 0;
+        // Restart from the newest commit when one exists.
+        if let Ok(rp) = resume_latest_zdd(dir) {
+            let roots = rp.manager.export_nodes(&[rp.root("state").unwrap()]);
+            state = mgr.import_nodes(&roots.0, &roots.1).unwrap()[0];
+            round = rp.record.round as u32;
+        }
+        while round < ROUNDS {
+            state = step(&mgr, state, round);
+            round += 1;
+            let meta = CheckpointMeta {
+                analysis: "zdd-closure",
+                round: round as u64,
+                phase: 0,
+                aux: 0,
+                rng: 0,
+            };
+            cp.checkpoint_zdd(&meta, &mgr, &[("state", state)])?;
+        }
+        Ok(mgr.sets(state))
+    };
+
+    let clean = tmpdir("zdd-clean");
+    let expected = run(&clean, None).unwrap();
+    let _ = std::fs::remove_dir_all(&clean);
+
+    let dir = tmpdir("zdd-kill");
+    let err = run(&dir, Some(StoreFaults::kill_rename(3)))
+        
+        .expect_err("rename kill must fire");
+    assert!(matches!(
+        err,
+        PersistError::Store(StoreError::Killed { .. })
+    ));
+    let got = run(&dir, None).unwrap();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budget exhaustion mid-round triggers the policy's on-exhausted
+/// checkpoint of the last good round, and the error still propagates as
+/// `ResourceExhausted` — the degradation-path contract, now with a
+/// resumable checkpoint behind it.
+#[test]
+fn exhausted_round_checkpoints_last_good_state() {
+    let dir = tmpdir("exhausted");
+    let err = run_checkpointed(
+        Which::Pointsto,
+        &dir,
+        None,
+        Some(FailPlan::fail_alloc_at(400)),
+    )
+    
+    .expect_err("fail plan must kill the run");
+    match &err {
+        PersistError::Jedd(jedd_core::JeddError::ResourceExhausted { .. }) => {}
+        other => panic!("expected ResourceExhausted, got {other}"),
+    }
+    // The on-failure checkpoint committed, so resume works directly.
+    let got = resume_run(Which::Pointsto, &dir).unwrap();
+
+    let clean = tmpdir("exhausted-clean");
+    let expected = run_checkpointed(Which::Pointsto, &clean, None, None).unwrap();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean);
+}

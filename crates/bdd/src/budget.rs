@@ -62,6 +62,18 @@ pub enum BddError {
         /// What exactly is wrong with the permutation.
         kind: PermutationFlaw,
     },
+    /// A node list handed to [`crate::BddManager::import_nodes`] (or the
+    /// ZDD equivalent) is not a well-formed, children-first, reduced node
+    /// table, or a [`crate::BddManager::set_order`] precondition failed. Like `InvalidPermutation` this is a caller (or corrupt-input)
+    /// mistake, not resource exhaustion: the recovery ladder never retries
+    /// it. Validation happens before any node is created, so a rejected
+    /// import leaves the arena untouched.
+    InvalidImport {
+        /// Index of the offending entry in the imported node list.
+        index: u32,
+        /// What is wrong with the entry (e.g. `"variable out of range"`).
+        reason: &'static str,
+    },
 }
 
 /// Why a permutation was rejected (see [`BddError::InvalidPermutation`]).
@@ -103,6 +115,9 @@ impl fmt::Display for BddError {
                     write!(f, "invalid permutation: target variable {var} out of range")
                 }
             },
+            BddError::InvalidImport { index, reason } => {
+                write!(f, "invalid node import at entry {index}: {reason}")
+            }
         }
     }
 }
@@ -305,6 +320,10 @@ mod tests {
             BddError::InvalidPermutation {
                 var: 99,
                 kind: PermutationFlaw::OutOfRange,
+            },
+            BddError::InvalidImport {
+                index: 7,
+                reason: "variable out of range",
             },
         ] {
             assert!(!e.to_string().is_empty());

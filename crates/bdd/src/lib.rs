@@ -60,7 +60,7 @@ mod table;
 mod zdd;
 
 pub use budget::{BddError, Budget, CancelToken, FailPlan, PermutationFlaw};
-pub use manager::{Bdd, BddManager};
+pub use manager::{Bdd, BddManager, ExportedNode};
 pub use node::{NodeId, Permutation};
 pub use table::{KernelStats, OpCacheStats};
 pub use zdd::{ZddId, ZddManager};
@@ -515,5 +515,175 @@ mod tests {
         assert_eq!(m.num_vars(), 5);
         let v = m.var(4);
         assert_eq!(v.satcount(), 16.0);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let m = mgr();
+        let f = m.var(0).xor(&m.var(3)).and(&m.var(1).or(&m.var(2)));
+        let g = f.or(&m.var(5).and(&m.var(6)));
+        let (nodes, roots) = m.export_nodes(&[&f, &g]);
+        // Shared structure is exported once.
+        assert!(nodes.len() <= f.node_count() + g.node_count());
+        // Re-import into the same manager: hash-consing finds the originals.
+        let back = m.import_nodes(&nodes, &roots).unwrap();
+        assert_eq!(back[0], f);
+        assert_eq!(back[1], g);
+        // Import into a fresh manager under the same order: same functions,
+        // and a second round trip is node-id-identical.
+        let m2 = BddManager::new(0);
+        m2.add_vars(m.num_vars());
+        m2.set_order(&m.current_order()).unwrap();
+        let fresh = m2.import_nodes(&nodes, &roots).unwrap();
+        assert_eq!(fresh[0].satcount(), f.satcount());
+        assert_eq!(fresh[1].satcount(), g.satcount());
+        let (nodes2, roots2) = m2.export_nodes(&[&fresh[0], &fresh[1]]);
+        assert_eq!(nodes, nodes2);
+        assert_eq!(roots, roots2);
+    }
+
+    #[test]
+    fn export_import_terminal_roots() {
+        let m = mgr();
+        let (nodes, roots) = m.export_nodes(&[&m.constant_false(), &m.constant_true()]);
+        assert!(nodes.is_empty());
+        assert_eq!(roots, vec![0, 1]);
+        let back = m.import_nodes(&nodes, &roots).unwrap();
+        assert!(back[0].is_false());
+        assert!(back[1].is_true());
+    }
+
+    #[test]
+    fn import_rejects_malformed_tables() {
+        let m = mgr();
+        let f = m.var(0).and(&m.var(1));
+        let (nodes, roots) = m.export_nodes(&[&f]);
+        let live_before = m.live_nodes();
+        // Variable out of range.
+        let mut bad = nodes.clone();
+        bad[0].var = 99;
+        assert!(matches!(
+            m.import_nodes(&bad, &roots),
+            Err(BddError::InvalidImport { .. })
+        ));
+        // Forward reference.
+        let mut bad = nodes.clone();
+        bad[0].low = 100;
+        assert!(matches!(
+            m.import_nodes(&bad, &roots),
+            Err(BddError::InvalidImport { .. })
+        ));
+        // Unreduced entry.
+        let mut bad = nodes.clone();
+        bad[0].high = bad[0].low;
+        assert!(matches!(
+            m.import_nodes(&bad, &roots),
+            Err(BddError::InvalidImport { .. })
+        ));
+        // Root slot out of range.
+        assert!(matches!(
+            m.import_nodes(&nodes, &[roots[0] + 50]),
+            Err(BddError::InvalidImport { .. })
+        ));
+        // Level-order violation: same variable as parent and child.
+        let dup = vec![
+            ExportedNode { var: 2, low: 0, high: 1 },
+            ExportedNode { var: 2, low: 0, high: 2 },
+        ];
+        assert!(matches!(
+            m.import_nodes(&dup, &[3]),
+            Err(BddError::InvalidImport { .. })
+        ));
+        // Rejected imports leave the arena untouched.
+        assert_eq!(m.live_nodes(), live_before);
+    }
+
+    #[test]
+    fn import_respects_fail_plan() {
+        let m = mgr();
+        let f = m.var(0).xor(&m.var(4));
+        let (nodes, roots) = m.export_nodes(&[&f]);
+        let m2 = BddManager::new(8);
+        m2.set_fail_plan(Some(FailPlan::fail_alloc_at(1)));
+        assert!(m2.import_nodes(&nodes, &roots).is_err());
+        m2.set_fail_plan(None);
+        let ok = m2.import_nodes(&nodes, &roots).unwrap();
+        assert_eq!(ok[0].satcount(), f.satcount());
+    }
+
+    #[test]
+    fn set_order_requires_empty_arena() {
+        let m = BddManager::new(4);
+        m.set_order(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(m.current_order(), vec![3, 1, 0, 2]);
+        assert_eq!(m.level_of_var(3), 0);
+        // Not a permutation.
+        assert!(m.set_order(&[0, 0, 1, 2]).is_err());
+        // Wrong length.
+        assert!(m.set_order(&[0, 1, 2]).is_err());
+        // Arena no longer empty.
+        let _v = m.var(0);
+        assert!(m.set_order(&[0, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn export_import_survives_reordered_manager() {
+        // Build under a sifted order, export, and reload into a fresh
+        // manager carrying the same order: same functions, same table.
+        let m = BddManager::new(6);
+        let f = m
+            .encode_value(&[0, 2, 4], 5)
+            .or(&m.encode_value(&[1, 3, 5], 2));
+        m.reorder_sift();
+        let (nodes, roots) = m.export_nodes(&[&f]);
+        let m2 = BddManager::new(0);
+        m2.add_vars(6);
+        m2.set_order(&m.current_order()).unwrap();
+        let g = m2.import_nodes(&nodes, &roots).unwrap();
+        assert_eq!(g[0].satcount(), f.satcount());
+        let (nodes2, _) = m2.export_nodes(&[&g[0]]);
+        assert_eq!(nodes, nodes2);
+    }
+
+    #[test]
+    fn zdd_export_import_round_trips() {
+        let z = ZddManager::new(8);
+        let a = z.family(&[vec![0], vec![1, 2], vec![3, 5, 7]]);
+        let b = z.family(&[vec![1, 2], vec![4]]);
+        let (nodes, roots) = z.export_nodes(&[a, b]);
+        let z2 = ZddManager::new(8);
+        let back = z2.import_nodes(&nodes, &roots).unwrap();
+        assert_eq!(z2.sets(back[0]), z.sets(a));
+        assert_eq!(z2.sets(back[1]), z.sets(b));
+        // The ZDD store never garbage-collects, so a fresh import is
+        // id-identical on re-export.
+        let (nodes2, roots2) = z2.export_nodes(&[back[0], back[1]]);
+        assert_eq!(nodes, nodes2);
+        assert_eq!(roots, roots2);
+        // Terminals round-trip as bare slots.
+        let (tn, tr) = z.export_nodes(&[ZddId::EMPTY, ZddId::UNIT]);
+        assert!(tn.is_empty());
+        assert_eq!(tr, vec![0, 1]);
+    }
+
+    #[test]
+    fn zdd_import_rejects_malformed_tables() {
+        let z = ZddManager::new(4);
+        let a = z.family(&[vec![0, 1], vec![2]]);
+        let (nodes, roots) = z.export_nodes(&[a]);
+        let tweaks: [fn(&mut ExportedNode); 3] = [
+            |n| n.var = 99,  // out of range
+            |n| n.low = 100, // forward reference
+            |n| n.high = 0,  // zero-suppressible
+        ];
+        for tweak in tweaks {
+            let mut bad = nodes.clone();
+            tweak(&mut bad[0]);
+            assert!(matches!(
+                z.import_nodes(&bad, &roots),
+                Err(BddError::InvalidImport { .. })
+            ));
+        }
+        assert!(z.import_nodes(&nodes, &[99]).is_err());
     }
 }

@@ -102,6 +102,27 @@ pub(crate) fn run_governed(
     }
 }
 
+/// One entry of a serialized node table, as produced by
+/// [`BddManager::export_nodes`] and consumed by
+/// [`BddManager::import_nodes`].
+///
+/// Entries refer to each other through *slots*: slot `0` is the `FALSE`
+/// terminal, slot `1` is the `TRUE` terminal, and the `i`-th exported entry
+/// is slot `i + 2`. The table is children-first (topologically ordered), so
+/// `low` and `high` always point at earlier slots. Nodes record their
+/// *variable*, not their level position, so a table survives being reloaded
+/// under the same order installed via [`BddManager::set_order`] even though
+/// levels are an internal notion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExportedNode {
+    /// The variable this node tests.
+    pub var: u32,
+    /// Slot of the low (else) child.
+    pub low: u32,
+    /// Slot of the high (then) child.
+    pub high: u32,
+}
+
 /// Unwraps a governed result for the infallible public API. Without a
 /// budget or fail plan installed, governed operations cannot fail, so the
 /// plain (non-`try_`) methods only panic when the caller installed limits
@@ -429,6 +450,169 @@ impl BddManager {
     /// Returns `true` if `a` and `b` were created by this manager.
     pub fn owns(&self, b: &Bdd) -> bool {
         Rc::ptr_eq(&self.inner, &b.mgr)
+    }
+
+    /// Installs a saved variable order wholesale (level position -> variable,
+    /// top to bottom), the restore-side counterpart of
+    /// [`BddManager::current_order`].
+    ///
+    /// Unlike [`BddManager::reorder_sift`], which migrates live nodes, this
+    /// simply *declares* the order, so it is only legal while the arena
+    /// holds nothing but the two terminals — in practice: on a fresh
+    /// manager, after [`BddManager::add_vars`] and before any node is
+    /// created. Snapshot restore uses it to reproduce the exact level
+    /// layout a node table was exported under, which is what makes
+    /// re-imported tables node-id-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::InvalidImport`] if internal nodes already exist,
+    /// the length does not match the variable count, or the order is not a
+    /// permutation of the variables.
+    pub fn set_order(&self, level2var: &[u32]) -> Result<(), BddError> {
+        self.inner.borrow_mut().set_order(level2var)
+    }
+
+    /// Serializes the sub-DAGs under `roots` as a children-first node
+    /// table plus the slot of each root, the dddmp-style interchange shape
+    /// consumed by [`BddManager::import_nodes`].
+    ///
+    /// The traversal order is deterministic for a given root list, and
+    /// shared structure is exported once, so the table size is the number
+    /// of distinct internal nodes under all roots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root belongs to a different manager.
+    pub fn export_nodes(&self, roots: &[&Bdd]) -> (Vec<ExportedNode>, Vec<u32>) {
+        for b in roots {
+            assert!(self.owns(b), "export_nodes: root from a different manager");
+        }
+        let inner = self.inner.borrow();
+        let mut slot: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        slot.insert(0, 0);
+        slot.insert(1, 1);
+        let mut out: Vec<ExportedNode> = Vec::new();
+        let mut stack: Vec<(u32, bool)> = Vec::new();
+        for b in roots {
+            stack.push((b.id, false));
+            while let Some((id, expanded)) = stack.pop() {
+                if slot.contains_key(&id) {
+                    continue;
+                }
+                let (low, high) = (inner.low(id), inner.high(id));
+                if expanded {
+                    out.push(ExportedNode {
+                        var: inner.var_at_level(inner.level(id)),
+                        low: slot[&low],
+                        high: slot[&high],
+                    });
+                    slot.insert(id, out.len() as u32 + 1);
+                } else {
+                    stack.push((id, true));
+                    stack.push((high, false));
+                    stack.push((low, false));
+                }
+            }
+        }
+        let root_slots = roots.iter().map(|b| slot[&b.id]).collect();
+        (out, root_slots)
+    }
+
+    /// Rebuilds the BDDs described by a node table from
+    /// [`BddManager::export_nodes`], returning a handle per root slot.
+    ///
+    /// Every entry is re-interned through the unique table, so importing
+    /// reconstructs hash-consing: importing the same table twice yields
+    /// identical handles, and importing into a *fresh* manager carrying the
+    /// same variable order (see [`BddManager::set_order`]) assigns the same
+    /// node ids on every run.
+    ///
+    /// The whole table is validated before the first node is created, so a
+    /// rejected import leaves the arena untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::InvalidImport`] when the table is malformed
+    /// (variable out of range, forward or self reference, level order
+    /// violated, unreduced entry, root slot out of range), or any governed
+    /// error ([`BddError::NodeLimit`] etc.) if a budget or fail plan is
+    /// installed and fires during reconstruction.
+    pub fn import_nodes(
+        &self,
+        nodes: &[ExportedNode],
+        roots: &[u32],
+    ) -> Result<Vec<Bdd>, BddError> {
+        const TERMINAL: u32 = u32::MAX;
+        {
+            let inner = self.inner.borrow();
+            let num_vars = inner.num_vars();
+            let mut levels: Vec<u32> = Vec::with_capacity(nodes.len());
+            for (i, n) in nodes.iter().enumerate() {
+                let index = i as u32;
+                if n.var >= num_vars {
+                    return Err(BddError::InvalidImport {
+                        index,
+                        reason: "variable out of range",
+                    });
+                }
+                let level = inner.level_of_var(n.var);
+                for child in [n.low, n.high] {
+                    if child as usize >= i + 2 {
+                        return Err(BddError::InvalidImport {
+                            index,
+                            reason: "child slot is not an earlier entry",
+                        });
+                    }
+                    let child_level = if child < 2 {
+                        TERMINAL
+                    } else {
+                        levels[child as usize - 2]
+                    };
+                    if level >= child_level {
+                        return Err(BddError::InvalidImport {
+                            index,
+                            reason: "child does not sit below its parent in the order",
+                        });
+                    }
+                }
+                if n.low == n.high {
+                    return Err(BddError::InvalidImport {
+                        index,
+                        reason: "unreduced entry (equal children)",
+                    });
+                }
+                levels.push(level);
+            }
+            for (i, &r) in roots.iter().enumerate() {
+                if r as usize >= nodes.len() + 2 {
+                    return Err(BddError::InvalidImport {
+                        index: i as u32,
+                        reason: "root slot out of range",
+                    });
+                }
+            }
+        }
+        // Reconstruction runs as one governed operation: a fail plan or
+        // budget can interrupt it exactly like any other kernel op, and the
+        // recovery ladder may retry it wholesale (nodes from the failed
+        // attempt carry no external references, so the ladder's GC reclaims
+        // them before the retry re-interns from scratch).
+        let mut ids: Vec<u32> = Vec::with_capacity(nodes.len() + 2);
+        run_governed(&self.inner, |inner| {
+            ids.clear();
+            ids.push(0);
+            ids.push(1);
+            for n in nodes {
+                let level = inner.level_of_var(n.var);
+                let low = ids[n.low as usize];
+                let high = ids[n.high as usize];
+                let id = inner.mk(level, low, high)?;
+                ids.push(id);
+            }
+            Ok(0)
+        })?;
+        Ok(roots.iter().map(|&r| self.wrap(ids[r as usize])).collect())
     }
 
     pub(crate) fn wrap(&self, id: u32) -> Bdd {

@@ -416,6 +416,45 @@ impl Inner {
         start..self.num_vars
     }
 
+    /// Installs a saved variable order wholesale. Only legal while the
+    /// arena holds nothing but the two terminals: existing internal nodes
+    /// store level indices, so rewriting the order under them would
+    /// silently change every function in the table. Snapshot restore calls
+    /// this after `add_vars` and before importing any node.
+    pub(crate) fn set_order(&mut self, level2var: &[u32]) -> Result<(), BddError> {
+        if self.live_nodes() != 2 {
+            return Err(BddError::InvalidImport {
+                index: 0,
+                reason: "set_order requires an arena holding only terminals",
+            });
+        }
+        if level2var.len() != self.num_vars as usize {
+            return Err(BddError::InvalidImport {
+                index: 0,
+                reason: "set_order length does not match the variable count",
+            });
+        }
+        let mut var2level = vec![NIL; level2var.len()];
+        for (level, &var) in level2var.iter().enumerate() {
+            let Some(slot) = var2level.get_mut(var as usize) else {
+                return Err(BddError::InvalidImport {
+                    index: level as u32,
+                    reason: "set_order variable out of range",
+                });
+            };
+            if *slot != NIL {
+                return Err(BddError::InvalidImport {
+                    index: level as u32,
+                    reason: "set_order order is not a permutation",
+                });
+            }
+            *slot = level as u32;
+        }
+        self.var2level = var2level;
+        self.level2var = level2var.to_vec();
+        Ok(())
+    }
+
     #[inline]
     pub(crate) fn level(&self, id: u32) -> u32 {
         self.nodes[id as usize].level

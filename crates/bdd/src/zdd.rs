@@ -6,6 +6,8 @@
 //! operations the relational layer needs, plus tuple construction and
 //! enumeration. The `zdd_backend` bench compares it against the BDD kernel.
 
+use crate::budget::BddError;
+use crate::manager::ExportedNode;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -447,6 +449,116 @@ impl ZddManager {
         rec(&inner, a.0, &mut prefix, &mut out);
         out.sort();
         out
+    }
+
+    /// Serializes the sub-DAGs under `roots` as a children-first node
+    /// table plus the slot of each root — the ZDD analogue of
+    /// [`crate::BddManager::export_nodes`], using the same
+    /// [`ExportedNode`]/slot encoding (slot 0 = [`ZddId::EMPTY`], slot 1 =
+    /// [`ZddId::UNIT`], entry `i` = slot `i + 2`).
+    pub fn export_nodes(&self, roots: &[ZddId]) -> (Vec<ExportedNode>, Vec<u32>) {
+        let inner = self.inner.borrow();
+        let mut slot: HashMap<u32, u32> = HashMap::new();
+        slot.insert(0, 0);
+        slot.insert(1, 1);
+        let mut out: Vec<ExportedNode> = Vec::new();
+        let mut stack: Vec<(u32, bool)> = Vec::new();
+        for r in roots {
+            stack.push((r.0, false));
+            while let Some((id, expanded)) = stack.pop() {
+                if slot.contains_key(&id) {
+                    continue;
+                }
+                let n = inner.nodes[id as usize];
+                if expanded {
+                    out.push(ExportedNode {
+                        var: n.var,
+                        low: slot[&n.low],
+                        high: slot[&n.high],
+                    });
+                    slot.insert(id, out.len() as u32 + 1);
+                } else {
+                    stack.push((id, true));
+                    stack.push((n.high, false));
+                    stack.push((n.low, false));
+                }
+            }
+        }
+        let root_slots = roots.iter().map(|r| slot[&r.0]).collect();
+        (out, root_slots)
+    }
+
+    /// Rebuilds the ZDDs described by a node table from
+    /// [`ZddManager::export_nodes`], returning an id per root slot. Entries
+    /// are re-interned through the unique table, so importing into a fresh
+    /// manager assigns the same node ids on every run (this kernel never
+    /// garbage-collects, so ids are allocation-ordered).
+    ///
+    /// The whole table is validated before the first node is created.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::InvalidImport`] when the table is malformed:
+    /// variable out of range, forward or self reference, the parent's
+    /// variable not above a child's, or a zero-suppressible entry (high
+    /// edge = empty family) that `mk` would have removed.
+    pub fn import_nodes(
+        &self,
+        nodes: &[ExportedNode],
+        roots: &[u32],
+    ) -> Result<Vec<ZddId>, BddError> {
+        const TERMINAL: u32 = u32::MAX;
+        let mut inner = self.inner.borrow_mut();
+        let mut vars: Vec<u32> = Vec::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            let index = i as u32;
+            if n.var >= inner.num_vars {
+                return Err(BddError::InvalidImport {
+                    index,
+                    reason: "variable out of range",
+                });
+            }
+            for child in [n.low, n.high] {
+                if child as usize >= i + 2 {
+                    return Err(BddError::InvalidImport {
+                        index,
+                        reason: "child slot is not an earlier entry",
+                    });
+                }
+                let child_var = if child < 2 { TERMINAL } else { vars[child as usize - 2] };
+                if n.var >= child_var {
+                    return Err(BddError::InvalidImport {
+                        index,
+                        reason: "child does not sit below its parent in the order",
+                    });
+                }
+            }
+            if n.high == 0 {
+                return Err(BddError::InvalidImport {
+                    index,
+                    reason: "zero-suppressible entry (empty high edge)",
+                });
+            }
+            vars.push(n.var);
+        }
+        for (i, &r) in roots.iter().enumerate() {
+            if r as usize >= nodes.len() + 2 {
+                return Err(BddError::InvalidImport {
+                    index: i as u32,
+                    reason: "root slot out of range",
+                });
+            }
+        }
+        let mut ids: Vec<u32> = Vec::with_capacity(nodes.len() + 2);
+        ids.push(0);
+        ids.push(1);
+        for n in nodes {
+            let low = ids[n.low as usize];
+            let high = ids[n.high as usize];
+            let id = inner.mk(n.var, low, high);
+            ids.push(id);
+        }
+        Ok(roots.iter().map(|&r| ZddId(ids[r as usize])).collect())
     }
 
     /// Encodes a tuple of `(bits, value)` fields as a set: variable `b` is

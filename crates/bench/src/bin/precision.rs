@@ -15,18 +15,29 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for b in [Benchmark::Compress, Benchmark::Javac, Benchmark::Sablecc] {
         let p = b.generate();
-        let f1 = Facts::load(&p).expect("facts");
-        let (untyped, t_untyped) = jedd_bench::timed(|| {
-            analyze(&f1, CallGraphMode::OnTheFly).expect("untyped")
-        });
-        let f2 = Facts::load(&p).expect("facts");
-        let ((h, typed), t_typed) = jedd_bench::timed(|| {
-            let h = hierarchy::compute(&f2).expect("hierarchy");
-            let typed =
-                analyze_typed(&f2, CallGraphMode::OnTheFly, &h.subtype_of).expect("typed");
-            (h, typed)
-        });
-        let _ = h;
+        // A failed benchmark (bad facts, exhausted budget) degrades to a
+        // skipped row rather than aborting the experiment.
+        let run = || -> Result<_, Box<dyn std::error::Error>> {
+            let f1 = Facts::load(&p)?;
+            let (untyped, t_untyped) =
+                jedd_bench::timed(|| analyze(&f1, CallGraphMode::OnTheFly));
+            let untyped = untyped?;
+            let f2 = Facts::load(&p)?;
+            let (typed, t_typed) = jedd_bench::timed(
+                || -> Result<_, jedd_core::JeddError> {
+                    let h = hierarchy::compute(&f2)?;
+                    analyze_typed(&f2, CallGraphMode::OnTheFly, &h.subtype_of)
+                },
+            );
+            Ok((untyped, typed?, t_untyped, t_typed))
+        };
+        let (untyped, typed, t_untyped, t_typed) = match run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("precision: skipping {}: {e}", b.name());
+                continue;
+            }
+        };
         rows.push(vec![
             b.name().to_string(),
             untyped.pt.size().to_string(),

@@ -50,6 +50,39 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
+/// The speedup-gate decision for parallelism benches: one shared CPU
+/// probe instead of each bench (and `ci.sh`) sniffing `nproc` and env
+/// variables on its own.
+#[derive(Debug, Clone)]
+pub struct GateProbe {
+    /// Hardware threads the probe saw.
+    pub cpus: usize,
+    /// Whether the speedup assertion is armed.
+    pub armed: bool,
+    /// Why — recorded in the JSON report so a disarmed gate is visible.
+    pub reason: String,
+}
+
+/// Probes the machine and the `JEDD_BENCH_GATE` override ("1" forces the
+/// gate on, "0" forces it off, unset decides by CPU count): a wall-clock
+/// speedup assertion only means something with >= 4 real CPUs.
+pub fn speedup_gate() -> GateProbe {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (armed, reason) = match std::env::var("JEDD_BENCH_GATE").as_deref() {
+        Ok("1") => (true, "forced on by JEDD_BENCH_GATE=1".to_string()),
+        Ok("0") => (false, "forced off by JEDD_BENCH_GATE=0".to_string()),
+        _ if cpus >= 4 => (true, format!("{cpus} CPUs available")),
+        _ => (false, format!("only {cpus} CPU(s) available, need 4")),
+    };
+    GateProbe {
+        cpus,
+        armed,
+        reason,
+    }
+}
+
 /// The Table 1 rows: compiles each analysis module (and the combined
 /// program) and collects its assignment-problem statistics.
 pub fn table1_rows() -> Vec<(String, jedd_core::assign::AssignmentStats)> {
@@ -118,11 +151,13 @@ pub struct Table2Row {
     pub pt_pairs: usize,
 }
 
-/// Runs the Table 2 experiment on the five benchmarks.
+/// Runs the Table 2 experiment on the five benchmarks. A benchmark whose
+/// analysis fails (e.g. under an externally imposed budget) is skipped
+/// with a warning on stderr rather than aborting the whole table.
 pub fn table2_rows() -> Vec<Table2Row> {
     use jedd_analyses::pointsto::CallGraphMode;
     let mut out = Vec::new();
-    for b in jedd_analyses::synth::Benchmark::table2() {
+    'bench: for b in jedd_analyses::synth::Benchmark::table2() {
         let p = b.generate();
         // Best of three runs per implementation, fresh manager each run,
         // to damp allocator and cache noise.
@@ -133,19 +168,31 @@ pub fn table2_rows() -> Vec<Table2Row> {
             hand_coded_s = hand_coded_s.min(s);
             raw = Some(r);
         }
-        let raw = raw.expect("three runs");
+        let Some(raw) = raw else { continue };
         let mut relational_s = f64::INFINITY;
         let mut rel = None;
         for _ in 0..3 {
-            let facts = jedd_analyses::facts::Facts::load(&p).expect("facts");
+            let facts = match jedd_analyses::facts::Facts::load(&p) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("table2: skipping {}: cannot load facts: {e}", b.name());
+                    continue 'bench;
+                }
+            };
             let (r, s) = timed(|| {
                 jedd_analyses::pointsto::analyze(&facts, CallGraphMode::OnTheFly)
-                    .expect("pointsto")
             });
+            let r = match r {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("table2: skipping {}: points-to failed: {e}", b.name());
+                    continue 'bench;
+                }
+            };
             relational_s = relational_s.min(s);
             rel = Some(r);
         }
-        let rel = rel.expect("three runs");
+        let Some(rel) = rel else { continue };
         let raw_pairs = raw.pt_pairs();
         let rel_pairs: Vec<(u64, u64)> = rel
             .pt

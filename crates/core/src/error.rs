@@ -89,6 +89,16 @@ pub enum JeddError {
         /// error type small).
         stats: Box<jedd_bdd::KernelStats>,
     },
+    /// Serialized universe metadata does not describe a state this
+    /// universe can be restored into: a replayed registration produced a
+    /// different id, a bit index is out of range, or a relation refers to
+    /// ids that were never registered. Raised by the snapshot-restore path
+    /// (`jedd-store`); like the schema errors it indicates corrupt or
+    /// mismatched input, not resource exhaustion.
+    InvalidRestore {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for JeddError {
@@ -146,6 +156,9 @@ impl fmt::Display for JeddError {
                  ({} governed steps, {} GC retries, {} reorder retries)",
                 stats.governed_steps, stats.ladder_gc_retries, stats.ladder_reorder_retries
             ),
+            JeddError::InvalidRestore { detail } => {
+                write!(f, "invalid universe restore: {detail}")
+            }
         }
     }
 }
@@ -199,6 +212,9 @@ mod tests {
                     limit: 100,
                 },
                 stats: Box::default(),
+            },
+            JeddError::InvalidRestore {
+                detail: "domain count mismatch".into(),
             },
         ];
         for e in errors {

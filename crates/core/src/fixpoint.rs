@@ -155,6 +155,30 @@ impl DeltaRel {
         self.advance()
     }
 
+    /// Reconstructs a tracker from a checkpointed `current`/`delta` pair.
+    /// Checkpoints are only taken at round boundaries, where nothing is
+    /// staged, so the pair is the tracker's complete state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JeddError::SchemaMismatch`] if the two relations disagree
+    /// on their attribute schema.
+    pub fn from_parts(
+        name: &'static str,
+        current: Relation,
+        delta: Relation,
+    ) -> Result<DeltaRel, JeddError> {
+        // Aligning delta onto current's layout both validates the schema
+        // and restores the invariant that the pair shares physdoms.
+        let delta = current.aligned(&delta, "from_parts")?;
+        Ok(DeltaRel {
+            name,
+            current,
+            delta,
+            staged: None,
+        })
+    }
+
     fn empty(&self) -> Result<Relation, JeddError> {
         Relation::empty(&self.current.universe, &self.current.schema)
     }
@@ -227,6 +251,16 @@ impl Fixpoint {
     /// Overrides the divergence bound.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Fixpoint {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Starts the round counter at `rounds` instead of zero. Resume uses
+    /// this so a continued fixpoint keeps the original divergence bound —
+    /// the rounds already completed before the crash still count against
+    /// `max_rounds` — and so profiler round numbering stays monotone
+    /// across the crash/resume boundary.
+    pub fn with_start_round(mut self, rounds: u64) -> Fixpoint {
+        self.rounds = rounds;
         self
     }
 

@@ -123,6 +123,36 @@ impl Relation {
         })
     }
 
+    /// Reassembles a relation from its parts: a schema and an
+    /// already-constructed BDD over the universe's manager. This is the
+    /// constructor the snapshot layer uses after importing a node table —
+    /// unlike [`Relation::from_tuples`] it does not re-encode anything, so
+    /// the restored relation keeps the imported BDD (and thus its node
+    /// identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual schema-validation errors, or
+    /// [`JeddError::InvalidRestore`] if `bdd` belongs to a different
+    /// manager than the universe's.
+    pub fn from_parts(
+        universe: &Universe,
+        schema: &[(AttrId, PhysDomId)],
+        bdd: Bdd,
+    ) -> Result<Relation, JeddError> {
+        let schema = Self::check_schema(universe, schema, "from_parts")?;
+        if !universe.bdd_manager().owns(&bdd) {
+            return Err(JeddError::InvalidRestore {
+                detail: "from_parts: BDD belongs to a different manager".to_string(),
+            });
+        }
+        Ok(Relation {
+            universe: universe.clone(),
+            schema,
+            bdd,
+        })
+    }
+
     /// The full relation (`1B`): all tuples of valid objects under the
     /// schema.
     ///

@@ -21,6 +21,36 @@ pub struct AttrId(pub(crate) u32);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct PhysDomId(pub(crate) u32);
 
+// Registration ids are sequential registry indices. The snapshot layer
+// (`jedd-store`) serializes them as plain integers and reconstructs them
+// after replaying registrations in the same order, so each id type exposes
+// the raw index both ways. Constructing an id for an index that was never
+// registered is not checked here; the accessors taking it will panic.
+macro_rules! id_index {
+    ($ty:ident, $what:literal) => {
+        impl $ty {
+            #[doc = concat!("The raw registry index of this ", $what, " id.")]
+            pub fn index(self) -> u32 {
+                self.0
+            }
+
+            #[doc = concat!(
+                "Reconstructs a ",
+                $what,
+                " id from a raw registry index (snapshot restore only; the \
+                 caller must know the index is registered)."
+            )]
+            pub fn from_index(index: u32) -> $ty {
+                $ty(index)
+            }
+        }
+    };
+}
+
+id_index!(DomainId, "domain");
+id_index!(AttrId, "attribute");
+id_index!(PhysDomId, "physical-domain");
+
 #[derive(Debug)]
 struct DomainInfo {
     name: String,
@@ -258,6 +288,101 @@ impl Universe {
             anonymous: true,
         });
         id
+    }
+
+    /// Re-registers a physical domain from snapshot metadata: unlike
+    /// [`Universe::add_physical_domain`] it does not allocate variables
+    /// but adopts the recorded `bits` (variable indices, MSB first), which
+    /// must already exist in the manager. Restore calls this after
+    /// recreating the full variable block, replaying physical domains in
+    /// registration order so ids come out identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JeddError::InvalidRestore`] if a bit index is outside the
+    /// manager's variable range.
+    pub fn restore_physical_domain(
+        &self,
+        name: &str,
+        bits: &[u32],
+        anonymous: bool,
+    ) -> Result<PhysDomId, JeddError> {
+        let mut inner = self.inner.borrow_mut();
+        let num_vars = inner.mgr.num_vars() as u32;
+        if let Some(&bad) = bits.iter().find(|&&b| b >= num_vars) {
+            return Err(JeddError::InvalidRestore {
+                detail: format!(
+                    "physical domain {name} references variable {bad}, but only \
+                     {num_vars} variables exist"
+                ),
+            });
+        }
+        let id = PhysDomId(inner.physdoms.len() as u32);
+        inner.physdoms.push(PhysDomInfo {
+            name: name.to_string(),
+            bits: bits.to_vec(),
+            anonymous,
+        });
+        Ok(id)
+    }
+
+    /// Overwrites the implicit-work counters; snapshot restore uses this
+    /// to carry [`Universe::stats`] across a crash/resume boundary so
+    /// profiling totals describe the whole logical run.
+    pub fn restore_stats(&self, stats: UniverseStats) {
+        self.inner.borrow_mut().stats = stats;
+    }
+
+    /// Number of registered domains.
+    pub fn num_domains(&self) -> usize {
+        self.inner.borrow().domains.len()
+    }
+
+    /// Number of registered attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.inner.borrow().attrs.len()
+    }
+
+    /// The element labels of a domain (empty if the domain was registered
+    /// by size only).
+    pub fn domain_elements(&self, d: DomainId) -> Vec<String> {
+        self.inner.borrow().domains[d.0 as usize].elements.clone()
+    }
+
+    /// Whether a physical domain is an anonymous scratch domain (see
+    /// [`Universe::scratch_physdom`]).
+    pub fn physdom_is_anonymous(&self, p: PhysDomId) -> bool {
+        self.inner.borrow().physdoms[p.0 as usize].anonymous
+    }
+
+    /// Looks up an attribute id by name (first registration wins).
+    pub fn find_attribute(&self, name: &str) -> Option<AttrId> {
+        let inner = self.inner.borrow();
+        inner
+            .attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// Looks up a physical-domain id by name (first registration wins).
+    pub fn find_physdom(&self, name: &str) -> Option<PhysDomId> {
+        let inner = self.inner.borrow();
+        inner
+            .physdoms
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PhysDomId(i as u32))
+    }
+
+    /// Looks up a domain id by name (first registration wins).
+    pub fn find_domain(&self, name: &str) -> Option<DomainId> {
+        let inner = self.inner.borrow();
+        inner
+            .domains
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| DomainId(i as u32))
     }
 
     /// The name of a domain.

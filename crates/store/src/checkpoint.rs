@@ -1,0 +1,321 @@
+//! Checkpoint orchestration: when to checkpoint, how a checkpoint commits,
+//! and how a crashed run resumes.
+//!
+//! A checkpoint is two steps in write-ahead order: first the snapshot file
+//! lands under its sequence-numbered name via atomic rename, then one
+//! [`LogRecord`] referencing it is appended to `checkpoint.log`. Only the
+//! log append commits the checkpoint — a crash between the two leaves an
+//! orphaned snapshot the log never mentions, and the previous committed
+//! checkpoint remains the resume point. Pruning keeps the two most recent
+//! snapshots so that exact window always has a fallback.
+//!
+//! [`resume_latest_bdd`]/[`resume_latest_zdd`] walk the committed records
+//! newest-first and return the first whose snapshot still loads cleanly,
+//! logging a warning for each corrupt or missing one they skip.
+
+use crate::error::StoreError;
+use crate::faults::{FaultClock, StoreFaults};
+use crate::io::write_atomic;
+use crate::snapshot::{
+    encode_bdd_snapshot, encode_zdd_snapshot, load_bdd_snapshot, load_zdd_snapshot, BACKEND_BDD,
+    BACKEND_ZDD,
+};
+use crate::wal::{append_record, read_records, LogRecord};
+use jedd_bdd::{ZddId, ZddManager};
+use jedd_core::{Relation, Universe, UniverseStats};
+use std::path::{Path, PathBuf};
+
+/// File name of the write-ahead checkpoint log inside a checkpoint
+/// directory.
+pub const LOG_FILE: &str = "checkpoint.log";
+
+/// When the driver should cut a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after every `every_rounds` completed fixpoint rounds
+    /// (0 disables round-driven checkpoints).
+    pub every_rounds: u64,
+    /// Checkpoint the last good state when a round dies with
+    /// `ResourceExhausted`.
+    pub on_exhausted: bool,
+    /// Checkpoint the last good state on cooperative cancellation.
+    pub on_cancel: bool,
+}
+
+impl Default for CheckpointPolicy {
+    /// Every round, plus on exhaustion and on cancellation.
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_rounds: 1,
+            on_exhausted: true,
+            on_cancel: true,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing every `n` rounds (and on both failure kinds).
+    pub fn every(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_rounds: n,
+            ..CheckpointPolicy::default()
+        }
+    }
+}
+
+/// Everything a checkpoint records besides the relations themselves.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointMeta<'a> {
+    /// The analysis writing the checkpoint.
+    pub analysis: &'a str,
+    /// Fixpoint rounds completed at this state.
+    pub round: u64,
+    /// Analysis-specific phase scalar (0 when unused).
+    pub phase: u32,
+    /// Analysis-specific auxiliary word (0 when unused).
+    pub aux: u64,
+    /// Driver RNG word (0 when unused).
+    pub rng: u64,
+}
+
+/// Writes checkpoints into one directory with write-ahead ordering,
+/// sequence numbering, crash injection and pruning.
+#[derive(Debug)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    policy: CheckpointPolicy,
+    faults: FaultClock,
+    next_seq: u64,
+}
+
+impl Checkpointer {
+    /// Opens (creating if needed) a checkpoint directory. The next
+    /// sequence number continues after the newest committed record, so a
+    /// resumed run never reuses a sequence number.
+    pub fn create(dir: &Path, policy: CheckpointPolicy) -> Result<Checkpointer, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+            op: "create checkpoint directory",
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let records = read_records(&dir.join(LOG_FILE))?;
+        let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        Ok(Checkpointer {
+            dir: dir.to_path_buf(),
+            policy,
+            faults: FaultClock::default(),
+            next_seq,
+        })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    /// Installs a crash-injection plan; occurrence counters restart at
+    /// zero.
+    pub fn set_faults(&mut self, faults: StoreFaults) {
+        self.faults.install(faults);
+    }
+
+    /// Whether the policy asks for a checkpoint after `rounds_done`
+    /// completed rounds.
+    pub fn due_after_round(&self, rounds_done: u64) -> bool {
+        self.policy.every_rounds != 0 && rounds_done.is_multiple_of(self.policy.every_rounds)
+    }
+
+    fn commit(
+        &mut self,
+        meta: &CheckpointMeta<'_>,
+        backend: u8,
+        bytes: Vec<u8>,
+        stats: UniverseStats,
+    ) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let snapshot = format!("snap-{seq}");
+        let snap_cap = self.faults.snapshot_cap();
+        let rename_dies = self.faults.rename_dies();
+        write_atomic(&self.dir.join(&snapshot), &bytes, snap_cap, rename_dies)?;
+        let record = LogRecord {
+            seq,
+            analysis: meta.analysis.to_string(),
+            round: meta.round,
+            phase: meta.phase,
+            aux: meta.aux,
+            snapshot,
+            backend,
+            rng: meta.rng,
+            auto_replaces: stats.auto_replaces,
+            relational_ops: stats.relational_ops,
+        };
+        let append_cap = self.faults.append_cap();
+        append_record(&self.dir.join(LOG_FILE), &record, append_cap)?;
+        self.next_seq = seq + 1;
+        self.prune(seq);
+        Ok(seq)
+    }
+
+    /// Deletes snapshots older than the previous committed one (keeping
+    /// `seq` and `seq - 1`), plus any leftover temp file below the window.
+    /// Best effort; a failed delete never fails the checkpoint.
+    fn prune(&self, seq: u64) {
+        let keep_from = seq.saturating_sub(1);
+        for s in (0..keep_from).rev() {
+            let p = self.dir.join(format!("snap-{s}"));
+            let tmp = p.with_extension("tmp");
+            let gone = std::fs::remove_file(&p).is_err();
+            let tmp_gone = std::fs::remove_file(&tmp).is_err();
+            if gone && tmp_gone {
+                // Older snapshots were pruned by earlier checkpoints.
+                break;
+            }
+        }
+    }
+
+    /// Commits a checkpoint of BDD-backed relations sharing `universe`.
+    /// Returns the sequence number.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and injected kills ([`StoreError::Killed`]); on any
+    /// error the previous committed checkpoint is untouched.
+    pub fn checkpoint_bdd(
+        &mut self,
+        meta: &CheckpointMeta<'_>,
+        universe: &Universe,
+        relations: &[(&str, &Relation)],
+    ) -> Result<u64, StoreError> {
+        let bytes = encode_bdd_snapshot(universe, relations);
+        self.commit(meta, BACKEND_BDD, bytes, universe.stats())
+    }
+
+    /// Commits a checkpoint of named ZDD roots. Returns the sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Checkpointer::checkpoint_bdd`].
+    pub fn checkpoint_zdd(
+        &mut self,
+        meta: &CheckpointMeta<'_>,
+        manager: &ZddManager,
+        roots: &[(&str, ZddId)],
+    ) -> Result<u64, StoreError> {
+        let bytes = encode_zdd_snapshot(manager, roots);
+        self.commit(meta, BACKEND_ZDD, bytes, UniverseStats::default())
+    }
+}
+
+/// A loaded BDD resume point: the committed record plus the rebuilt state.
+pub struct BddResumePoint {
+    /// The log record that committed this checkpoint.
+    pub record: LogRecord,
+    /// The rebuilt universe, with profiler counters restored from the
+    /// record.
+    pub universe: Universe,
+    /// The relations, in snapshot order.
+    pub relations: Vec<(String, Relation)>,
+}
+
+impl BddResumePoint {
+    /// The relation with the given name, if present.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+    }
+}
+
+/// A loaded ZDD resume point.
+pub struct ZddResumePoint {
+    /// The log record that committed this checkpoint.
+    pub record: LogRecord,
+    /// The rebuilt manager.
+    pub manager: ZddManager,
+    /// The named roots, in snapshot order.
+    pub roots: Vec<(String, ZddId)>,
+}
+
+impl ZddResumePoint {
+    /// The root with the given name, if present.
+    pub fn root(&self, name: &str) -> Option<ZddId> {
+        self.roots.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+    }
+}
+
+fn skip_warning(dir: &Path, record: &LogRecord, err: &StoreError) {
+    eprintln!(
+        "jedd-store: warning: checkpoint seq {} in {} is not loadable ({err}); falling back to the previous one",
+        record.seq,
+        dir.display()
+    );
+}
+
+/// Loads the newest resumable BDD checkpoint from `dir`, skipping records
+/// whose snapshot is corrupt, torn or of the wrong backend (each with a
+/// warning on stderr).
+///
+/// # Errors
+///
+/// [`StoreError::NoCheckpoint`] when no committed record's snapshot loads;
+/// [`StoreError::Io`] only if the log itself is unreadable.
+pub fn resume_latest_bdd(dir: &Path) -> Result<BddResumePoint, StoreError> {
+    let records = read_records(&dir.join(LOG_FILE))?;
+    for record in records.into_iter().rev() {
+        if record.backend != BACKEND_BDD {
+            continue;
+        }
+        match load_bdd_snapshot(&dir.join(&record.snapshot)) {
+            Ok(snap) => {
+                snap.universe.restore_stats(UniverseStats {
+                    auto_replaces: record.auto_replaces,
+                    relational_ops: record.relational_ops,
+                });
+                return Ok(BddResumePoint {
+                    record,
+                    universe: snap.universe,
+                    relations: snap.relations,
+                });
+            }
+            Err(e) => skip_warning(dir, &record, &e),
+        }
+    }
+    Err(StoreError::NoCheckpoint {
+        dir: dir.to_path_buf(),
+    })
+}
+
+/// Loads the newest resumable ZDD checkpoint from `dir`; the ZDD analogue
+/// of [`resume_latest_bdd`].
+///
+/// # Errors
+///
+/// Same as [`resume_latest_bdd`].
+pub fn resume_latest_zdd(dir: &Path) -> Result<ZddResumePoint, StoreError> {
+    let records = read_records(&dir.join(LOG_FILE))?;
+    for record in records.into_iter().rev() {
+        if record.backend != BACKEND_ZDD {
+            continue;
+        }
+        match load_zdd_snapshot(&dir.join(&record.snapshot)) {
+            Ok(snap) => {
+                return Ok(ZddResumePoint {
+                    record,
+                    manager: snap.manager,
+                    roots: snap.roots,
+                })
+            }
+            Err(e) => skip_warning(dir, &record, &e),
+        }
+    }
+    Err(StoreError::NoCheckpoint {
+        dir: dir.to_path_buf(),
+    })
+}

@@ -1,0 +1,135 @@
+//! Deterministic crash injection for the store, the filesystem-level
+//! counterpart of the kernel's `FailPlan`.
+//!
+//! A [`StoreFaults`] plan names a precise point in the checkpoint I/O
+//! schedule — the Nth snapshot write truncated after a byte count, the Nth
+//! atomic rename suppressed, the Nth log append torn — and the store then
+//! returns [`crate::StoreError::Killed`] from that operation, leaving the
+//! directory in exactly the state a power cut at that instant would. The
+//! crash-recovery fuzz drives every kill point and asserts resume lands
+//! tuple-identical to an uninterrupted run.
+
+/// One scheduled kill: the `at`-th occurrence (1-based) of an I/O
+/// operation dies after `after_bytes` bytes have reached the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kill {
+    /// Which occurrence of the operation to kill (1-based, counted from
+    /// plan installation).
+    pub at: u64,
+    /// How many bytes of the payload land on disk before the crash.
+    pub after_bytes: u64,
+}
+
+/// A crash-injection plan over the store's I/O schedule. All hooks are
+/// independent; `None` disables a hook.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreFaults {
+    /// Tear the Nth snapshot *temp-file* write: the temp file is left
+    /// truncated and never renamed, so the previous snapshot (if any)
+    /// stays intact.
+    pub snapshot_kill: Option<Kill>,
+    /// Crash before the Nth atomic rename (1-based): the temp file is
+    /// complete and durable, but the final name still points at the old
+    /// content (or does not exist).
+    pub rename_kill: Option<u64>,
+    /// Tear the Nth log append: the record's prefix lands on disk as a
+    /// torn tail the reader must skip with a warning.
+    pub log_kill: Option<Kill>,
+}
+
+impl StoreFaults {
+    /// A plan tearing the `n`-th snapshot write after `bytes` bytes.
+    pub fn kill_snapshot(n: u64, bytes: u64) -> StoreFaults {
+        StoreFaults {
+            snapshot_kill: Some(Kill {
+                at: n,
+                after_bytes: bytes,
+            }),
+            ..StoreFaults::default()
+        }
+    }
+
+    /// A plan crashing before the `n`-th rename.
+    pub fn kill_rename(n: u64) -> StoreFaults {
+        StoreFaults {
+            rename_kill: Some(n),
+            ..StoreFaults::default()
+        }
+    }
+
+    /// A plan tearing the `n`-th log append after `bytes` bytes.
+    pub fn kill_log(n: u64, bytes: u64) -> StoreFaults {
+        StoreFaults {
+            log_kill: Some(Kill {
+                at: n,
+                after_bytes: bytes,
+            }),
+            ..StoreFaults::default()
+        }
+    }
+}
+
+/// Runtime state of a plan: occurrence counters beside the schedule.
+#[derive(Debug, Default)]
+pub(crate) struct FaultClock {
+    plan: StoreFaults,
+    snapshots: u64,
+    renames: u64,
+    appends: u64,
+}
+
+impl FaultClock {
+    pub(crate) fn install(&mut self, plan: StoreFaults) {
+        *self = FaultClock {
+            plan,
+            ..FaultClock::default()
+        };
+    }
+
+    /// Counts a snapshot write; returns the byte cap if this one dies.
+    pub(crate) fn snapshot_cap(&mut self) -> Option<u64> {
+        self.snapshots += 1;
+        match self.plan.snapshot_kill {
+            Some(k) if k.at == self.snapshots => Some(k.after_bytes),
+            _ => None,
+        }
+    }
+
+    /// Counts a rename; `true` if the crash lands just before it.
+    pub(crate) fn rename_dies(&mut self) -> bool {
+        self.renames += 1;
+        self.plan.rename_kill == Some(self.renames)
+    }
+
+    /// Counts a log append; returns the byte cap if this one tears.
+    pub(crate) fn append_cap(&mut self) -> Option<u64> {
+        self.appends += 1;
+        match self.plan.log_kill {
+            Some(k) if k.at == self.appends => Some(k.after_bytes),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_fires_at_scheduled_occurrence() {
+        let mut c = FaultClock::default();
+        c.install(StoreFaults::kill_snapshot(2, 17));
+        assert_eq!(c.snapshot_cap(), None);
+        assert_eq!(c.snapshot_cap(), Some(17));
+        assert_eq!(c.snapshot_cap(), None);
+        assert!(!c.rename_dies());
+
+        c.install(StoreFaults::kill_rename(1));
+        assert!(c.rename_dies());
+        assert!(!c.rename_dies());
+
+        c.install(StoreFaults::kill_log(1, 3));
+        assert_eq!(c.append_cap(), Some(3));
+        assert_eq!(c.append_cap(), None);
+    }
+}
