@@ -15,12 +15,12 @@
 
 use crate::error::StoreError;
 use crate::faults::{FaultClock, StoreFaults};
-use crate::io::write_atomic;
+use crate::io::{truncate_synced, write_atomic};
 use crate::snapshot::{
     encode_bdd_snapshot, encode_zdd_snapshot, load_bdd_snapshot, load_zdd_snapshot, BACKEND_BDD,
     BACKEND_ZDD,
 };
-use crate::wal::{append_record, read_records, LogRecord};
+use crate::wal::{append_record, read_records, read_records_prefix, LogRecord};
 use jedd_bdd::{ZddId, ZddManager};
 use jedd_core::{Relation, Universe, UniverseStats};
 use std::path::{Path, PathBuf};
@@ -91,14 +91,24 @@ pub struct Checkpointer {
 impl Checkpointer {
     /// Opens (creating if needed) a checkpoint directory. The next
     /// sequence number continues after the newest committed record, so a
-    /// resumed run never reuses a sequence number.
+    /// resumed run never reuses a sequence number. A torn tail left by a
+    /// crash mid-append is truncated away first — otherwise every record
+    /// appended after the tear would be committed but invisible, since the
+    /// reader stops at the first bad frame.
     pub fn create(dir: &Path, policy: CheckpointPolicy) -> Result<Checkpointer, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
             op: "create checkpoint directory",
             path: dir.to_path_buf(),
             source: e,
         })?;
-        let records = read_records(&dir.join(LOG_FILE))?;
+        let log = dir.join(LOG_FILE);
+        let (records, valid_len) = read_records_prefix(&log)?;
+        if truncate_synced(&log, valid_len)? {
+            eprintln!(
+                "jedd-store: warning: {}: truncated torn log tail to {valid_len} byte(s)",
+                log.display()
+            );
+        }
         let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
         Ok(Checkpointer {
             dir: dir.to_path_buf(),
@@ -163,17 +173,24 @@ impl Checkpointer {
 
     /// Deletes snapshots older than the previous committed one (keeping
     /// `seq` and `seq - 1`), plus any leftover temp file below the window.
-    /// Best effort; a failed delete never fails the checkpoint.
+    /// Scans the actual `snap-*` directory entries rather than counting
+    /// sequence numbers down, so gaps in the history (a failed commit that
+    /// left no file) don't shadow older snapshots from reclamation. Best
+    /// effort; a failed delete never fails the checkpoint.
     fn prune(&self, seq: u64) {
         let keep_from = seq.saturating_sub(1);
-        for s in (0..keep_from).rev() {
-            let p = self.dir.join(format!("snap-{s}"));
-            let tmp = p.with_extension("tmp");
-            let gone = std::fs::remove_file(&p).is_err();
-            let tmp_gone = std::fs::remove_file(&tmp).is_err();
-            if gone && tmp_gone {
-                // Older snapshots were pruned by earlier checkpoints.
-                break;
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix("snap-") else {
+                continue;
+            };
+            let stem = rest.strip_suffix(".tmp").unwrap_or(rest);
+            if stem.parse::<u64>().is_ok_and(|s| s < keep_from) {
+                let _ = std::fs::remove_file(entry.path());
             }
         }
     }
@@ -250,6 +267,31 @@ impl ZddResumePoint {
     }
 }
 
+/// Whether a snapshot name read from the log may be joined onto the
+/// checkpoint directory. The log is on-disk content and therefore
+/// untrusted like everything else the store reads; a tampered record
+/// naming `../../x` must not reach files outside the directory.
+fn snapshot_name_is_safe(name: &str) -> bool {
+    !name.is_empty() && name != "." && name != ".." && !name.contains(['/', '\\'])
+}
+
+/// Validates `record.snapshot` and joins it onto `dir`, or skips the
+/// record (with the standard warning) by returning `None`.
+fn safe_snapshot_path(dir: &Path, record: &LogRecord) -> Option<PathBuf> {
+    if snapshot_name_is_safe(&record.snapshot) {
+        return Some(dir.join(&record.snapshot));
+    }
+    let err = StoreError::Malformed {
+        path: dir.join(LOG_FILE),
+        reason: format!(
+            "snapshot name {:?} escapes the checkpoint directory",
+            record.snapshot
+        ),
+    };
+    skip_warning(dir, record, &err);
+    None
+}
+
 fn skip_warning(dir: &Path, record: &LogRecord, err: &StoreError) {
     eprintln!(
         "jedd-store: warning: checkpoint seq {} in {} is not loadable ({err}); falling back to the previous one",
@@ -272,7 +314,10 @@ pub fn resume_latest_bdd(dir: &Path) -> Result<BddResumePoint, StoreError> {
         if record.backend != BACKEND_BDD {
             continue;
         }
-        match load_bdd_snapshot(&dir.join(&record.snapshot)) {
+        let Some(snap_path) = safe_snapshot_path(dir, &record) else {
+            continue;
+        };
+        match load_bdd_snapshot(&snap_path) {
             Ok(snap) => {
                 snap.universe.restore_stats(UniverseStats {
                     auto_replaces: record.auto_replaces,
@@ -304,7 +349,10 @@ pub fn resume_latest_zdd(dir: &Path) -> Result<ZddResumePoint, StoreError> {
         if record.backend != BACKEND_ZDD {
             continue;
         }
-        match load_zdd_snapshot(&dir.join(&record.snapshot)) {
+        let Some(snap_path) = safe_snapshot_path(dir, &record) else {
+            continue;
+        };
+        match load_zdd_snapshot(&snap_path) {
             Ok(snap) => {
                 return Ok(ZddResumePoint {
                     record,

@@ -66,6 +66,27 @@ pub(crate) fn write_atomic(
     Ok(())
 }
 
+/// Truncates `path` to `len` bytes and fsyncs, discarding anything after
+/// the valid prefix (a torn tail). Returns whether anything was cut; a
+/// missing file or one already at (or under) `len` is a no-op.
+pub(crate) fn truncate_synced(path: &Path, len: u64) -> Result<bool, StoreError> {
+    let f = match OpenOptions::new().write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(io_err("open for truncate", path, e)),
+    };
+    let actual = f
+        .metadata()
+        .map_err(|e| io_err("stat for truncate", path, e))?
+        .len();
+    if actual <= len {
+        return Ok(false);
+    }
+    f.set_len(len).map_err(|e| io_err("truncate", path, e))?;
+    f.sync_all().map_err(|e| io_err("sync", path, e))?;
+    Ok(true)
+}
+
 /// Appends `bytes` to `path` (creating it if missing) and fsyncs.
 ///
 /// `kill_after` tears the append after that many bytes, modelling a crash

@@ -47,4 +47,4 @@ pub use snapshot::{
     load_bdd_snapshot, load_zdd_snapshot, snapshot_backend, BddSnapshot, ZddSnapshot, BACKEND_BDD,
     BACKEND_ZDD,
 };
-pub use wal::{read_records, LogRecord};
+pub use wal::{read_records, read_records_prefix, LogRecord};

@@ -150,9 +150,17 @@ pub(crate) fn append_record(
 /// records before it are returned. Only an OS-level read failure is an
 /// error.
 pub fn read_records(path: &Path) -> Result<Vec<LogRecord>, StoreError> {
+    read_records_prefix(path).map(|(records, _)| records)
+}
+
+/// [`read_records`] plus the byte length of the valid record prefix, so a
+/// writer reopening the log can truncate a torn tail before appending.
+/// Without that truncation, records appended after the tear would sit
+/// behind bytes the reader always stops at — committed but invisible.
+pub fn read_records_prefix(path: &Path) -> Result<(Vec<LogRecord>, u64), StoreError> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => {
             return Err(StoreError::Io {
                 op: "read checkpoint log",
@@ -196,7 +204,7 @@ pub fn read_records(path: &Path) -> Result<Vec<LogRecord>, StoreError> {
         records.push(record);
         pos += 12 + len;
     }
-    Ok(records)
+    Ok((records, pos as u64))
 }
 
 #[cfg(test)]
@@ -253,6 +261,23 @@ mod tests {
         assert!(matches!(e, StoreError::Killed { at: "log-append" }));
         let got = read_records(&p).unwrap();
         assert_eq!(got, vec![rec(0), rec(1)]);
+        let _ = std::fs::remove_dir_all(p.parent().unwrap());
+    }
+
+    #[test]
+    fn prefix_offset_tracks_the_valid_records() {
+        let p = tmpfile("prefix");
+        append_record(&p, &rec(0), None).unwrap();
+        let clean_len = std::fs::metadata(&p).unwrap().len();
+        let (recs, off) = read_records_prefix(&p).unwrap();
+        assert_eq!(recs, vec![rec(0)]);
+        assert_eq!(off, clean_len, "clean log: offset is the file length");
+        // A torn append extends the file but not the valid prefix.
+        let _ = append_record(&p, &rec(1), Some(5)).unwrap_err();
+        assert!(std::fs::metadata(&p).unwrap().len() > clean_len);
+        let (recs, off) = read_records_prefix(&p).unwrap();
+        assert_eq!(recs, vec![rec(0)]);
+        assert_eq!(off, clean_len, "torn log: offset stops before the tear");
         let _ = std::fs::remove_dir_all(p.parent().unwrap());
     }
 

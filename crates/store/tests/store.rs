@@ -6,8 +6,8 @@ use jedd_bdd::ZddManager;
 use jedd_core::{Relation, Universe};
 use jedd_store::{
     decode_bdd_snapshot, decode_zdd_snapshot, encode_bdd_snapshot, encode_zdd_snapshot,
-    resume_latest_bdd, resume_latest_zdd, snapshot_backend, CheckpointMeta, CheckpointPolicy,
-    Checkpointer, StoreError, StoreFaults, LOG_FILE,
+    read_records, resume_latest_bdd, resume_latest_zdd, snapshot_backend, CheckpointMeta,
+    CheckpointPolicy, Checkpointer, LogRecord, StoreError, StoreFaults, BACKEND_BDD, LOG_FILE,
 };
 use std::path::{Path, PathBuf};
 
@@ -354,6 +354,113 @@ fn log_with_torn_tail_still_resumes() {
     let rp = resume_latest_bdd(&d).unwrap();
     assert_eq!(rp.record.round, 1);
     assert_eq!(rp.record.phase, 1);
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A crash mid-log-append, a resume, more commits, and a *second* crash:
+/// reopening the directory must truncate the torn tail, or every
+/// post-resume commit sits behind bytes the reader always stops at —
+/// committed but invisible, and pruned out from under the reader.
+#[test]
+fn reopen_after_torn_append_truncates_tail_and_keeps_new_commits_visible() {
+    let d = tmpdir("torn-reopen");
+    let (u, rels) = sample_universe();
+    let meta = CheckpointMeta {
+        analysis: "pointsto",
+        round: 1,
+        phase: 0,
+        aux: 0,
+        rng: 0,
+    };
+    let mut cp = Checkpointer::create(&d, CheckpointPolicy::default()).unwrap();
+    cp.checkpoint_bdd(&meta, &u, &as_refs(&rels)).unwrap();
+    // Crash mid-append of the round-2 record.
+    cp.set_faults(StoreFaults::kill_log(1, 3));
+    let meta2 = CheckpointMeta { round: 2, ..meta };
+    let err = cp.checkpoint_bdd(&meta2, &u, &as_refs(&rels)).unwrap_err();
+    assert!(matches!(err, StoreError::Killed { at: "log-append" }));
+
+    // The resumed process reopens the directory and commits three more
+    // rounds (enough for pruning to pass over the pre-crash window).
+    let mut cp2 = Checkpointer::create(&d, CheckpointPolicy::default()).unwrap();
+    for round in 2..=4u64 {
+        let m = CheckpointMeta { round, ..meta };
+        cp2.checkpoint_bdd(&m, &u, &as_refs(&rels)).unwrap();
+    }
+    // Every post-crash commit is readable.
+    let rounds: Vec<u64> = read_records(&d.join(LOG_FILE))
+        .unwrap()
+        .iter()
+        .map(|r| r.round)
+        .collect();
+    assert_eq!(rounds, vec![1, 2, 3, 4]);
+    // A second crash (plain process death) still resumes, at the newest
+    // round — not NoCheckpoint, and not the stale pre-crash state.
+    let rp = resume_latest_bdd(&d).unwrap();
+    assert_eq!(rp.record.round, 4);
+    for (name, original) in &rels {
+        assert_eq!(rp.relation(name).expect(name).tuples(), original.tuples());
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Pruning reclaims stray snapshots below the keep window even when the
+/// sequence history has gaps — it scans directory entries, so a missing
+/// intermediate sequence doesn't shadow older files forever.
+#[test]
+fn prune_reclaims_snapshots_below_a_sequence_gap() {
+    let d = tmpdir("prune-gap");
+    let (u, rels) = sample_universe();
+    let meta = CheckpointMeta {
+        analysis: "hierarchy",
+        round: 1,
+        phase: 0,
+        aux: 0,
+        rng: 0,
+    };
+    let mut cp = Checkpointer::create(&d, CheckpointPolicy::default()).unwrap();
+    for round in 1..=6u64 {
+        let m = CheckpointMeta { round, ..meta };
+        cp.checkpoint_bdd(&m, &u, &as_refs(&rels)).unwrap();
+    }
+    // Plant strays far below the keep window, with a gap above them.
+    std::fs::write(d.join("snap-1"), b"stray").unwrap();
+    std::fs::write(d.join("snap-0.tmp"), b"stray").unwrap();
+
+    let m = CheckpointMeta { round: 7, ..meta };
+    cp.checkpoint_bdd(&m, &u, &as_refs(&rels)).unwrap();
+    assert!(!d.join("snap-1").exists(), "stray below the gap not pruned");
+    assert!(!d.join("snap-0.tmp").exists(), "stray temp not pruned");
+    assert!(d.join("snap-5").exists());
+    assert!(d.join("snap-6").exists());
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// A tampered log record whose snapshot name points outside the
+/// checkpoint directory is skipped, never followed.
+#[test]
+fn resume_rejects_snapshot_names_escaping_the_directory() {
+    let d = tmpdir("escape");
+    let ckpt = d.join("ckpt");
+    std::fs::create_dir_all(&ckpt).unwrap();
+    // A perfectly valid snapshot, but outside the checkpoint directory.
+    let (u, rels) = sample_universe();
+    std::fs::write(d.join("evil"), encode_bdd_snapshot(&u, &as_refs(&rels))).unwrap();
+    let rec = LogRecord {
+        seq: 0,
+        analysis: "pointsto".into(),
+        round: 9,
+        phase: 0,
+        aux: 0,
+        snapshot: "../evil".into(),
+        backend: BACKEND_BDD,
+        rng: 0,
+        auto_replaces: 0,
+        relational_ops: 0,
+    };
+    std::fs::write(ckpt.join(LOG_FILE), rec.encode()).unwrap();
+    let err = resume_latest_bdd(&ckpt).err().expect("must not resume");
+    assert!(matches!(err, StoreError::NoCheckpoint { .. }), "{err}");
     let _ = std::fs::remove_dir_all(&d);
 }
 
