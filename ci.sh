@@ -30,16 +30,21 @@ echo "==> cargo build --release"
 # bare `cargo build` would only build the facade crate.
 cargo build --release --workspace --offline
 
-# The whole suite runs twice: once on the default sequential kernel and
-# once with the 4-worker parallel apply engine (cutoff lowered so
-# test-sized operands actually engage it). The differential fuzzer in
-# tests/differential.rs and the JEDD_THREADS=1,2,4 determinism test in
-# crates/analyses are part of both passes.
+# The whole suite runs three times: once on the sequential kernel, once
+# with 4 workers and once with 8 workers on the shared-table parallel
+# kernel (cutoff lowered so test-sized operands actually engage it; the
+# effective worker count is clamped to the hardware, so oversubscribed
+# counts exercise the clamp path). The differential fuzzer in
+# tests/differential.rs and the JEDD_THREADS=1,2,4,8 determinism test in
+# crates/analyses are part of every pass.
 echo "==> cargo test (workspace, JEDD_THREADS=1)"
 JEDD_THREADS=1 cargo test --workspace --offline -q
 
 echo "==> cargo test (workspace, JEDD_THREADS=4)"
 JEDD_THREADS=4 JEDD_PAR_CUTOFF=64 cargo test --workspace --offline -q
+
+echo "==> cargo test (workspace, JEDD_THREADS=8)"
+JEDD_THREADS=8 JEDD_PAR_CUTOFF=64 cargo test --workspace --offline -q
 
 if [ "$STRESS" = 1 ]; then
     echo "==> stress tests (ignored set)"
@@ -73,8 +78,14 @@ cargo clippy -p jeddc --offline -- -D warnings -D missing-docs
 echo "==> bench smoke (BENCH_kernel.json)"
 # Few-sample bench runs double as integration tests of the kernel's
 # replace path and cache counters; headline numbers land in
-# BENCH_kernel.json via the in-tree JSON reporter.
+# BENCH_kernel.json via the in-tree JSON reporter. Every section of this
+# run carries the same JEDD_BENCH_RUN stamp, and the reporter prunes any
+# group stamped by an earlier run — so groups from renamed or retired
+# benchmarks (e.g. the old parallel_apply shape) cannot linger in the
+# report and skew trajectory tooling.
 rm -f BENCH_kernel.json
+JEDD_BENCH_RUN="$(date +%s)-$$"
+export JEDD_BENCH_RUN
 JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench replace_cost --offline
 JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
@@ -84,13 +95,14 @@ JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
 # regression fails CI here.
 JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench fixpoint_seminaive --offline
-# The parallel-apply bench validates thread-count-independence of the
-# fixpoint and records the 1-vs-4-thread wall-clock ratio. The >= 1.5x
-# speedup gate arms itself (jedd_bench::speedup_gate: >= 4 CPUs, or a
-# JEDD_BENCH_GATE=1/0 override) and records its decision and reason in
-# the JSON report.
+# The shared-table kernel bench validates thread-count-independence of
+# the fixpoint and records per-thread-count (1/2/4/8) wall clocks plus
+# the 1-vs-4 ratio. The >= 1.5x speedup gate arms itself
+# (jedd_bench::speedup_gate: >= 4 CPUs, or a JEDD_BENCH_GATE=1/0
+# override) and records gate_armed/gate_reason in the JSON report, so a
+# disarmed single-CPU run is visible rather than silently green.
 JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
-    cargo bench -p jedd-bench --bench parallel_apply --offline
+    cargo bench -p jedd-bench --bench kernel_shared_table --offline
 test -s BENCH_kernel.json
 
 echo "==> OK"

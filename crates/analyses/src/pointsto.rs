@@ -6,7 +6,7 @@
 
 use crate::facts::Facts;
 use crate::vcr;
-use jedd_core::{DeltaRel, Fixpoint, JeddError, Relation, Strategy};
+use jedd_core::{ComposeJob, DeltaRel, Fixpoint, JeddError, Relation, Strategy};
 
 /// How receiver types are determined for call-graph construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -337,13 +337,29 @@ pub(crate) fn pt_round(
     let pt_delta_is_all = pt.delta().equals(pt.current())?;
     let mut changed = if edges.has_delta() || pt.has_delta() {
         let seed = inner.rule("seed", || {
-            let via_new_pt = edges.current().compose(&[f.src], pt.delta(), &[f.var])?;
             let combined = if edges.has_delta() && !pt_delta_is_all {
-                let via_new_edges =
-                    edges.delta().compose(&[f.src], pt.current(), &[f.var])?;
+                // The two delta terms read only last round's state, so
+                // they are independent: one kernel batch evaluates both
+                // relational products concurrently.
+                let parts = Relation::compose_batch(&[
+                    ComposeJob {
+                        left: edges.current(),
+                        left_attrs: &[f.src],
+                        right: pt.delta(),
+                        right_attrs: &[f.var],
+                    },
+                    ComposeJob {
+                        left: edges.delta(),
+                        left_attrs: &[f.src],
+                        right: pt.current(),
+                        right_attrs: &[f.var],
+                    },
+                ])?;
+                let [via_new_pt, via_new_edges]: [Relation; 2] =
+                    parts.try_into().expect("two jobs in, two results out");
                 via_new_edges.union(&via_new_pt)?
             } else {
-                via_new_pt
+                edges.current().compose(&[f.src], pt.delta(), &[f.var])?
             };
             combined
                 .rename(f.dst, f.var)?
@@ -390,20 +406,46 @@ pub(crate) fn pt_round(
     // --- 2. Stores: base.field = src, one term per body literal. ---
     if pt_grew {
         let st = fp.rule("stores", || {
-            // Δ(base) resolved first, then the full src side.
-            let via_new_base = f
-                .stores
-                .compose(&[f.base], &pt_base_new, &[f.var])?
-                .compose(&[f.src], pt.current(), &[f.var])?;
             if pt_new_is_all {
-                return Ok(via_new_base);
+                // Δ(base) resolved first, then the full src side.
+                return f
+                    .stores
+                    .compose(&[f.base], &pt_base_new, &[f.var])?
+                    .compose(&[f.src], pt.current(), &[f.var]);
             }
-            // Δ(src) resolved first, then the full base side.
-            let via_new_src = f
-                .stores
-                .compose(&[f.src], &pt_new, &[f.var])?
-                .compose(&[f.base], &pt_base_full, &[f.var])?;
-            via_new_base.union(&via_new_src)
+            // Two independent chains — Δ(base) then full src, and Δ(src)
+            // then full base. Each two-compose chain is sequential, but
+            // the chains only depend on last round's state, so each
+            // *stage* is one concurrent kernel batch across both chains.
+            let stage1 = Relation::compose_batch(&[
+                ComposeJob {
+                    left: &f.stores,
+                    left_attrs: &[f.base],
+                    right: &pt_base_new,
+                    right_attrs: &[f.var],
+                },
+                ComposeJob {
+                    left: &f.stores,
+                    left_attrs: &[f.src],
+                    right: &pt_new,
+                    right_attrs: &[f.var],
+                },
+            ])?;
+            let stage2 = Relation::compose_batch(&[
+                ComposeJob {
+                    left: &stage1[0],
+                    left_attrs: &[f.src],
+                    right: pt.current(),
+                    right_attrs: &[f.var],
+                },
+                ComposeJob {
+                    left: &stage1[1],
+                    left_attrs: &[f.base],
+                    right: &pt_base_full,
+                    right_attrs: &[f.var],
+                },
+            ])?;
+            stage2[0].union(&stage2[1])
         })?;
         field_pt.stage(&st)?;
     }
@@ -412,18 +454,43 @@ pub(crate) fn pt_round(
     // --- 3. Loads: dst = base.field, one term per body literal. ---
     let loads_changed = if pt_grew || field_pt.has_delta() {
         let ld = fp.rule("loads", || {
-            let via_new_base = f
-                .loads
-                .compose(&[f.base], &pt_base_new, &[f.var])?
-                .compose(&[f.baseobj, f.field], field_pt.current(), &[f.baseobj, f.field])?;
             let combined = if pt_new_is_all {
-                via_new_base
+                f.loads
+                    .compose(&[f.base], &pt_base_new, &[f.var])?
+                    .compose(&[f.baseobj, f.field], field_pt.current(), &[f.baseobj, f.field])?
             } else {
-                let via_new_field = f
-                    .loads
-                    .compose(&[f.field], field_pt.delta(), &[f.field])?
-                    .compose(&[f.base, f.baseobj], &pt_base_full, &[f.var, f.baseobj])?;
-                via_new_base.union(&via_new_field)?
+                // As with stores: two independent chains, batched one
+                // stage at a time so both relational products of a stage
+                // share the kernel.
+                let stage1 = Relation::compose_batch(&[
+                    ComposeJob {
+                        left: &f.loads,
+                        left_attrs: &[f.base],
+                        right: &pt_base_new,
+                        right_attrs: &[f.var],
+                    },
+                    ComposeJob {
+                        left: &f.loads,
+                        left_attrs: &[f.field],
+                        right: field_pt.delta(),
+                        right_attrs: &[f.field],
+                    },
+                ])?;
+                let stage2 = Relation::compose_batch(&[
+                    ComposeJob {
+                        left: &stage1[0],
+                        left_attrs: &[f.baseobj, f.field],
+                        right: field_pt.current(),
+                        right_attrs: &[f.baseobj, f.field],
+                    },
+                    ComposeJob {
+                        left: &stage1[1],
+                        left_attrs: &[f.base, f.baseobj],
+                        right: &pt_base_full,
+                        right_attrs: &[f.var, f.baseobj],
+                    },
+                ])?;
+                stage2[0].union(&stage2[1])?
             };
             combined
                 .rename(f.dst, f.var)?

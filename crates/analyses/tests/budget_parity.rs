@@ -1,0 +1,108 @@
+//! Budget-trip parity between the sequential and parallel kernels: a
+//! given [`Budget`] must trip the *same typed error* at the *same
+//! configured limits* regardless of thread count. The degradation story
+//! (degradation.rs) relies on this — the driver's fallback decision
+//! inspects the error variant, so a kernel that reported `Deadline`
+//! where the sequential path reports `StepLimit` would degrade
+//! differently depending on `JEDD_THREADS`.
+//!
+//! The *dynamic* fields of a trip (steps taken, live nodes seen) are
+//! allowed to differ — workers charge steps in flush-sized batches and
+//! the shared table's occupancy depends on scheduling — but the variant
+//! and the echoed limits must match the sequential run exactly.
+
+use jedd_analyses::facts::Facts;
+use jedd_analyses::pointsto::{self, CallGraphMode};
+use jedd_analyses::synth::Benchmark;
+use jedd_bdd::{BddError, Budget, CancelToken};
+use jedd_core::{JeddError, Strategy};
+
+/// Runs the points-to analysis on the Tiny benchmark with `budget`
+/// installed and the parallel cutoff forced low, returning the outcome.
+fn run(threads: usize, budget: Budget) -> Result<(), JeddError> {
+    let p = Benchmark::Tiny.generate();
+    let facts = Facts::load(&p).expect("fact loading is unbudgeted");
+    let mgr = facts.u.bdd_manager();
+    mgr.set_threads(threads);
+    mgr.set_par_cutoff(2);
+    facts.u.set_budget(budget);
+    pointsto::analyze_with(&facts, CallGraphMode::OnTheFly, Strategy::SemiNaive).map(|_| ())
+}
+
+fn cause(r: Result<(), JeddError>) -> (&'static str, BddError) {
+    match r {
+        Err(JeddError::ResourceExhausted { op, cause, .. }) => (op, cause),
+        Err(e) => panic!("expected ResourceExhausted, got {e}"),
+        Ok(()) => panic!("a starved budget must trip"),
+    }
+}
+
+#[test]
+fn step_limit_trips_identically_across_thread_counts() {
+    let (op1, cause1) = cause(run(1, Budget::unlimited().with_max_steps(10)));
+    let (op4, cause4) = cause(run(4, Budget::unlimited().with_max_steps(10)));
+    assert!(
+        matches!(cause1, BddError::StepLimit { limit: 10, .. }),
+        "sequential: {cause1}"
+    );
+    assert!(
+        matches!(cause4, BddError::StepLimit { limit: 10, .. }),
+        "parallel: {cause4}"
+    );
+    assert_eq!(op1, op4, "both kernels must trip in the same relational op");
+}
+
+#[test]
+fn node_limit_trips_identically_across_thread_counts() {
+    // A limit below what the fact base already occupies cannot be
+    // recovered by the GC/reorder ladder on either path.
+    let (op1, cause1) = cause(run(1, Budget::unlimited().with_max_live_nodes(16)));
+    let (op4, cause4) = cause(run(4, Budget::unlimited().with_max_live_nodes(16)));
+    assert!(
+        matches!(cause1, BddError::NodeLimit { limit: 16, .. }),
+        "sequential: {cause1}"
+    );
+    assert!(
+        matches!(cause4, BddError::NodeLimit { limit: 16, .. }),
+        "parallel: {cause4}"
+    );
+    assert_eq!(op1, op4, "both kernels must trip in the same relational op");
+}
+
+#[test]
+fn cancellation_trips_identically_across_thread_counts() {
+    for threads in [1, 4] {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited()
+            // Probe the token on every step, not every 1024th.
+            .with_max_steps(u64::MAX)
+            .with_cancel(token);
+        let (_, c) = cause(run(threads, budget));
+        assert_eq!(c, BddError::Cancelled, "threads={threads}");
+    }
+}
+
+#[test]
+fn expired_deadline_trips_identically_across_thread_counts() {
+    for threads in [1, 4] {
+        let budget = Budget::unlimited()
+            // Probe the clock on every step.
+            .with_max_steps(u64::MAX)
+            .with_timeout(std::time::Duration::ZERO);
+        let (_, c) = cause(run(threads, budget));
+        assert_eq!(c, BddError::Deadline, "threads={threads}");
+    }
+}
+
+#[test]
+fn generous_budget_succeeds_at_every_thread_count() {
+    for threads in [1, 4] {
+        let budget = Budget::unlimited()
+            .with_max_steps(100_000_000)
+            .with_max_live_nodes(10_000_000);
+        run(threads, budget).unwrap_or_else(|e| {
+            panic!("threads={threads}: a generous budget must not trip, got {e}")
+        });
+    }
+}

@@ -1,9 +1,11 @@
-//! Determinism of the whole points-to analysis under the parallel apply
-//! engine: the same program analysed at `JEDD_THREADS` = 1, 2 and 4 must
-//! produce tuple-identical `pt`/`cg` relations, the same live node count
-//! after a full collection, and — for any two thread counts >= 2 —
-//! bit-identical node ids. The semi-naive engine must also keep agreeing
-//! with the naive oracle when both run on the parallel kernel.
+//! Determinism of the whole points-to analysis under the parallel
+//! kernel: the same program analysed at `JEDD_THREADS` = 1, 2, 4 and 8
+//! must produce tuple-identical `pt`/`cg`/`field_pt` relations and the
+//! same live node count after a full collection. Node *ids* are only
+//! promised at threads = 1 — the shared concurrent unique table hands
+//! out fresh ids in CAS order — so the cross-thread-count comparison is
+//! over tuples, never raw ids. The semi-naive engine must also keep
+//! agreeing with the naive oracle when both run on the parallel kernel.
 
 use jedd_analyses::facts::Facts;
 use jedd_analyses::pointsto::{self, CallGraphMode, PointsTo};
@@ -35,51 +37,46 @@ fn tuples(r: &jedd_core::Relation) -> BTreeSet<Vec<u64>> {
 
 #[test]
 fn pointsto_identical_across_thread_counts() {
-    let r1 = analyse(1, Strategy::SemiNaive);
-    let r2 = analyse(2, Strategy::SemiNaive);
-    let r4 = analyse(4, Strategy::SemiNaive);
+    let base = analyse(1, Strategy::SemiNaive);
+    let runs: Vec<(usize, Run)> = [2, 4, 8]
+        .into_iter()
+        .map(|t| (t, analyse(t, Strategy::SemiNaive)))
+        .collect();
     // Semantic determinism across ALL thread counts: identical tuples.
-    for (a, b, name) in [
-        (&r1.result.pt, &r2.result.pt, "pt 1v2"),
-        (&r1.result.pt, &r4.result.pt, "pt 1v4"),
-        (&r1.result.cg, &r2.result.cg, "cg 1v2"),
-        (&r1.result.cg, &r4.result.cg, "cg 1v4"),
-        (&r1.result.field_pt, &r4.result.field_pt, "field_pt 1v4"),
-    ] {
-        assert_eq!(tuples(a), tuples(b), "{name}");
+    let want_pt = tuples(&base.result.pt);
+    let want_cg = tuples(&base.result.cg);
+    let want_field = tuples(&base.result.field_pt);
+    for (t, run) in &runs {
+        assert_eq!(want_pt, tuples(&run.result.pt), "pt 1v{t}");
+        assert_eq!(want_cg, tuples(&run.result.cg), "cg 1v{t}");
+        assert_eq!(want_field, tuples(&run.result.field_pt), "field_pt 1v{t}");
+        assert_eq!(base.result.iterations, run.result.iterations, "rounds 1v{t}");
     }
-    assert_eq!(r1.result.iterations, r2.result.iterations);
-    assert_eq!(r1.result.iterations, r4.result.iterations);
-
-    // Bit-for-bit determinism between thread counts >= 2: the parallel
-    // engine mints identical node ids regardless of worker count.
-    assert_eq!(r2.result.pt.bdd().raw_id(), r4.result.pt.bdd().raw_id());
-    assert_eq!(r2.result.cg.bdd().raw_id(), r4.result.cg.bdd().raw_id());
-    assert_eq!(
-        r2.result.field_pt.bdd().raw_id(),
-        r4.result.field_pt.bdd().raw_id()
-    );
 
     // The engine must actually have run in parallel for this to mean
     // anything.
-    let s4 = r4.facts.u.bdd_manager().kernel_stats();
-    assert!(s4.par_ops > 0, "cutoff 64 should engage the parallel engine");
+    for (t, run) in &runs {
+        let s = run.facts.u.bdd_manager().kernel_stats();
+        assert!(
+            s.par_ops > 0,
+            "cutoff 64 should engage the parallel engine at {t} threads"
+        );
+    }
     assert_eq!(
-        r1.facts.u.bdd_manager().kernel_stats().par_ops,
+        base.facts.u.bdd_manager().kernel_stats().par_ops,
         0,
         "threads=1 must stay on the sequential path"
     );
 
     // After a full collection only the canonical DAGs of the live
     // functions remain — identical for every thread count.
-    for run in [&r1, &r2, &r4] {
+    base.facts.u.bdd_manager().gc();
+    let live1 = base.facts.u.bdd_manager().live_nodes();
+    for (t, run) in &runs {
         run.facts.u.bdd_manager().gc();
+        let live = run.facts.u.bdd_manager().live_nodes();
+        assert_eq!(live1, live, "live nodes after gc, threads 1 vs {t}");
     }
-    let live1 = r1.facts.u.bdd_manager().live_nodes();
-    let live2 = r2.facts.u.bdd_manager().live_nodes();
-    let live4 = r4.facts.u.bdd_manager().live_nodes();
-    assert_eq!(live1, live2, "live nodes after gc, threads 1 vs 2");
-    assert_eq!(live1, live4, "live nodes after gc, threads 1 vs 4");
 }
 
 #[test]

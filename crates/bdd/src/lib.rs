@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod budget;
 mod count;
 mod cube;
@@ -59,6 +60,7 @@ pub mod rng;
 mod table;
 mod zdd;
 
+pub use batch::{BatchTerm, BddBatch};
 pub use budget::{BddError, Budget, CancelToken, FailPlan, PermutationFlaw};
 pub use manager::{Bdd, BddManager, ExportedNode};
 pub use node::{NodeId, Permutation};

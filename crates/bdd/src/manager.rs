@@ -36,7 +36,7 @@ use std::rc::Rc;
 /// ```
 #[derive(Clone)]
 pub struct BddManager {
-    inner: Rc<RefCell<Inner>>,
+    pub(crate) inner: Rc<RefCell<Inner>>,
 }
 
 impl fmt::Debug for BddManager {
@@ -54,10 +54,10 @@ impl fmt::Debug for BddManager {
 /// fires again, run a sifting reorder and retry once more; only then fail.
 /// Other failures (step limit, deadline, cancellation, injected faults) are
 /// returned immediately — retrying cannot help them.
-pub(crate) fn run_governed(
+pub(crate) fn run_governed<T>(
     mgr: &Rc<RefCell<Inner>>,
-    mut op: impl FnMut(&mut Inner) -> Result<u32, BddError>,
-) -> Result<u32, BddError> {
+    mut op: impl FnMut(&mut Inner) -> Result<T, BddError>,
+) -> Result<T, BddError> {
     let mut attempt = |inner: &mut Inner| {
         inner.begin_op();
         op(inner)
@@ -164,18 +164,28 @@ impl BddManager {
         self.inner.borrow_mut().set_fail_plan(plan);
     }
 
-    /// Sets the worker-thread count of the parallel apply engine. `1`
-    /// (the default, or the `JEDD_THREADS` environment variable) keeps
-    /// every operation on the sequential path; `n >= 2` routes large
-    /// top-level operations (`and`/`or`/`diff`, `exists`, `and_exists`,
-    /// `replace`) through a pool of `n` workers. Results are identical for
-    /// every thread count; node ids are identical across all counts >= 2
-    /// (see `DESIGN.md` §9 for the determinism argument).
+    /// Sets the requested worker-thread count of the parallel apply
+    /// engine. `1` (the default, or the `JEDD_THREADS` environment
+    /// variable) keeps every operation on the sequential path; `n >= 2`
+    /// routes large top-level operations (`and`/`or`/`diff`, `exists`,
+    /// `and_exists`, `replace`) and [`BddBatch`](crate::BddBatch) runs
+    /// through a pool of workers; `0` means "auto" — use the hardware
+    /// parallelism. The *effective* worker count is always clamped to
+    /// `std::thread::available_parallelism()` (oversubscribing adds
+    /// contention, never speed), and clamp events are recorded in
+    /// [`KernelStats::par_thread_clamps`].
+    ///
+    /// The determinism contract: results are identical *functions* (and
+    /// therefore identical relations/tuples) at every thread count.
+    /// Node *ids* are deterministic only at `threads = 1`; parallel runs
+    /// hand out fresh ids in shared-table insertion order, which depends
+    /// on scheduling (see `DESIGN.md` §9).
     pub fn set_threads(&self, n: usize) {
         self.inner.borrow_mut().set_par_threads(n);
     }
 
-    /// The configured worker-thread count (see [`BddManager::set_threads`]).
+    /// The resolved worker-thread count (see [`BddManager::set_threads`]):
+    /// a request of `0` reads back as the hardware parallelism.
     pub fn threads(&self) -> usize {
         self.inner.borrow().par_threads()
     }

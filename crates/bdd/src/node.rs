@@ -59,12 +59,6 @@ pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 pub(crate) const FREE_LEVEL: u32 = u32::MAX - 1;
 /// Sentinel for "no node" in intrusive lists.
 pub(crate) const NIL: u32 = u32::MAX;
-/// Tag bit distinguishing ids minted in a parallel operation's sharded
-/// scratch table from master-arena ids. Master ids never reach bit 31 (an
-/// arena of 2^31 nodes is far beyond addressable memory), so the bit is
-/// free to carry the address space. The remaining 31 bits encode the shard
-/// index and the slot within the shard (see `par.rs`).
-pub(crate) const SCRATCH_TAG: u32 = 1 << 31;
 
 /// A single decision node stored in the arena.
 ///

@@ -1,73 +1,78 @@
 //! The parallel apply engine: hot top-level operations (`and`/`or`/`diff`,
-//! `exists`, `and_exists`, `replace`) run on a work-pool of `JEDD_THREADS`
-//! workers over a **sharded scratch unique table** and a **striped shared
-//! operation cache**, then import their results into the master arena in a
-//! deterministic sequential pass.
+//! `exists`, `and_exists`, `replace`) run on a work-pool of worker threads
+//! that hash-cons **master node ids directly** into a shared concurrent
+//! unique table. There is no scratch address space and no sequential
+//! import replay — the serial bottleneck of the previous engine.
 //!
-//! # The three phases
+//! # Architecture
 //!
-//! 1. **Split (sequential, `&mut Inner`).** The top of the operation's
-//!    recursion tree is unrolled for up to [`SPLIT_DEPTH`] levels, exactly
-//!    mirroring the sequential recursion's cofactoring, producing a *plan*:
-//!    an `mk`-combine tree whose leaves are deduplicated subproblems
-//!    ("tasks"). Splitting stops above the first quantified level
-//!    (`exists`/`and_exists`) or the first permuted level (`replace`), so
-//!    every combine is a plain `mk` — no OR-combines are ever needed in the
-//!    master phase.
-//! 2. **Work pool (parallel, `&Inner`).** Tasks are dealt round-robin into
-//!    per-worker deques; idle workers steal from the back of other deques.
-//!    Workers run the standard recursions, reading the master table
-//!    immutably and allocating result nodes in a shared scratch table of
-//!    [`NUM_SHARDS`] mutex-protected shards (the shard is selected by the
-//!    node hash, so contention is spread). Memoisation goes through a
-//!    worker-private L1 cache backed by a shared striped L2 cache, so
-//!    workers share subresults across tasks. Budget/cancel checks run on
-//!    per-worker counters flushed to a shared governor every
-//!    [`Budget::CHECK_INTERVAL`] steps.
-//! 3. **Import (sequential, `&mut Inner`).** After all workers have joined,
-//!    the plan is emitted in canonical order (low child before high child),
-//!    translating scratch nodes into master nodes with ordinary `mk` calls.
+//! A parallel operation snapshots the master arena (frozen for its
+//! duration) and builds a [`Kernel`]: a lock-free node allocator that
+//! reserves ids `base + i` above the arena (`base = nodes.len()`), a
+//! sharded concurrent unique table over the *new* triples, and a striped
+//! shared op cache fronted by per-worker L1s. Worker `mk` ([`Worker::cmk`])
+//! first probes the frozen master table lock-free (master triples keep
+//! their existing ids), then dedups against the other workers through the
+//! shard map, and only then reserves a fresh id with a CAS on the
+//! allocation counter. At the join, the reserved block is committed to the
+//! master arena in id order ([`Inner::commit_par_nodes`]) — an append, not
+//! a replay: no re-hashing of children, no memo table, no `mk` calls.
+//!
+//! Two drivers sit on top of the kernel:
+//!
+//! - **Split tasks** ([`Inner::par_run`]): one big operation is unrolled
+//!   for [`SPLIT_DEPTH`] levels into deduplicated subproblems, dealt into
+//!   per-worker deques with work stealing, and recombined with plain `mk`
+//!   calls at the end.
+//! - **Batch expressions** ([`Inner::batch_run`]): many *independent*
+//!   top-level operations (the delta rules of one fixpoint round) are
+//!   evaluated as a dependency DAG, each expression a unit of work, so
+//!   multi-core helps even when single operations are small.
 //!
 //! # Determinism
 //!
-//! Master-table mutations happen only in phases 1 and 3, which are
-//! sequential and depend only on the operands' structure — never on thread
-//! count or scheduling. The scratch results workers hand to phase 3 are
-//! canonical ROBDDs of deterministic boolean functions, and the import
-//! walks them in a fixed order, so **the master node ids produced are
-//! identical for every thread count >= 2**. Relative to the sequential
-//! path (threads = 1) the ids may differ — the sequential recursion interns
-//! its intermediate results in the master arena while the parallel engine
-//! keeps them in scratch — but the *functions* are identical, and after a
-//! full GC the live node set (the canonical DAG of the live functions) is
-//! identical too. Cache contents never influence results, only speed:
-//! every cached value is the hash-consed canonical node of its key.
+//! Each boolean function keeps exactly **one** id: master nodes only ever
+//! reference ids below `base`, so the frozen-table probe fires exactly
+//! when a triple could already exist in the master arena, and the shard
+//! map (the shard is picked from the triple hash, deterministically)
+//! dedups all new triples. Which *fresh* id a new triple receives,
+//! however, depends on the CAS interleaving — so the contract is:
+//! **identical functions (identical relations/tuples) at any thread
+//! count**, with node-id determinism retained at `threads = 1` (the
+//! sequential path). The BTreeSet/ZDD differential fuzzer and the
+//! Naive-strategy oracle in `jedd-core` are the safety net for this
+//! contract.
+//!
+//! # Governor accounting
+//!
+//! Worker step counters flush to a shared governor every
+//! [`Budget::CHECK_INTERVAL`] steps (step/deadline/cancel parity with the
+//! sequential `step()`). The node limit is enforced at the *reservation*
+//! point in `cmk` — the exact analogue of the sequential `mk`, which
+//! checks `live_nodes() >= limit` before allocating — using
+//! `master_live + reserved`. On any trip the commit is skipped wholesale,
+//! leaving the master table untouched, so the recovery ladder can GC and
+//! retry exactly as it does for a failed sequential operation.
 //!
 //! # GC safepoint protocol
 //!
-//! Collections only ever run between top-level operations (`maybe_gc`, the
-//! recovery ladder, or an explicit `gc()`), and a parallel operation joins
-//! all its workers before returning. The join *is* the quiescence point:
-//! when a GC runs, no worker can hold a reference into the arena, so the
-//! stop-the-world property of the seed collector — including the op-cache
-//! survival semantics of the sweep — is preserved without any per-node
-//! synchronisation. Scratch tables are operation-local and dropped (or
-//! fully imported) before any GC can observe them.
+//! Collections only ever run between top-level operations, and a parallel
+//! operation joins all its workers before returning. The join *is* the
+//! quiescence point: when a GC runs, no worker holds a reference into the
+//! arena. The kernel (allocator, shard maps, caches) is operation-local
+//! and dropped — or fully committed — before any GC can observe it.
 
-use crate::budget::{BddError, Budget, CancelToken};
-use crate::node::{NIL, SCRATCH_TAG};
+use crate::budget::{BddError, Budget, CancelToken, PermutationFlaw};
+use crate::node::{Permutation, NIL};
 use crate::ops::BinOp;
 use crate::table::{triple_hash, CacheOp, Inner};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Number of scratch-table shards and cache stripes (a power of two).
+/// Number of unique-table shards and cache stripes (a power of two).
 const NUM_SHARDS: usize = 64;
-/// Bits of a scratch id holding the slot; the shard index sits above.
-const SHARD_SHIFT: u32 = 25;
-const SLOT_MASK: u32 = (1 << SHARD_SHIFT) - 1;
 /// Levels of the recursion tree unrolled by the split phase: at most
 /// `2^SPLIT_DEPTH` leaf paths, deduplicated into tasks. This is the
 /// subproblem granularity cutoff — everything below a task stays
@@ -78,143 +83,70 @@ const SPLIT_DEPTH: u32 = 8;
 const STRIPE_SLOTS: usize = 1 << 12;
 /// Direct-mapped slots of each worker's private L1 cache.
 const L1_SLOTS: usize = 1 << 12;
-/// Initial buckets per scratch shard (grows by doubling under load).
-const SHARD_BUCKETS: usize = 256;
-
-#[inline]
-fn is_scratch(id: u32) -> bool {
-    id & SCRATCH_TAG != 0
-}
-
-#[inline]
-fn scratch_id(shard: usize, slot: usize) -> u32 {
-    debug_assert!(slot <= SLOT_MASK as usize, "scratch shard overflow");
-    SCRATCH_TAG | ((shard as u32) << SHARD_SHIFT) | slot as u32
-}
-
-#[inline]
-fn scratch_loc(id: u32) -> (usize, usize) {
-    (
-        ((id >> SHARD_SHIFT) as usize) & (NUM_SHARDS - 1),
-        (id & SLOT_MASK) as usize,
-    )
-}
+/// log2 of the node-allocator segment size.
+const SEG_BITS: usize = 16;
+/// Nodes per allocator segment.
+const SEG_SIZE: usize = 1 << SEG_BITS;
+/// Maximum segments per operation (2^28 new nodes — far above any real
+/// single-operation result; the arena itself holds at most 2^32 ids).
+const SEGMENTS: usize = 1 << 12;
 
 #[inline]
 fn cache_hash(op: CacheOp, a: u32, b: u32, c: u32) -> u64 {
     triple_hash(a ^ ((op as u32) << 24), b, c)
 }
 
-/// A node in a scratch shard. Children may live in the master arena
-/// (untagged) or any scratch shard (tagged); they are opaque to the shard.
-#[derive(Clone, Copy)]
-struct SNode {
-    level: u32,
-    low: u32,
-    high: u32,
-    /// Intra-shard bucket chain (slot index, `NIL` ends the chain).
-    next: u32,
+/// The lock-free node allocator of one parallel operation. Workers
+/// reserve ids `base + i` with a CAS on `count` and publish the triple
+/// into a lazily initialised segment; the commit phase reads the triples
+/// back in reservation order. Ids above `base` are only ever *shared*
+/// through synchronising channels (the shard mutexes, the striped cache
+/// mutexes, `Release`/`Acquire` result slots, or the final join), so the
+/// relaxed per-word atomics are never read before the writing thread's
+/// stores are visible.
+struct NodeAlloc {
+    /// Master arena length at operation entry; the first fresh id.
+    base: u32,
+    /// Nodes reserved so far.
+    count: AtomicUsize,
+    /// Triple storage: `(level, low, high)` interleaved, 3 words per node.
+    segs: Vec<OnceLock<Box<[AtomicU32]>>>,
 }
 
-/// One lock-protected shard of the scratch unique table.
-struct ScratchShard {
-    nodes: Vec<SNode>,
-    buckets: Vec<u32>,
-    mask: usize,
-}
-
-impl ScratchShard {
-    fn new() -> ScratchShard {
-        ScratchShard {
-            nodes: Vec::new(),
-            buckets: vec![NIL; SHARD_BUCKETS],
-            mask: SHARD_BUCKETS - 1,
+impl NodeAlloc {
+    fn new(base: u32) -> NodeAlloc {
+        NodeAlloc {
+            base,
+            count: AtomicUsize::new(0),
+            segs: (0..SEGMENTS).map(|_| OnceLock::new()).collect(),
         }
     }
 
-    /// Finds or inserts `(level, low, high)`; returns the slot and whether
-    /// a node was created. Runs under the shard lock.
-    fn find_or_insert(&mut self, level: u32, low: u32, high: u32, h: u64) -> (u32, bool) {
-        let b = h as usize & self.mask;
-        let mut cur = self.buckets[b];
-        while cur != NIL {
-            let n = &self.nodes[cur as usize];
-            if n.level == level && n.low == low && n.high == high {
-                return (cur, false);
-            }
-            cur = n.next;
-        }
-        let slot = self.nodes.len() as u32;
-        self.nodes.push(SNode {
-            level,
-            low,
-            high,
-            next: self.buckets[b],
+    fn write(&self, i: usize, level: u32, low: u32, high: u32) {
+        let seg = i >> SEG_BITS;
+        assert!(seg < SEGMENTS, "parallel node allocator overflow");
+        let s = self.segs[seg].get_or_init(|| {
+            (0..SEG_SIZE * 3)
+                .map(|_| AtomicU32::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
         });
-        self.buckets[b] = slot;
-        if self.nodes.len() * 2 > self.buckets.len() * 3 {
-            self.grow();
-        }
-        (slot, true)
+        let off = (i & (SEG_SIZE - 1)) * 3;
+        s[off].store(level, Ordering::Relaxed);
+        s[off + 1].store(low, Ordering::Relaxed);
+        s[off + 2].store(high, Ordering::Relaxed);
     }
 
-    /// Doubles the bucket array and rehashes every node, keeping the load
-    /// factor bounded under concurrent growth.
-    fn grow(&mut self) {
-        let new_len = self.buckets.len() * 2;
-        self.buckets.clear();
-        self.buckets.resize(new_len, NIL);
-        self.mask = new_len - 1;
-        for i in 0..self.nodes.len() {
-            let n = self.nodes[i];
-            let b = triple_hash(n.level, n.low, n.high) as usize & self.mask;
-            self.nodes[i].next = self.buckets[b];
-            self.buckets[b] = i as u32;
-        }
-    }
-}
-
-/// The sharded scratch unique table shared by all workers of one parallel
-/// operation. The shard is picked from high hash bits (the bucket within a
-/// shard uses the low bits), so concurrent `mk`s spread over the locks.
-struct ScratchTable {
-    shards: Vec<Mutex<ScratchShard>>,
-}
-
-impl ScratchTable {
-    fn new() -> ScratchTable {
-        ScratchTable {
-            shards: (0..NUM_SHARDS).map(|_| Mutex::new(ScratchShard::new())).collect(),
-        }
-    }
-
-    /// Hash-consing find-or-insert across the shards. The reduction rule
-    /// (`low == high`) is applied by the caller.
-    fn mk(&self, level: u32, low: u32, high: u32) -> (u32, bool) {
-        let h = triple_hash(level, low, high);
-        let shard_idx = (h >> 40) as usize & (NUM_SHARDS - 1);
-        let mut shard = self.shards[shard_idx].lock().unwrap();
-        let (slot, created) = shard.find_or_insert(level, low, high, h);
-        (scratch_id(shard_idx, slot as usize), created)
-    }
-
-    /// Reads a scratch node's triple (brief shard lock). Only quantifier
-    /// and replace recursions ever read scratch nodes — the pure binop
-    /// recursion descends master operands exclusively.
-    fn get(&self, id: u32) -> (u32, u32, u32) {
-        let (shard_idx, slot) = scratch_loc(id);
-        let shard = self.shards[shard_idx].lock().unwrap();
-        let n = shard.nodes[slot];
-        (n.level, n.low, n.high)
-    }
-
-    /// Unwraps the shards after all workers joined, for lock-free reads
-    /// during the import phase.
-    fn into_shards(self) -> Vec<ScratchShard> {
-        self.shards
-            .into_iter()
-            .map(|m| m.into_inner().unwrap())
-            .collect()
+    fn read(&self, i: usize) -> (u32, u32, u32) {
+        let s = self.segs[i >> SEG_BITS]
+            .get()
+            .expect("reading an unpublished parallel node");
+        let off = (i & (SEG_SIZE - 1)) * 3;
+        (
+            s[off].load(Ordering::Relaxed),
+            s[off + 1].load(Ordering::Relaxed),
+            s[off + 2].load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -237,7 +169,7 @@ impl CEntry {
     };
 }
 
-/// The striped shared operation cache: `NUM_SHARDS` stripes of
+/// The striped shared operation cache: [`NUM_SHARDS`] stripes of
 /// direct-mapped entries, each behind its own mutex. Sharing results
 /// across workers is what keeps the parallel engine's total work close to
 /// the sequential `O(|f||g|)` bound when subproblems overlap.
@@ -255,7 +187,9 @@ impl ParCache {
     }
 
     fn get(&self, h: u64, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
-        let stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)].lock().unwrap();
+        let stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)]
+            .lock()
+            .unwrap();
         let e = stripe[h as usize & (STRIPE_SLOTS - 1)];
         if e.op == op && e.a == a && e.b == b && e.c == c {
             Some(e.result)
@@ -265,7 +199,9 @@ impl ParCache {
     }
 
     fn put(&self, h: u64, e: CEntry) {
-        let mut stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)].lock().unwrap();
+        let mut stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)]
+            .lock()
+            .unwrap();
         stripe[h as usize & (STRIPE_SLOTS - 1)] = e;
     }
 }
@@ -277,14 +213,15 @@ struct SharedGov {
     active: bool,
     abort: AtomicBool,
     /// Recursion steps of the current top-level op (master steps taken so
-    /// far seed the counter; workers add their flushed batches).
+    /// far seed the counter; workers add their flushed batches). Batch
+    /// expressions use per-expression counters instead — each expression
+    /// mirrors a sequential top-level operation's fresh counter.
     steps: AtomicU64,
     max_steps: Option<u64>,
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     node_limit: Option<usize>,
     master_live: usize,
-    scratch_nodes: AtomicUsize,
     error: Mutex<Option<BddError>>,
 }
 
@@ -300,7 +237,6 @@ impl SharedGov {
             cancel: budget.cancel,
             node_limit: budget.max_live_nodes,
             master_live: inner.live_nodes(),
-            scratch_nodes: AtomicUsize::new(0),
             error: Mutex::new(None),
         }
     }
@@ -327,6 +263,31 @@ impl SharedGov {
     }
 }
 
+/// All shared state of one parallel operation: the node allocator, the
+/// sharded unique table over the new triples, the striped op cache and
+/// the governor. Deliberately holds no borrow of [`Inner`], so the owner
+/// regains `&mut self` for the commit after the worker scope joins.
+/// One shard of the fresh-node unique table: `(level, low, high)` → id.
+type FreshShard = Mutex<HashMap<(u32, u32, u32), u32>>;
+
+struct Kernel {
+    alloc: NodeAlloc,
+    shards: Vec<FreshShard>,
+    cache: ParCache,
+    gov: SharedGov,
+}
+
+impl Kernel {
+    fn new(inner: &Inner) -> Kernel {
+        Kernel {
+            alloc: NodeAlloc::new(inner.nodes.len() as u32),
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            cache: ParCache::new(),
+            gov: SharedGov::new(inner),
+        }
+    }
+}
+
 /// What a parallel operation computes; carried by every worker.
 #[derive(Clone, Copy)]
 pub(crate) enum Job<'p> {
@@ -345,7 +306,7 @@ pub(crate) enum Job<'p> {
     /// Variable replacement under an interned permutation.
     Replace {
         /// The permutation (borrowed from the caller).
-        perm: &'p crate::node::Permutation,
+        perm: &'p Permutation,
         /// Its interned id, the `CacheOp::Replace` cache key.
         pid: u32,
     },
@@ -364,7 +325,7 @@ pub(crate) enum ParAttempt {
 enum PlanNode {
     /// Resolved during the split (terminal case or trivial operand).
     Done(u32),
-    /// Index into the task list; result imported from scratch.
+    /// Index into the task list; the worker's result is the master id.
     Task(u32),
     /// Combine children with `mk` at this level (canonical order: lo, hi).
     Mk { level: u32, lo: u32, hi: u32 },
@@ -459,18 +420,6 @@ fn expand(
     (plan.nodes.len() - 1) as u32
 }
 
-/// Everything a worker borrows for the duration of the parallel phase.
-struct Shared<'a, 'p> {
-    inner: &'a Inner,
-    job: Job<'p>,
-    tasks: &'a [(u32, u32)],
-    scratch: &'a ScratchTable,
-    cache: &'a ParCache,
-    gov: &'a SharedGov,
-    deques: &'a [Mutex<VecDeque<u32>>],
-    results: &'a [AtomicU32],
-}
-
 /// Per-worker counters, merged into [`crate::KernelStats`] after the join.
 /// Each worker's `lookups >= hits` invariant holds locally, so it holds
 /// for the merged totals too — no interleaving can undercount lookups.
@@ -480,8 +429,8 @@ struct WorkerStats {
     lookups: u64,
     hits: u64,
     per_op: [(u64, u64); 10],
-    scratch_created: u64,
-    scratch_hits: u64,
+    created: u64,
+    unique_hits: u64,
     steals: u64,
 }
 
@@ -492,49 +441,58 @@ impl WorkerStats {
             lookups: 0,
             hits: 0,
             per_op: [(0, 0); 10],
-            scratch_created: 0,
-            scratch_hits: 0,
+            created: 0,
+            unique_hits: 0,
             steals: 0,
         }
     }
 }
 
-struct Worker<'a, 'p> {
-    sh: &'a Shared<'a, 'p>,
+/// One worker's view of the kernel: the frozen master table, the shared
+/// allocator/unique-table/cache, a step counter to flush into (the
+/// governor's op-wide counter for split tasks, a per-expression counter
+/// in batch mode) and the private L1 cache.
+struct Worker<'a> {
+    inner: &'a Inner,
+    k: &'a Kernel,
+    /// Where flushed step batches accumulate for the step-limit check.
+    steps_ctr: &'a AtomicU64,
     stats: WorkerStats,
     l1: Vec<CEntry>,
     /// Steps since the last governor flush.
     pending: u64,
 }
 
-impl<'a, 'p> Worker<'a, 'p> {
-    fn new(sh: &'a Shared<'a, 'p>) -> Worker<'a, 'p> {
+impl<'a> Worker<'a> {
+    fn new(inner: &'a Inner, k: &'a Kernel, steps_ctr: &'a AtomicU64) -> Worker<'a> {
         Worker {
-            sh,
+            inner,
+            k,
+            steps_ctr,
             stats: WorkerStats::new(),
             l1: vec![CEntry::EMPTY; L1_SLOTS],
             pending: 0,
         }
     }
 
-    /// Reads a node triple from either address space. Master reads are
-    /// lock-free; scratch reads take the owning shard's lock briefly.
+    /// Reads a node triple: master ids (below `base`) straight from the
+    /// frozen arena, fresh ids from the operation's allocator.
     #[inline]
     fn node3(&self, id: u32) -> (u32, u32, u32) {
-        if is_scratch(id) {
-            self.sh.scratch.get(id)
-        } else {
-            let inner = self.sh.inner;
+        if id < self.k.alloc.base {
+            let inner = self.inner;
             (inner.level(id), inner.low(id), inner.high(id))
+        } else {
+            self.k.alloc.read((id - self.k.alloc.base) as usize)
         }
     }
 
     #[inline]
     fn level_any(&self, id: u32) -> u32 {
-        if is_scratch(id) {
-            self.sh.scratch.get(id).0
+        if id < self.k.alloc.base {
+            self.inner.level(id)
         } else {
-            self.sh.inner.level(id)
+            self.k.alloc.read((id - self.k.alloc.base) as usize).0
         }
     }
 
@@ -550,11 +508,15 @@ impl<'a, 'p> Worker<'a, 'p> {
         Ok(())
     }
 
-    /// Flushes the pending step batch and probes every limit. An abort
+    /// Flushes the pending step batch and probes the step, cancellation
+    /// and deadline limits — the same comparisons, in the same order, as
+    /// the sequential `Inner::step`. The node limit is *not* probed here:
+    /// the sequential governor only checks it at the allocation point
+    /// (`mk`), and [`Worker::cmk`] is that point for workers. An abort
     /// raised by another worker surfaces as `Cancelled` here; the
     /// authoritative error is whatever the first tripping worker recorded.
     fn flush(&mut self) -> Result<(), BddError> {
-        let gov = self.sh.gov;
+        let gov = &self.k.gov;
         let pending = std::mem::take(&mut self.pending);
         if gov.aborted() {
             return Err(BddError::Cancelled);
@@ -562,7 +524,7 @@ impl<'a, 'p> Worker<'a, 'p> {
         if !gov.active {
             return Ok(());
         }
-        let total = gov.steps.fetch_add(pending, Ordering::Relaxed) + pending;
+        let total = self.steps_ctr.fetch_add(pending, Ordering::Relaxed) + pending;
         if let Some(limit) = gov.max_steps {
             if total > limit {
                 return Err(gov.trip(BddError::StepLimit { steps: total, limit }));
@@ -578,37 +540,60 @@ impl<'a, 'p> Worker<'a, 'p> {
                 return Err(gov.trip(BddError::Deadline));
             }
         }
-        if let Some(limit) = gov.node_limit {
-            let live = gov.master_live + gov.scratch_nodes.load(Ordering::Relaxed);
-            if live >= limit {
-                return Err(gov.trip(BddError::NodeLimit { live, limit }));
-            }
-        }
         Ok(())
     }
 
-    /// Scratch `mk`: reduction rule, then hash-consing in the sharded
-    /// table. Counts allocations against the node budget.
-    fn smk(&mut self, level: u32, low: u32, high: u32) -> Result<u32, BddError> {
+    /// Concurrent `mk`: the reduction rule, a lock-free probe of the
+    /// frozen master table (master nodes only reference ids below `base`,
+    /// so the probe fires exactly when the triple could already exist
+    /// there), then find-or-reserve through the shard map. The node
+    /// budget is enforced before the reservation, mirroring the
+    /// sequential `mk`'s check-before-alloc semantics: the tripped error
+    /// reports `master_live + reserved` as the live count.
+    fn cmk(&mut self, level: u32, low: u32, high: u32) -> Result<u32, BddError> {
         if low == high {
             return Ok(low);
         }
-        let (id, created) = self.sh.scratch.mk(level, low, high);
-        if created {
-            self.stats.scratch_created += 1;
-            let gov = self.sh.gov;
-            let n = gov.scratch_nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        let base = self.k.alloc.base;
+        if low < base && high < base {
+            if let Some(id) = self.inner.lookup_frozen(level, low, high) {
+                self.stats.unique_hits += 1;
+                return Ok(id);
+            }
+        }
+        let h = triple_hash(level, low, high);
+        let mut shard = self.k.shards[(h >> 40) as usize & (NUM_SHARDS - 1)]
+            .lock()
+            .unwrap();
+        if let Some(&id) = shard.get(&(level, low, high)) {
+            self.stats.unique_hits += 1;
+            return Ok(id);
+        }
+        let gov = &self.k.gov;
+        let mut c = self.k.alloc.count.load(Ordering::Relaxed);
+        loop {
             if gov.active {
                 if let Some(limit) = gov.node_limit {
-                    let live = gov.master_live + n;
+                    let live = gov.master_live + c;
                     if live >= limit {
                         return Err(gov.trip(BddError::NodeLimit { live, limit }));
                     }
                 }
             }
-        } else {
-            self.stats.scratch_hits += 1;
+            match self.k.alloc.count.compare_exchange_weak(
+                c,
+                c + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => c = cur,
+            }
         }
+        let id = base + c as u32;
+        self.k.alloc.write(c, level, low, high);
+        shard.insert((level, low, high), id);
+        self.stats.created += 1;
         Ok(id)
     }
 
@@ -624,7 +609,7 @@ impl<'a, 'p> Worker<'a, 'p> {
             self.stats.per_op[op as usize - 1].1 += 1;
             return Some(e.result);
         }
-        if let Some(r) = self.sh.cache.get(h, op, a, b, c) {
+        if let Some(r) = self.k.cache.get(h, op, a, b, c) {
             self.l1[slot] = CEntry { op, a, b, c, result: r };
             self.stats.hits += 1;
             self.stats.per_op[op as usize - 1].1 += 1;
@@ -638,21 +623,12 @@ impl<'a, 'p> Worker<'a, 'p> {
         let h = cache_hash(op, a, b, c);
         let e = CEntry { op, a, b, c, result };
         self.l1[h as usize & (L1_SLOTS - 1)] = e;
-        self.sh.cache.put(h, e);
+        self.k.cache.put(h, e);
     }
 
-    fn run_task(&mut self, key: (u32, u32)) -> Result<u32, BddError> {
-        match self.sh.job {
-            Job::Bin(op) => self.wapply(op, key.0, key.1),
-            Job::Exists { cube } => self.wexists(key.0, cube),
-            Job::AndExists { cube } => self.wand_exists(key.0, key.1, cube),
-            Job::Replace { perm, pid } => self.wreplace(key.0, perm, pid),
-        }
-    }
-
-    /// Bryant apply over mixed master/scratch operands. For pure binop
-    /// tasks the operands are always master nodes; scratch operands only
-    /// appear via the OR-combines of quantifier recursions.
+    /// Bryant apply. Operands may be master ids or (in batch mode, where
+    /// an expression's inputs can be results of earlier expressions)
+    /// fresh ids from this operation's allocator.
     fn wapply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
         if let Some(r) = op.terminal_case(a, b) {
             return Ok(r);
@@ -669,20 +645,20 @@ impl<'a, 'p> Worker<'a, 'p> {
         let (b0, b1) = if lb == m { (blo, bhi) } else { (b, b) };
         let r0 = self.wapply(op, a0, b0)?;
         let r1 = self.wapply(op, a1, b1)?;
-        let r = self.smk(m, r0, r1)?;
+        let r = self.cmk(m, r0, r1)?;
         self.cache_put(op.cache_op(), ka, kb, 0, r);
         Ok(r)
     }
 
-    /// Existential quantification; mirrors `Inner::exists`. `f` and `cube`
-    /// are always master nodes — only the OR of subresults touches scratch.
+    /// Existential quantification; mirrors `Inner::exists`. The cube is
+    /// always a master node (built before the workers start).
     fn wexists(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
         if f <= 1 || cube == 1 {
             return Ok(f);
         }
         self.tick()?;
-        let inner = self.sh.inner;
-        let lf = inner.level(f);
+        let inner = self.inner;
+        let (lf, f0, f1) = self.node3(f);
         let mut c = cube;
         while c != 1 && inner.level(c) < lf {
             c = inner.high(c);
@@ -694,7 +670,6 @@ impl<'a, 'p> Worker<'a, 'p> {
             return Ok(r);
         }
         let lc = inner.level(c);
-        let (f0, f1) = (inner.low(f), inner.high(f));
         let r = if lf == lc {
             let next = inner.high(c);
             let r0 = self.wexists(f0, next)?;
@@ -704,7 +679,7 @@ impl<'a, 'p> Worker<'a, 'p> {
             debug_assert!(lf < lc);
             let r0 = self.wexists(f0, c)?;
             let r1 = self.wexists(f1, c)?;
-            self.smk(lf, r0, r1)?
+            self.cmk(lf, r0, r1)?
         };
         self.cache_put(CacheOp::Exists, f, c, 0, r);
         Ok(r)
@@ -722,9 +697,10 @@ impl<'a, 'p> Worker<'a, 'p> {
             return Ok(1);
         }
         self.tick()?;
-        let inner = self.sh.inner;
+        let inner = self.inner;
         let (f, g) = if f > g { (g, f) } else { (f, g) };
-        let (lf, lg) = (inner.level(f), inner.level(g));
+        let (lf, flo, fhi) = self.node3(f);
+        let (lg, glo, ghi) = self.node3(g);
         let m = lf.min(lg);
         let mut c = cube;
         while c != 1 && inner.level(c) < m {
@@ -736,16 +712,8 @@ impl<'a, 'p> Worker<'a, 'p> {
         if let Some(r) = self.cache_get(CacheOp::AndExists, f, g, c) {
             return Ok(r);
         }
-        let (f0, f1) = if lf == m {
-            (inner.low(f), inner.high(f))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if lg == m {
-            (inner.low(g), inner.high(g))
-        } else {
-            (g, g)
-        };
+        let (f0, f1) = if lf == m { (flo, fhi) } else { (f, f) };
+        let (g0, g1) = if lg == m { (glo, ghi) } else { (g, g) };
         let r = if inner.level(c) == m {
             let next = inner.high(c);
             let r0 = self.wand_exists(f0, g0, next)?;
@@ -758,7 +726,7 @@ impl<'a, 'p> Worker<'a, 'p> {
         } else {
             let r0 = self.wand_exists(f0, g0, c)?;
             let r1 = self.wand_exists(f1, g1, c)?;
-            self.smk(m, r0, r1)?
+            self.cmk(m, r0, r1)?
         };
         self.cache_put(CacheOp::AndExists, f, g, c, r);
         Ok(r)
@@ -766,12 +734,7 @@ impl<'a, 'p> Worker<'a, 'p> {
 
     /// Variable replacement; mirrors `Inner::replace_rec`, with the
     /// order-reversing fallback going through the worker's `ite`.
-    fn wreplace(
-        &mut self,
-        f: u32,
-        perm: &crate::node::Permutation,
-        pid: u32,
-    ) -> Result<u32, BddError> {
+    fn wreplace(&mut self, f: u32, perm: &Permutation, pid: u32) -> Result<u32, BddError> {
         if f <= 1 {
             return Ok(f);
         }
@@ -779,24 +742,24 @@ impl<'a, 'p> Worker<'a, 'p> {
         if let Some(r) = self.cache_get(CacheOp::Replace, f, pid, 0) {
             return Ok(r);
         }
-        let inner = self.sh.inner;
-        let (lo, hi) = (inner.low(f), inner.high(f));
+        let (lf, lo, hi) = self.node3(f);
         let lo2 = self.wreplace(lo, perm, pid)?;
         let hi2 = self.wreplace(hi, perm, pid)?;
-        let new_var = perm.apply(inner.var_at_level(inner.level(f)));
+        let inner = self.inner;
+        let new_var = perm.apply(inner.var_at_level(lf));
         let new_level = inner.level_of_var(new_var);
         let r = if new_level < self.level_any(lo2) && new_level < self.level_any(hi2) {
-            self.smk(new_level, lo2, hi2)?
+            self.cmk(new_level, lo2, hi2)?
         } else {
-            let var = self.smk(new_level, 0, 1)?;
+            let var = self.cmk(new_level, 0, 1)?;
             self.wite(var, hi2, lo2)?
         };
         self.cache_put(CacheOp::Replace, f, pid, 0, r);
         Ok(r)
     }
 
-    /// If-then-else over mixed operands; mirrors `Inner::ite`. Only
-    /// reachable from the order-reversing branch of `wreplace`.
+    /// If-then-else; mirrors `Inner::ite`. Only reachable from the
+    /// order-reversing branch of `wreplace`.
     fn wite(&mut self, f: u32, g: u32, h: u32) -> Result<u32, BddError> {
         if f == 1 {
             return Ok(g);
@@ -823,15 +786,63 @@ impl<'a, 'p> Worker<'a, 'p> {
         let (h0, h1) = if lh == m { (hlo, hhi) } else { (h, h) };
         let r0 = self.wite(f0, g0, h0)?;
         let r1 = self.wite(f1, g1, h1)?;
-        let r = self.smk(m, r0, r1)?;
+        let r = self.cmk(m, r0, r1)?;
         self.cache_put(CacheOp::Ite, f, g, h, r);
         Ok(r)
     }
+
+    /// Mirrors `Inner::validate_replace` for operands that may live in the
+    /// operation's allocator: walks the support through [`Worker::node3`]
+    /// and reports the same typed errors, routed through the governor so
+    /// the whole batch aborts with the sequential path's error.
+    fn wvalidate_replace(&mut self, f: u32, perm: &Permutation) -> Result<(), BddError> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let (level, lo, hi) = self.node3(id);
+            vars.insert(self.inner.var_at_level(level));
+            stack.push(lo);
+            stack.push(hi);
+        }
+        let mut targets: Vec<u32> = vars.iter().map(|&v| perm.apply(v)).collect();
+        targets.sort_unstable();
+        for w in targets.windows(2) {
+            if w[0] == w[1] {
+                return Err(self.k.gov.trip(BddError::InvalidPermutation {
+                    var: w[0],
+                    kind: PermutationFlaw::DuplicateTarget,
+                }));
+            }
+        }
+        for &t in &targets {
+            if t >= self.inner.num_vars() {
+                return Err(self.k.gov.trip(BddError::InvalidPermutation {
+                    var: t,
+                    kind: PermutationFlaw::OutOfRange,
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything the split-task workers borrow for the parallel phase.
+struct OpShared<'a, 'p> {
+    inner: &'a Inner,
+    k: &'a Kernel,
+    job: Job<'p>,
+    tasks: &'a [(u32, u32)],
+    deques: &'a [Mutex<VecDeque<u32>>],
+    results: &'a [AtomicU32],
 }
 
 /// Pops from the worker's own deque front, then steals from the back of
 /// the other deques (round-robin from the right neighbour).
-fn next_task(sh: &Shared, idx: usize, stats: &mut WorkerStats) -> Option<u32> {
+fn next_task(sh: &OpShared, idx: usize, stats: &mut WorkerStats) -> Option<u32> {
     if let Some(t) = sh.deques[idx].lock().unwrap().pop_front() {
         return Some(t);
     }
@@ -846,16 +857,23 @@ fn next_task(sh: &Shared, idx: usize, stats: &mut WorkerStats) -> Option<u32> {
     None
 }
 
-fn worker_main(sh: &Shared, idx: usize) -> WorkerStats {
-    let mut w = Worker::new(sh);
+fn worker_main(sh: &OpShared, idx: usize) -> WorkerStats {
+    let mut w = Worker::new(sh.inner, sh.k, &sh.k.gov.steps);
     loop {
-        if sh.gov.aborted() {
+        if sh.k.gov.aborted() {
             break;
         }
         let Some(t) = next_task(sh, idx, &mut w.stats) else {
             break;
         };
-        match w.run_task(sh.tasks[t as usize]) {
+        let (a, b) = sh.tasks[t as usize];
+        let r = match sh.job {
+            Job::Bin(op) => w.wapply(op, a, b),
+            Job::Exists { cube } => w.wexists(a, cube),
+            Job::AndExists { cube } => w.wand_exists(a, b, cube),
+            Job::Replace { perm, pid } => w.wreplace(a, perm, pid),
+        };
+        match r {
             Ok(r) => sh.results[t as usize].store(r, Ordering::Release),
             // The error (if it was this worker's own trip) is already
             // recorded in the governor; stop draining tasks.
@@ -880,10 +898,185 @@ fn master_key(job: &Job, a: u32, b: u32) -> (CacheOp, u32, u32, u32) {
     }
 }
 
+/// One expression of a [`Inner::batch_run`] dependency DAG. Operand
+/// indices refer to earlier expressions in the same batch (`d < i`);
+/// cube operands are master node ids, `Replace` carries an index into
+/// the batch's permutation table.
+#[derive(Clone, Copy)]
+pub(crate) enum BatchExpr {
+    /// An existing master node (an input relation).
+    Leaf(u32),
+    /// `exprs[a] op exprs[b]`.
+    Bin(BinOp, usize, usize),
+    /// `exists cube. exprs[f]`.
+    Exists(usize, u32),
+    /// `exists cube. (exprs[f] & exprs[g])`.
+    AndExists(usize, usize, u32),
+    /// `replace(exprs[f])` under the batch's `perms[p]`.
+    Replace(usize, usize),
+}
+
+/// The ready-queue scheduler of one batch: expressions whose operands
+/// have all resolved wait in `queue`; workers sleep on `ready_cv` when it
+/// runs dry. All completion-side transitions (pending decrements, ready
+/// pushes, the remaining count) happen under the queue mutex, so a waiter
+/// that re-checks its exit conditions inside the wait loop can never miss
+/// a wakeup.
+struct BatchSched {
+    queue: Mutex<VecDeque<usize>>,
+    ready_cv: Condvar,
+    /// Unresolved-operand counts, indexed by expression.
+    pending: Vec<AtomicUsize>,
+    /// Reverse dependency edges: who becomes ready when `i` resolves.
+    parents: Vec<Vec<u32>>,
+    /// Non-leaf expressions not yet resolved; 0 means everyone can stop.
+    remaining: AtomicUsize,
+}
+
+/// Everything the batch workers borrow for the parallel phase.
+struct BatchShared<'a> {
+    inner: &'a Inner,
+    k: &'a Kernel,
+    exprs: &'a [BatchExpr],
+    perms: &'a [Permutation],
+    pids: &'a [u32],
+    /// Resolved value of each expression (`NIL` until resolved).
+    values: &'a [AtomicU32],
+    /// Per-expression step counters: each expression mirrors a sequential
+    /// top-level operation's fresh `begin_op` counter, so a step limit
+    /// trips at the same per-operation granularity as threads = 1.
+    steps: &'a [AtomicU64],
+    sched: &'a BatchSched,
+}
+
+fn eval_expr(w: &mut Worker, sh: &BatchShared, i: usize) -> Result<u32, BddError> {
+    let val = |d: usize| {
+        let v = sh.values[d].load(Ordering::Acquire);
+        debug_assert_ne!(v, NIL, "batch expression scheduled before its operands");
+        v
+    };
+    match sh.exprs[i] {
+        BatchExpr::Leaf(id) => Ok(id),
+        BatchExpr::Bin(op, a, b) => w.wapply(op, val(a), val(b)),
+        BatchExpr::Exists(f, cube) => w.wexists(val(f), cube),
+        BatchExpr::AndExists(f, g, cube) => w.wand_exists(val(f), val(g), cube),
+        BatchExpr::Replace(f, p) => {
+            let fv = val(f);
+            let perm = &sh.perms[p];
+            if perm.is_identity() || fv <= 1 {
+                return Ok(fv);
+            }
+            w.wvalidate_replace(fv, perm)?;
+            w.wreplace(fv, perm, sh.pids[p])
+        }
+    }
+}
+
+fn batch_worker(sh: &BatchShared) -> WorkerStats {
+    let mut w = Worker::new(sh.inner, sh.k, &sh.k.gov.steps);
+    loop {
+        let i = {
+            let mut q = sh.sched.queue.lock().unwrap();
+            loop {
+                if sh.k.gov.aborted() || sh.sched.remaining.load(Ordering::Relaxed) == 0 {
+                    drop(q);
+                    let _ = w.flush();
+                    return w.stats;
+                }
+                if let Some(i) = q.pop_front() {
+                    break i;
+                }
+                q = sh.sched.ready_cv.wait(q).unwrap();
+            }
+        };
+        w.steps_ctr = &sh.steps[i];
+        // Flush inside the expression's own counter before moving on, so
+        // sub-interval step limits fire per expression like a sequential
+        // top-level op's final accounting.
+        match eval_expr(&mut w, sh, i).and_then(|r| {
+            w.flush()?;
+            Ok(r)
+        }) {
+            Ok(r) => {
+                sh.values[i].store(r, Ordering::Release);
+                let mut q = sh.sched.queue.lock().unwrap();
+                for &p in &sh.sched.parents[i] {
+                    if sh.sched.pending[p as usize].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        q.push_back(p as usize);
+                    }
+                }
+                sh.sched.remaining.fetch_sub(1, Ordering::Relaxed);
+                sh.sched.ready_cv.notify_all();
+            }
+            Err(_) => {
+                // The governor already recorded the trip (or another
+                // worker's); wake everyone so they observe the abort.
+                let _q = sh.sched.queue.lock().unwrap();
+                sh.sched.ready_cv.notify_all();
+                return w.stats;
+            }
+        }
+    }
+}
+
 impl Inner {
-    /// `true` when the parallel engine is switched on (threads >= 2).
+    /// `true` when the parallel engine is switched on (resolved thread
+    /// count >= 2). The *worker* count additionally clamps to the
+    /// hardware parallelism; the engine stays engaged even when the clamp
+    /// lands on one worker, so engagement remains a pure function of the
+    /// requested configuration.
     pub(crate) fn par_enabled(&self) -> bool {
         self.par_threads() >= 2
+    }
+
+    /// Resolves the worker count for one parallel operation against the
+    /// task count and the hardware clamp, recording both the effective
+    /// count and any clamp event into the stats.
+    fn resolve_workers(&mut self, tasks: usize) -> usize {
+        let requested = self.par_threads();
+        let configured = self.par_workers();
+        self.stats.par_threads_effective = configured as u64;
+        if requested > configured {
+            self.stats.par_thread_clamps += 1;
+        }
+        configured.min(tasks).max(1)
+    }
+
+    /// Merges per-worker counters into the shared [`crate::KernelStats`].
+    /// Sums are order-independent, so the merged stats keep their
+    /// invariants (`lookups >= hits`) regardless of scheduling. Worker
+    /// steps are added to the op-wide governed counter only when
+    /// `op_wide` is set — batch expressions keep per-expression counters
+    /// and must not inflate the surrounding operation's step count.
+    fn merge_worker_stats(&mut self, worker_stats: &[WorkerStats], active: bool, op_wide: bool) {
+        let mut steps = 0u64;
+        for w in worker_stats {
+            steps += w.steps;
+            self.stats.cache_lookups += w.lookups;
+            self.stats.cache_hits += w.hits;
+            for (i, &(l, h)) in w.per_op.iter().enumerate() {
+                self.stats.per_op_cache[i].lookups += l;
+                self.stats.per_op_cache[i].hits += h;
+            }
+            self.stats.unique_hits += w.unique_hits;
+            self.stats.par_steals += w.steals;
+        }
+        if active {
+            self.stats.governed_steps += steps;
+            if op_wide {
+                self.add_op_steps(steps);
+            }
+        }
+    }
+
+    /// Commits the kernel's reserved node block into the master arena.
+    /// Skipped entirely by the callers on a governor trip: the reserved
+    /// triples are discarded with the kernel and the master table is
+    /// untouched, so the recovery ladder can retry wholesale.
+    fn commit_kernel(&mut self, k: &Kernel) {
+        let count = k.alloc.count.load(Ordering::Relaxed);
+        let created = self.commit_par_nodes(k.alloc.base, (0..count).map(|i| k.alloc.read(i)));
+        self.stats.par_shared_nodes += created;
     }
 
     /// Runs one top-level operation on the work pool. `a`/`b` are the
@@ -908,34 +1101,30 @@ impl Inner {
         if plan.tasks.len() < 2 {
             return Ok(ParAttempt::Fallback);
         }
-        let threads = self.par_threads().min(plan.tasks.len());
-        let scratch = ScratchTable::new();
-        let cache = ParCache::new();
-        let gov = SharedGov::new(self);
+        let workers = self.resolve_workers(plan.tasks.len());
+        let k = Kernel::new(self);
         let results: Vec<AtomicU32> =
             (0..plan.tasks.len()).map(|_| AtomicU32::new(NIL)).collect();
         // Deal tasks round-robin; dealing order is deterministic, and
         // stealing only redistributes who computes a task, never what it
         // computes.
         let deques: Vec<Mutex<VecDeque<u32>>> =
-            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (t, dq) in (0..plan.tasks.len() as u32).zip((0..threads).cycle()) {
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (t, dq) in (0..plan.tasks.len() as u32).zip((0..workers).cycle()) {
             deques[dq].lock().unwrap().push_back(t);
         }
-        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(threads);
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
         {
-            let shared = Shared {
+            let shared = OpShared {
                 inner: &*self,
+                k: &k,
                 job,
                 tasks: &plan.tasks,
-                scratch: &scratch,
-                cache: &cache,
-                gov: &gov,
                 deques: &deques,
                 results: &results,
             };
             std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
+                let handles: Vec<_> = (0..workers)
                     .map(|i| {
                         let sh = &shared;
                         s.spawn(move || worker_main(sh, i))
@@ -946,83 +1135,220 @@ impl Inner {
                 }
             });
         }
-        // Merge per-worker counters into the shared KernelStats. Sums are
-        // order-independent, so the merged stats keep their invariants
-        // (lookups >= hits) regardless of scheduling.
-        let mut steps = 0u64;
-        for w in &worker_stats {
-            steps += w.steps;
-            self.stats.cache_lookups += w.lookups;
-            self.stats.cache_hits += w.hits;
-            for (i, &(l, h)) in w.per_op.iter().enumerate() {
-                self.stats.per_op_cache[i].lookups += l;
-                self.stats.per_op_cache[i].hits += h;
-            }
-            self.stats.unique_hits += w.scratch_hits;
-            self.stats.par_scratch_nodes += w.scratch_created;
-            self.stats.par_steals += w.steals;
-        }
+        self.merge_worker_stats(&worker_stats, k.gov.active, true);
         self.stats.par_ops += 1;
         self.stats.par_tasks += plan.tasks.len() as u64;
-        if gov.active {
-            self.stats.governed_steps += steps;
-            self.add_op_steps(steps);
-        }
-        if let Some(e) = gov.take_error() {
+        if let Some(e) = k.gov.take_error() {
             return Err(e);
         }
-        // Import phase: emit the plan in canonical order, translating
-        // scratch results into master nodes.
-        let shards = scratch.into_shards();
-        let mut memo: HashMap<u32, u32> = HashMap::new();
-        let r = self.emit_plan(&plan, plan.root, &results, &shards, &mut memo)?;
+        // The join makes every worker's triples visible; committing the
+        // reserved block turns the ids the workers handed out into real
+        // arena nodes before the plan recombination reads them.
+        self.commit_kernel(&k);
+        let r = self.emit_plan(&plan, plan.root, &results)?;
         self.cache_store(ck, ka, kb, kc, r);
         Ok(ParAttempt::Done(r))
     }
 
-    fn emit_plan(
-        &mut self,
-        plan: &Plan,
-        idx: u32,
-        results: &[AtomicU32],
-        shards: &[ScratchShard],
-        memo: &mut HashMap<u32, u32>,
-    ) -> Result<u32, BddError> {
+    fn emit_plan(&mut self, plan: &Plan, idx: u32, results: &[AtomicU32]) -> Result<u32, BddError> {
         match plan.nodes[idx as usize] {
             PlanNode::Done(id) => Ok(id),
             PlanNode::Task(t) => {
                 let r = results[t as usize].load(Ordering::Acquire);
                 debug_assert_ne!(r, NIL, "parallel task finished without a result");
-                self.import_scratch(shards, memo, r)
+                Ok(r)
             }
             PlanNode::Mk { level, lo, hi } => {
-                let l = self.emit_plan(plan, lo, results, shards, memo)?;
-                let h = self.emit_plan(plan, hi, results, shards, memo)?;
+                let l = self.emit_plan(plan, lo, results)?;
+                let h = self.emit_plan(plan, hi, results)?;
                 self.mk(level, l, h)
             }
         }
     }
 
-    /// Translates a scratch node (and its closure) into master nodes,
-    /// memoised per scratch id, children first in low-then-high order.
-    fn import_scratch(
+    /// Evaluates a DAG of *independent* top-level expressions (one
+    /// fixpoint round's delta rules) concurrently on the shared kernel:
+    /// each non-leaf expression is a unit of work, dispatched as its
+    /// operands resolve. Returns the master ids of all expressions in
+    /// input order. Sequential fallback is the caller's job (this method
+    /// always runs the concurrent engine; callers gate on
+    /// [`Inner::par_enabled`]).
+    pub(crate) fn batch_run(
         &mut self,
-        shards: &[ScratchShard],
-        memo: &mut HashMap<u32, u32>,
-        id: u32,
-    ) -> Result<u32, BddError> {
-        if !is_scratch(id) {
-            return Ok(id);
+        exprs: &[BatchExpr],
+        perms: &[Permutation],
+    ) -> Result<Vec<u32>, BddError> {
+        let pids: Vec<u32> = perms.iter().map(|p| self.intern_permutation(p)).collect();
+        let values: Vec<AtomicU32> = (0..exprs.len()).map(|_| AtomicU32::new(NIL)).collect();
+        let mut deps: Vec<[Option<usize>; 2]> = Vec::with_capacity(exprs.len());
+        for (i, e) in exprs.iter().enumerate() {
+            let d = match *e {
+                BatchExpr::Leaf(id) => {
+                    values[i].store(id, Ordering::Relaxed);
+                    [None, None]
+                }
+                BatchExpr::Bin(_, a, b) | BatchExpr::AndExists(a, b, _) => [Some(a), Some(b)],
+                BatchExpr::Exists(f, _) | BatchExpr::Replace(f, _) => [Some(f), None],
+            };
+            for dep in d.into_iter().flatten() {
+                assert!(dep < i, "batch expression depends on a later expression");
+            }
+            deps.push(d);
         }
-        if let Some(&m) = memo.get(&id) {
-            return Ok(m);
+        let is_leaf = |j: usize| matches!(exprs[j], BatchExpr::Leaf(_));
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); exprs.len()];
+        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(exprs.len());
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut todo = 0usize;
+        for (i, d) in deps.iter().enumerate() {
+            if is_leaf(i) {
+                pending.push(AtomicUsize::new(0));
+                continue;
+            }
+            // Leaf operands resolve before any worker starts, so only
+            // non-leaf operands gate readiness.
+            let mut n = 0;
+            for dep in d.iter().flatten() {
+                if !is_leaf(*dep) {
+                    parents[*dep].push(i as u32);
+                    n += 1;
+                }
+            }
+            pending.push(AtomicUsize::new(n));
+            if n == 0 {
+                ready.push_back(i);
+            }
+            todo += 1;
         }
-        let (shard, slot) = scratch_loc(id);
-        let n = shards[shard].nodes[slot];
-        let lo = self.import_scratch(shards, memo, n.low)?;
-        let hi = self.import_scratch(shards, memo, n.high)?;
-        let r = self.mk(n.level, lo, hi)?;
-        memo.insert(id, r);
-        Ok(r)
+        if todo == 0 {
+            return Ok(values.iter().map(|v| v.load(Ordering::Relaxed)).collect());
+        }
+        let workers = self.resolve_workers(todo);
+        let k = Kernel::new(self);
+        let steps: Vec<AtomicU64> = (0..exprs.len()).map(|_| AtomicU64::new(0)).collect();
+        let sched = BatchSched {
+            queue: Mutex::new(ready),
+            ready_cv: Condvar::new(),
+            pending,
+            parents,
+            remaining: AtomicUsize::new(todo),
+        };
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        {
+            let shared = BatchShared {
+                inner: &*self,
+                k: &k,
+                exprs,
+                perms,
+                pids: &pids,
+                values: &values,
+                steps: &steps,
+                sched: &sched,
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let sh = &shared;
+                        s.spawn(move || batch_worker(sh))
+                    })
+                    .collect();
+                for h in handles {
+                    worker_stats.push(h.join().expect("batch worker panicked"));
+                }
+            });
+        }
+        // Batch steps stay per-expression (`op_wide = false`): each
+        // expression is its own top-level operation for budget purposes.
+        self.merge_worker_stats(&worker_stats, k.gov.active, false);
+        self.stats.par_ops += 1;
+        self.stats.par_tasks += todo as u64;
+        if let Some(e) = k.gov.take_error() {
+            return Err(e);
+        }
+        self.commit_kernel(&k);
+        Ok(values
+            .iter()
+            .map(|v| {
+                let r = v.load(Ordering::Acquire);
+                debug_assert_ne!(r, NIL, "batch finished with an unresolved expression");
+                r
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Insert races on identical `(level, low, high)` triples must never
+    /// yield duplicate nodes: 8 threads hammer the same triple pool in
+    /// rotated orders and must agree on every id, the allocator must hold
+    /// exactly one node per distinct triple, and the committed arena must
+    /// resolve each triple to the id the workers handed out.
+    #[test]
+    fn concurrent_unique_table_dedups_races() {
+        let mut inner = Inner::new(16);
+        // Some frozen master nodes so the lock-free probe path is hit too.
+        let masters: Vec<u32> = (8..16).map(|l| inner.mk(l, 0, 1).unwrap()).collect();
+        // A pool of distinct triples over terminals and master children.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        for level in 0..8u32 {
+            for (i, &m) in masters.iter().enumerate() {
+                triples.push((level, 0, m));
+                triples.push((level, m, 1));
+                if i + 1 < masters.len() {
+                    triples.push((level, m, masters[i + 1]));
+                }
+            }
+        }
+        let k = Kernel::new(&inner);
+        let nthreads = 8;
+        let ids: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|t| {
+                    let k = &k;
+                    let inner = &inner;
+                    let triples = &triples;
+                    s.spawn(move || {
+                        let mut w = Worker::new(inner, k, &k.gov.steps);
+                        // Rotate the iteration order per thread so the
+                        // same triples race from different directions.
+                        let n = triples.len();
+                        (0..n)
+                            .map(|i| {
+                                let (l, lo, hi) = triples[(i + t * 7) % n];
+                                w.cmk(l, lo, hi).unwrap()
+                            })
+                            .collect::<Vec<u32>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Undo each thread's rotation and check exact id agreement.
+        let n = triples.len();
+        let mut canonical = vec![NIL; n];
+        for (t, row) in ids.iter().enumerate() {
+            for (i, &id) in row.iter().enumerate() {
+                let slot = (i + t * 7) % n;
+                if canonical[slot] == NIL {
+                    canonical[slot] = id;
+                } else {
+                    assert_eq!(canonical[slot], id, "duplicate node for triple {slot}");
+                }
+            }
+        }
+        // One reservation per distinct triple, never more.
+        assert_eq!(k.alloc.count.load(Ordering::Relaxed), n);
+        // After the commit, the master table resolves every triple to the
+        // exact id the workers handed out.
+        let base = k.alloc.base;
+        let count = k.alloc.count.load(Ordering::Relaxed);
+        inner.commit_par_nodes(base, (0..count).map(|i| k.alloc.read(i)));
+        for (slot, &(l, lo, hi)) in triples.iter().enumerate() {
+            let id = inner.mk(l, lo, hi).unwrap();
+            assert_eq!(id, canonical[slot], "commit re-keyed triple {slot}");
+        }
     }
 }

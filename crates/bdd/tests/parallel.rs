@@ -1,8 +1,11 @@
 //! Differential, determinism and stress tests for the parallel apply
-//! engine: the same operations must produce the same functions at every
-//! thread count, identical node ids for every count >= 2, race-free
+//! engine: the same operations must produce the same functions (the same
+//! satisfying assignments) at every thread count, race-free
 //! `KernelStats`, and a unique table that stays consistent under
-//! concurrent growth with GCs between operations.
+//! concurrent growth with GCs between operations. Node-*id* determinism
+//! is only promised at threads = 1; the shared concurrent unique table
+//! hands out fresh ids in CAS order, so ids may differ run to run at
+//! higher counts while the functions never do.
 
 use jedd_bdd::rng::XorShift64Star;
 use jedd_bdd::{Bdd, BddManager, Permutation};
@@ -74,23 +77,30 @@ fn parallel_results_match_sequential() {
 }
 
 #[test]
-fn node_ids_identical_across_thread_counts() {
-    // Phase 1 and phase 3 of a parallel operation are sequential and
-    // depend only on operand structure, so every thread count >= 2 mints
-    // exactly the same master node ids in the same order.
+fn functions_identical_across_thread_counts() {
+    // The determinism contract of the shared-table kernel: identical
+    // *functions* at every thread count. Ids are allowed to differ (fresh
+    // ids are handed out in CAS order), but the satisfying assignments —
+    // and therefore every relation's tuples — must coincide, and after a
+    // full GC the canonical live DAGs have the same size.
+    let vars: Vec<u32> = (0..NBITS as u32).collect();
     let m2 = manager(2);
-    let m4 = manager(4);
     let r2 = workload(&m2);
-    let r4 = workload(&m4);
-    for (a, b) in r2.iter().zip(r4.iter()) {
-        assert_eq!(a.raw_id(), b.raw_id());
+    let base: Vec<_> = r2.iter().map(|f| f.sat_assignments(&vars)).collect();
+    for threads in [4, 8] {
+        let m = manager(threads);
+        let r = workload(&m);
+        for (i, (a, b)) in base.iter().zip(r.iter()).enumerate() {
+            assert_eq!(
+                *a,
+                b.sat_assignments(&vars),
+                "workload item {i} diverged at {threads} threads"
+            );
+        }
+        m2.gc();
+        m.gc();
+        assert_eq!(m2.live_nodes(), m.live_nodes());
     }
-    assert_eq!(
-        m2.kernel_stats().nodes_created,
-        m4.kernel_stats().nodes_created,
-        "the master arena must see the same allocation sequence"
-    );
-    assert_eq!(m2.live_nodes(), m4.live_nodes());
 }
 
 #[test]
@@ -131,7 +141,8 @@ fn kernel_stats_invariants_survive_worker_merge() {
     }
     assert!(s.par_ops > 0);
     assert!(s.par_tasks >= 2 * s.par_ops, "every parallel op splits into >= 2 tasks");
-    assert!(s.par_scratch_nodes > 0);
+    assert!(s.par_shared_nodes > 0);
+    assert!(s.par_threads_effective >= 1);
     drop(r);
 }
 

@@ -92,6 +92,13 @@ impl JsonObject {
 /// replace the key. No-op when the variable is unset. I/O errors are
 /// reported on stderr rather than panicking — a failed report must not
 /// fail the bench.
+///
+/// When `JEDD_BENCH_RUN` is also set, the section is stamped with a
+/// `"run"` field and any existing group carrying a *different* stamp is
+/// pruned from the document. Without this, groups from renamed or
+/// retired benchmarks (the old `parallel_apply` shape, say) linger in
+/// `BENCH_kernel.json` forever and skew trajectory tooling; with it, the
+/// first section a new run writes sweeps every stale group out.
 pub fn write_section(name: &str, section: &JsonObject) {
     let Ok(path) = std::env::var("JEDD_BENCH_JSON") else {
         return;
@@ -99,9 +106,10 @@ pub fn write_section(name: &str, section: &JsonObject) {
     if path.is_empty() {
         return;
     }
-    let rendered = section.render();
+    let run = std::env::var("JEDD_BENCH_RUN").ok().filter(|r| !r.is_empty());
+    let rendered = stamp_run(&section.render(), run.as_deref());
     let merged = match std::fs::read_to_string(&path) {
-        Ok(existing) => merge_into(&existing, name, &rendered),
+        Ok(existing) => merge_into(&existing, name, &rendered, run.as_deref()),
         Err(_) => format!("{{\"{}\":{}}}\n", escape(name), rendered),
     };
     if let Err(e) = std::fs::write(&path, merged) {
@@ -109,10 +117,25 @@ pub fn write_section(name: &str, section: &JsonObject) {
     }
 }
 
+/// Prepends a `"run"` field to a rendered object, so every group records
+/// which run produced it.
+fn stamp_run(rendered: &str, run: Option<&str>) -> String {
+    let Some(run) = run else {
+        return rendered.to_string();
+    };
+    let inner = rendered.strip_prefix('{').unwrap_or(rendered);
+    if inner == "}" {
+        format!("{{\"run\":\"{}\"}}", escape(run))
+    } else {
+        format!("{{\"run\":\"{}\",{}", escape(run), inner)
+    }
+}
+
 /// Inserts or replaces one top-level key in an existing JSON object
-/// document. Falls back to rewriting the whole document when the
-/// existing content doesn't look like an object.
-fn merge_into(existing: &str, name: &str, rendered: &str) -> String {
+/// document, pruning groups stamped by other runs when `run` is set.
+/// Falls back to rewriting the whole document when the existing content
+/// doesn't look like an object.
+fn merge_into(existing: &str, name: &str, rendered: &str, run: Option<&str>) -> String {
     let trimmed = existing.trim();
     let fresh = || format!("{{\"{}\":{}}}\n", escape(name), rendered);
     if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
@@ -120,12 +143,19 @@ fn merge_into(existing: &str, name: &str, rendered: &str) -> String {
     }
     let inner = &trimmed[1..trimmed.len() - 1];
     // Re-collect the existing top-level entries, dropping any previous
-    // run of this section, then append the new one.
+    // run of this section — and, when a run id is in force, every group
+    // another run wrote — then append the new one.
+    let current_stamp = run.map(|r| format!("\"run\":\"{}\"", escape(r)));
     let mut entries: Vec<&str> = Vec::new();
     for entry in split_top_level(inner) {
         let key_prefix = format!("\"{}\":", escape(name));
         if entry.trim_start().starts_with(&key_prefix) {
             continue;
+        }
+        if let Some(stamp) = &current_stamp {
+            if !entry.contains(stamp.as_str()) {
+                continue;
+            }
         }
         entries.push(entry);
     }
@@ -197,18 +227,55 @@ mod tests {
 
     #[test]
     fn merge_adds_and_replaces_sections() {
-        let first = merge_into("", "a", "{\"x\":1}");
+        let first = merge_into("", "a", "{\"x\":1}", None);
         assert_eq!(first.trim(), "{\"a\":{\"x\":1}}");
-        let both = merge_into(&first, "b", "{\"y\":2}");
+        let both = merge_into(&first, "b", "{\"y\":2}", None);
         assert_eq!(both.trim(), "{\"a\":{\"x\":1},\"b\":{\"y\":2}}");
-        let replaced = merge_into(&both, "a", "{\"x\":9}");
+        let replaced = merge_into(&both, "a", "{\"x\":9}", None);
         assert_eq!(replaced.trim(), "{\"b\":{\"y\":2},\"a\":{\"x\":9}}");
     }
 
     #[test]
     fn merge_survives_commas_inside_strings() {
         let doc = "{\"a\":{\"label\":\"x,y\"}}";
-        let merged = merge_into(doc, "b", "{\"n\":0}");
+        let merged = merge_into(doc, "b", "{\"n\":0}", None);
         assert_eq!(merged.trim(), "{\"a\":{\"label\":\"x,y\"},\"b\":{\"n\":0}}");
+    }
+
+    #[test]
+    fn run_id_prunes_groups_from_other_runs() {
+        // A report accumulated by run r1, including a group from a
+        // benchmark that no longer exists (`parallel_apply`).
+        let doc = "{\"parallel_apply\":{\"run\":\"r1\",\"speedup\":0.65},\
+                   \"apply\":{\"run\":\"r1\",\"ms\":3}}";
+        // The first section run r2 writes sweeps every r1 group out...
+        let first = merge_into(doc, "apply", &stamp_run("{\"ms\":2}", Some("r2")), Some("r2"));
+        assert_eq!(first.trim(), "{\"apply\":{\"run\":\"r2\",\"ms\":2}}");
+        // ...and later sections of the same run accumulate normally.
+        let second = merge_into(
+            &first,
+            "kernel_batch",
+            &stamp_run("{\"ms\":5}", Some("r2")),
+            Some("r2"),
+        );
+        assert_eq!(
+            second.trim(),
+            "{\"apply\":{\"run\":\"r2\",\"ms\":2},\"kernel_batch\":{\"run\":\"r2\",\"ms\":5}}"
+        );
+    }
+
+    #[test]
+    fn stamp_run_handles_empty_and_populated_objects() {
+        assert_eq!(stamp_run("{}", Some("r")), "{\"run\":\"r\"}");
+        assert_eq!(stamp_run("{\"x\":1}", Some("r")), "{\"run\":\"r\",\"x\":1}");
+        assert_eq!(stamp_run("{\"x\":1}", None), "{\"x\":1}");
+    }
+
+    #[test]
+    fn no_run_id_keeps_unstamped_groups() {
+        // Legacy behavior without JEDD_BENCH_RUN: nothing is pruned.
+        let doc = "{\"old\":{\"ms\":1}}";
+        let merged = merge_into(doc, "new", "{\"ms\":2}", None);
+        assert_eq!(merged.trim(), "{\"old\":{\"ms\":1},\"new\":{\"ms\":2}}");
     }
 }

@@ -262,7 +262,8 @@ fn kernel_section(k: &KernelStats) -> String {
         out,
         "<h3>Parallelism</h3>\
          <p>{} parallel operations ({} tasks, {:.1} per op), \
-         {} work-steals, {} scratch nodes imported.</p>",
+         {} work-steals, {} nodes hash-consed into the shared table, \
+         {} effective threads ({} clamped to hardware).</p>",
         k.par_ops,
         k.par_tasks,
         if k.par_ops == 0 {
@@ -271,7 +272,9 @@ fn kernel_section(k: &KernelStats) -> String {
             k.par_tasks as f64 / k.par_ops as f64
         },
         k.par_steals,
-        k.par_scratch_nodes
+        k.par_shared_nodes,
+        k.par_threads_effective,
+        k.par_thread_clamps
     );
     out
 }
@@ -394,12 +397,15 @@ mod tests {
             par_ops: 3,
             par_tasks: 24,
             par_steals: 5,
-            par_scratch_nodes: 100,
+            par_shared_nodes: 100,
+            par_threads_effective: 4,
+            par_thread_clamps: 1,
             ..Default::default()
         };
         let html = render_html_with_kernel(&Profiler::new(), Some(&stats));
         assert!(html.contains("3 parallel operations (24 tasks, 8.0 per op)"));
-        assert!(html.contains("5 work-steals, 100 scratch nodes imported"));
+        assert!(html.contains("5 work-steals, 100 nodes hash-consed into the shared table"));
+        assert!(html.contains("4 effective threads (1 clamped to hardware)"));
     }
 
     #[test]

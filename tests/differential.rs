@@ -307,11 +307,42 @@ fn combine(w: &World, l: &Rel3, r: &Rel3, compose: bool) -> Rel3 {
     Rel3 { rel, zdd, attrs, rows }
 }
 
+/// Per-case knobs: an explicit worker-thread count (`None` keeps the
+/// `JEDD_THREADS` default) and mid-run kernel churn — a GC and a sifting
+/// reorder between steps, so the differential check also covers the
+/// parallel kernel's interaction with arena compaction and variable
+/// moves.
+#[derive(Clone, Copy, Default)]
+struct CaseOpts {
+    threads: Option<usize>,
+    churn: bool,
+}
+
 fn run_case(seed: u64) {
+    run_case_with(seed, CaseOpts::default());
+}
+
+fn run_case_with(seed: u64, opts: CaseOpts) {
     let w = World::new();
+    if let Some(t) = opts.threads {
+        w.u.bdd_manager().set_threads(t);
+    }
     let mut rng = XorShift64Star::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
     let mut pool: Vec<Rel3> = (0..3).map(|_| make_base(&w, &mut rng, None)).collect();
     for step in 0..8 {
+        if opts.churn {
+            // Kernel churn between relational steps: a full collection
+            // every step and a sifting reorder every third step. Neither
+            // may change any relation's tuples.
+            let mgr = w.u.bdd_manager();
+            mgr.gc();
+            if step % 3 == 2 {
+                mgr.reorder_sift();
+            }
+            for (i, r) in pool.iter().enumerate() {
+                check(&w, r, &format!("seed {seed} step {step}: pool[{i}] after gc/reorder"));
+            }
+        }
         let kind = rng.gen_index(0..7);
         let next = match kind {
             0..=2 => {
@@ -403,5 +434,31 @@ fn differential_fuzz_bdd_zdd_sets() {
         .unwrap_or(256);
     for case in 0..cases {
         run_case(case);
+    }
+}
+
+/// The shared-table kernel sweep: the same seeds re-run at worker-thread
+/// counts 1, 2, 4 and 8 with mid-run GC and reorder churn. The oracle
+/// comparison inside `check` is what enforces the determinism contract —
+/// identical tuples at every thread count — and the churn exercises the
+/// quiesced safepoints (collection and sifting never run concurrently
+/// with workers, so both must be invisible to every backend).
+#[test]
+fn differential_fuzz_thread_sweep_with_churn() {
+    let cases: u64 = std::env::var("JEDD_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| (n / 8).max(2))
+        .unwrap_or(12);
+    for &threads in &[1usize, 2, 4, 8] {
+        for case in 0..cases {
+            run_case_with(
+                case,
+                CaseOpts {
+                    threads: Some(threads),
+                    churn: true,
+                },
+            );
+        }
     }
 }
