@@ -46,6 +46,35 @@ JEDD_THREADS=4 JEDD_PAR_CUTOFF=64 cargo test --workspace --offline -q
 echo "==> cargo test (workspace, JEDD_THREADS=8)"
 JEDD_THREADS=8 JEDD_PAR_CUTOFF=64 cargo test --workspace --offline -q
 
+# A fourth pass on the chain-reduced kernel: JEDD_CHAIN=1 flips every
+# env-default universe to the CBDD backend (ZDD managers built by the
+# suites stay plain unless constructed chained), so the entire workspace
+# suite re-runs with chain nodes in the arena. Chained managers keep the
+# parallel path off and degrade reordering to collection by design; the
+# suites assert that contract rather than fight it.
+echo "==> cargo test (workspace, JEDD_CHAIN=1)"
+JEDD_CHAIN=1 cargo test --workspace --offline -q
+
+# The extended differential fuzzer: more cases than the in-pass default,
+# on the sequential kernel and with 4 workers. Each run covers all four
+# decision-diagram kinds (BDD/ZDD and, via the chained suites, CBDD/CZDD)
+# against the BTreeSet oracle, including the thread sweeps with mid-run
+# GC/reorder churn. Bound with JEDD_FUZZ_CASES.
+echo "==> extended differential fuzzer (JEDD_FUZZ_CASES=${JEDD_FUZZ_CASES:-512})"
+JEDD_FUZZ_CASES="${JEDD_FUZZ_CASES:-512}" JEDD_THREADS=1 \
+    cargo test --offline -q --test differential
+JEDD_FUZZ_CASES="${JEDD_FUZZ_CASES:-512}" JEDD_THREADS=4 JEDD_PAR_CUTOFF=64 \
+    cargo test --offline -q --test differential
+
+# Order-search smoke: the kernel's chain suite includes the order lab's
+# search (sifting + window-3 + hot-window restarts) on a pessimal order;
+# JEDD_ORDER_SEARCH_ROUNDS bounds the restart count so CI stays cheap.
+echo "==> order-search smoke (JEDD_ORDER_SEARCH_ROUNDS=${JEDD_ORDER_SEARCH_ROUNDS:-1})"
+JEDD_ORDER_SEARCH_ROUNDS="${JEDD_ORDER_SEARCH_ROUNDS:-1}" \
+    cargo test -p jedd-bdd --test chain --offline -q
+JEDD_ORDER_SEARCH_ROUNDS="${JEDD_ORDER_SEARCH_ROUNDS:-1}" \
+    cargo test -p jedd-analyses --test learned_order --offline -q
+
 if [ "$STRESS" = 1 ]; then
     echo "==> stress tests (ignored set)"
     JEDD_THREADS=4 cargo test --workspace --offline -q -- --ignored
@@ -103,6 +132,20 @@ JEDD_BENCH_SAMPLES=3 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
 # disarmed single-CPU run is visible rather than silently green.
 JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench kernel_shared_table --offline
+# The chain-reduction bench runs every Table-2 analysis on the plain and
+# the chain-reduced kernel, asserts tuple identity and that the best
+# chained node count never loses to the best plain one, and times the
+# order lab's cold search against a persisted-order warm start (which
+# must perform zero sifting sweeps and beat the cold run).
+JEDD_BENCH_SAMPLES=1 JEDD_ORDER_SEARCH_ROUNDS="${JEDD_ORDER_SEARCH_ROUNDS:-1}" \
+    JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench chain_reduction --offline
+# sifting and var_order report their ablation numbers through the same
+# stamped JSON so the order-lab trajectory is tracked run over run.
+JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench sifting --offline
+JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench var_order --offline
 test -s BENCH_kernel.json
 
 echo "==> OK"

@@ -140,12 +140,39 @@ fn bits_for(n: usize) -> usize {
 impl Facts {
     /// Builds the universe and loads all base relations of `p`.
     ///
+    /// The universe comes from [`Universe::new`], so the backend honours
+    /// the `JEDD_CHAIN` environment variable; use
+    /// [`Facts::load_configured`] for an explicit backend or a learned
+    /// variable order.
+    ///
     /// # Errors
     ///
     /// Propagates relational-layer errors (they indicate a bug in the
     /// declarations rather than bad input).
     pub fn load(p: &Program) -> Result<Facts, JeddError> {
-        let u = Universe::new();
+        Self::load_into(Universe::new(), p, None)
+    }
+
+    /// Builds the universe on an explicit backend, optionally installing a
+    /// learned variable order (a persisted `jedd_store::OrderRecord`
+    /// `level -> var` table) before any relation is built — the
+    /// warm-start path of the order lab: the fixpoint then runs under the
+    /// known-good order from the first operation and never needs a
+    /// sifting sweep.
+    ///
+    /// # Errors
+    ///
+    /// As [`Facts::load`], plus [`JeddError::InvalidRestore`] when the
+    /// order table does not match this program's variable count.
+    pub fn load_configured(
+        p: &Program,
+        backend: jedd_core::Backend,
+        order: Option<&[u32]>,
+    ) -> Result<Facts, JeddError> {
+        Self::load_into(Universe::new_with_backend(backend), p, order)
+    }
+
+    fn load_into(u: Universe, p: &Program, order: Option<&[u32]>) -> Result<Facts, JeddError> {
         let d_type = u.add_domain("Type", p.types.max(1) as u64);
         let d_sig = u.add_domain("Signature", p.sigs.max(1) as u64);
         let d_method = u.add_domain("Method", p.methods.max(1) as u64);
@@ -180,6 +207,18 @@ impl Facts {
         let (h1, h2, h3) = (hs[0], hs[1], hs[2]);
         let c1 = u.add_physical_domain("C1", bits_for(p.call_sites));
         let p1 = u.add_physical_domain("P1", bits_for(max_idx as usize));
+
+        // A learned order must go in now: every physical domain is
+        // registered (so the variable count is final) and no relation is
+        // built yet (so the arena holds only terminals, which `set_order`
+        // requires).
+        if let Some(order) = order {
+            u.bdd_manager()
+                .set_order(order)
+                .map_err(|e| JeddError::InvalidRestore {
+                    detail: format!("learned order does not fit this program: {e}"),
+                })?;
+        }
 
         let subtype = u.add_attribute("subtype", d_type);
         let supertype = u.add_attribute("supertype", d_type);

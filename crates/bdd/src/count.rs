@@ -31,7 +31,10 @@ impl Inner {
         if let Some(&c) = memo.get(&f) {
             return c;
         }
-        let level = self.level(f) as i64;
+        // Gaps below the node are measured from the chain bottom: levels
+        // inside a chain interval are forced to 0 and contribute factor 1
+        // (plain nodes have `bot == level`, the degenerate case).
+        let bot = self.bot(f) as i64;
         let (lo, hi) = (self.low(f), self.high(f));
         let level_of = |id: u32| -> i64 {
             if id <= 1 {
@@ -40,8 +43,8 @@ impl Inner {
                 self.level(id) as i64
             }
         };
-        let cl = self.satcount_rec(lo, memo) * (2f64).powi((level_of(lo) - level - 1) as i32);
-        let ch = self.satcount_rec(hi, memo) * (2f64).powi((level_of(hi) - level - 1) as i32);
+        let cl = self.satcount_rec(lo, memo) * (2f64).powi((level_of(lo) - bot - 1) as i32);
+        let ch = self.satcount_rec(hi, memo) * (2f64).powi((level_of(hi) - bot - 1) as i32);
         let c = cl + ch;
         memo.insert(f, c);
         c

@@ -41,13 +41,18 @@ impl Inner {
             }
             cb(&var_buf)
         };
-        self.sat_rec(f, &levels, 0, &mut level_buf, &mut shim);
+        let top = self.level(f);
+        self.sat_rec(f, top, &levels, 0, &mut level_buf, &mut shim);
     }
 
-    /// Returns `true` to continue enumeration.
+    /// Returns `true` to continue enumeration. `top` is the effective top
+    /// level of `f`: equal to `level(f)` on entry and advanced past already
+    /// consumed chain levels while walking the interval of a chain node
+    /// (plain nodes never advance it — `bot == level`).
     fn sat_rec(
         &self,
         f: u32,
+        top: u32,
         vars: &[u32],
         idx: usize,
         buf: &mut [bool],
@@ -61,22 +66,31 @@ impl Inner {
             return cb(buf);
         }
         let v = vars[idx];
-        if f > 1 && self.level(f) == v {
+        if f > 1 && top == v {
+            if v < self.bot(f) {
+                // Inside a CBDD chain interval the level is forced false;
+                // the support includes every chain level, so the next
+                // enumerated level is exactly `top + 1`.
+                buf[idx] = false;
+                return self.sat_rec(f, top + 1, vars, idx + 1, buf, cb);
+            }
             let (lo, hi) = (self.low(f), self.high(f));
             buf[idx] = false;
-            if !self.sat_rec(lo, vars, idx + 1, buf, cb) {
+            let lo_top = self.level(lo);
+            if !self.sat_rec(lo, lo_top, vars, idx + 1, buf, cb) {
                 return false;
             }
             buf[idx] = true;
-            self.sat_rec(hi, vars, idx + 1, buf, cb)
+            let hi_top = self.level(hi);
+            self.sat_rec(hi, hi_top, vars, idx + 1, buf, cb)
         } else {
-            debug_assert!(f <= 1 || self.level(f) > v);
+            debug_assert!(f <= 1 || top > v);
             buf[idx] = false;
-            if !self.sat_rec(f, vars, idx + 1, buf, cb) {
+            if !self.sat_rec(f, top, vars, idx + 1, buf, cb) {
                 return false;
             }
             buf[idx] = true;
-            self.sat_rec(f, vars, idx + 1, buf, cb)
+            self.sat_rec(f, top, vars, idx + 1, buf, cb)
         }
     }
 }

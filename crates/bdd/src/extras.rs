@@ -19,7 +19,12 @@ impl Inner {
         let mut cur = f;
         while cur > 1 {
             let n = &self.nodes[cur as usize];
-            let var = self.var_at_level(n.level);
+            // Chain levels (level..bot) are forced false on every path
+            // through the node; plain nodes have an empty interval here.
+            for l in n.level..n.bot {
+                out.push((self.var_at_level(l), false));
+            }
+            let var = self.var_at_level(n.bot);
             // Prefer the low edge unless it is FALSE.
             if n.low != 0 {
                 out.push((var, false));
@@ -50,7 +55,9 @@ impl Inner {
             if let Some(&c) = memo.get(&f) {
                 return c;
             }
-            let level = inner.level(f);
+            // Gaps are measured from the chain bottom; forced chain levels
+            // contribute factor 1 (see `Inner::satcount`).
+            let bot = inner.bot(f);
             let level_of = |id: u32| -> u32 {
                 if id <= 1 {
                     inner.num_vars()
@@ -59,8 +66,8 @@ impl Inner {
                 }
             };
             let (lo, hi) = (inner.low(f), inner.high(f));
-            let cl = rec(inner, lo, memo) << (level_of(lo) - level - 1);
-            let ch = rec(inner, hi, memo) << (level_of(hi) - level - 1);
+            let cl = rec(inner, lo, memo) << (level_of(lo) - bot - 1);
+            let ch = rec(inner, hi, memo) << (level_of(hi) - bot - 1);
             let c = cl + ch;
             memo.insert(f, c);
             c
@@ -111,8 +118,10 @@ impl Inner {
             return Ok(r);
         }
         self.step()?;
+        // Cofactoring at the top level keeps chain nodes correct: the tail
+        // produced by `cofactor_pair` re-exposes the remaining chain levels.
         let level = self.level(f);
-        let (lo, hi) = (self.low(f), self.high(f));
+        let (lo, hi) = self.cofactor_pair(f, level)?;
         let r = match assignment.binary_search_by_key(&level, |&(v, _)| v) {
             Ok(i) => {
                 let branch = if assignment[i].1 { hi } else { lo };
@@ -144,11 +153,17 @@ impl Inner {
                 continue;
             }
             let n = &self.nodes[id as usize];
-            let _ = writeln!(
-                out,
-                "  n{id} [shape=circle, label=\"v{}\"];",
-                self.var_at_level(n.level)
-            );
+            let label = if n.bot > n.level {
+                // Chain node: show the whole forced interval.
+                format!(
+                    "v{}..v{}",
+                    self.var_at_level(n.level),
+                    self.var_at_level(n.bot)
+                )
+            } else {
+                format!("v{}", self.var_at_level(n.level))
+            };
+            let _ = writeln!(out, "  n{id} [shape=circle, label=\"{label}\"];");
             let _ = writeln!(out, "  n{id} -> n{} [style=dashed];", n.low);
             let _ = writeln!(out, "  n{id} -> n{} [style=solid];", n.high);
             stack.push(n.low);

@@ -146,6 +146,34 @@ impl BddManager {
         }
     }
 
+    /// Creates a manager with Bryant chain reduction (TACAS 2018) enabled:
+    /// nodes may carry a chain interval `[level, bot]` encoding the
+    /// OR-chain `¬x_level ∧ … ∧ ¬x_{bot-1} ∧ (¬x_bot·low + x_bot·high)`,
+    /// so functions whose BDDs contain long "every variable false" spines
+    /// (one-hot and sparse-set encodings) store one node per spine. A
+    /// chain-reduced BDD never holds more decision nodes than the plain
+    /// BDD of the same function under the same order.
+    ///
+    /// Chain managers are *order-static*: [`BddManager::reorder_sift`] and
+    /// [`BddManager::order_search`] degrade to a garbage collection.
+    /// Install a learned order with [`BddManager::set_order`] before
+    /// building nodes instead. Parallel apply is also disabled — chain
+    /// managers always run the sequential kernel.
+    pub fn new_chained(num_vars: usize) -> BddManager {
+        let m = BddManager::new(num_vars);
+        m.inner
+            .borrow_mut()
+            .set_chain_mode(true)
+            .expect("fresh arena holds only terminals");
+        m
+    }
+
+    /// `true` when this manager applies chain reduction (created via
+    /// [`BddManager::new_chained`]).
+    pub fn chain_mode(&self) -> bool {
+        self.inner.borrow().chain_mode()
+    }
+
     /// Installs a resource [`Budget`] governing all subsequent operations;
     /// `Budget::unlimited()` removes all limits.
     pub fn set_budget(&self, budget: Budget) {
@@ -442,6 +470,22 @@ impl BddManager {
         self.inner.borrow_mut().reorder_sift()
     }
 
+    /// Offline order search beyond sifting: a sift + window-3 permutation
+    /// baseline, then `restarts` rounds that shuffle the profiled hot
+    /// level range (the levels where `mk` allocates most, per
+    /// [`KernelStats::level_activity`]) and re-optimise, parking on the
+    /// best order seen. Deterministic for a given `seed` and arena
+    /// content. Returns `(nodes_before, nodes_after)`.
+    ///
+    /// This is the expensive end of the reorder spectrum — intended for
+    /// an offline "order lab" whose result is persisted and replayed via
+    /// [`BddManager::set_order`] on later runs, not for use inside
+    /// analyses. On a chain-reduced manager it degrades to a collection
+    /// (chain managers are order-static).
+    pub fn order_search(&self, restarts: usize, seed: u64) -> (usize, usize) {
+        self.inner.borrow_mut().order_search(restarts, seed)
+    }
+
     /// The current variable order: the variable at each level position,
     /// top to bottom.
     pub fn current_order(&self) -> Vec<u32> {
@@ -512,12 +556,29 @@ impl BddManager {
                 }
                 let (low, high) = (inner.low(id), inner.high(id));
                 if expanded {
+                    // A chain node expands to its plain spine: the decision
+                    // node at `bot`, then one `(next, FALSE)` node per chain
+                    // level walking back up to `level`. Plain nodes have an
+                    // empty interval and emit exactly one entry, so plain
+                    // managers export byte-identical tables. The id maps to
+                    // the topmost spine slot.
+                    let top = inner.level(id);
+                    let bot = inner.bot(id);
                     out.push(ExportedNode {
-                        var: inner.var_at_level(inner.level(id)),
+                        var: inner.var_at_level(bot),
                         low: slot[&low],
                         high: slot[&high],
                     });
-                    slot.insert(id, out.len() as u32 + 1);
+                    let mut acc = out.len() as u32 + 1;
+                    for l in (top..bot).rev() {
+                        out.push(ExportedNode {
+                            var: inner.var_at_level(l),
+                            low: acc,
+                            high: 0,
+                        });
+                        acc = out.len() as u32 + 1;
+                    }
+                    slot.insert(id, acc);
                 } else {
                     stack.push((id, true));
                     stack.push((high, false));

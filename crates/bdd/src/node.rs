@@ -62,14 +62,23 @@ pub(crate) const NIL: u32 = u32::MAX;
 
 /// A single decision node stored in the arena.
 ///
-/// Nodes are hash-consed: for a given `(level, low, high)` triple at most one
-/// live node exists. The `next` field chains nodes within a unique-table
-/// bucket, and `ext_refs` counts external [`crate::Bdd`] handles pinning the
-/// node (internal sharing is not counted; garbage collection marks from the
-/// externally referenced roots).
+/// Nodes are hash-consed: for a given `(level, bot, low, high)` quadruple at
+/// most one live node exists. The `next` field chains nodes within a
+/// unique-table bucket, and `ext_refs` counts external [`crate::Bdd`]
+/// handles pinning the node (internal sharing is not counted; garbage
+/// collection marks from the externally referenced roots).
+///
+/// `bot` is the chain interval's bottom level (Bryant's chain reduction,
+/// TACAS 2018). A plain reduced node has `bot == level`. In a chain-mode
+/// manager a node with `bot > level` encodes the OR-chain
+/// `¬x_level ∧ … ∧ ¬x_{bot-1} ∧ (¬x_bot·low + x_bot·high)` — a CBDD
+/// chain node. Managers with chain reduction off never create `bot >
+/// level` nodes, so plain BDDs are exactly the `bot == level` degenerate
+/// case and existing node ids are unchanged.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Node {
     pub level: u32,
+    pub bot: u32,
     pub low: u32,
     pub high: u32,
     pub next: u32,
@@ -81,6 +90,7 @@ impl Node {
     pub(crate) fn terminal() -> Node {
         Node {
             level: TERMINAL_LEVEL,
+            bot: TERMINAL_LEVEL,
             low: NIL,
             high: NIL,
             next: NIL,

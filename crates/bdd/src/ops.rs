@@ -101,6 +101,7 @@ impl Inner {
     /// past the size cutoff — depends only on the operand structure, so it
     /// is identical for every thread count.
     pub(crate) fn apply(&mut self, op: BinOp, a: u32, b: u32) -> Result<u32, BddError> {
+        self.record_op_shape(&[a, b]);
         if self.par_enabled()
             && op.terminal_case(a, b).is_none()
             && self.probe_at_least(&[a, b], self.par_cutoff())
@@ -131,18 +132,9 @@ impl Inner {
         if let Some(r) = self.cache_lookup(op.cache_op(), ka, kb, 0) {
             return Ok(r);
         }
-        let (la, lb) = (self.level(a), self.level(b));
-        let m = la.min(lb);
-        let (a0, a1) = if la == m {
-            (self.low(a), self.high(a))
-        } else {
-            (a, a)
-        };
-        let (b0, b1) = if lb == m {
-            (self.low(b), self.high(b))
-        } else {
-            (b, b)
-        };
+        let m = self.level(a).min(self.level(b));
+        let (a0, a1) = self.cofactor_pair(a, m)?;
+        let (b0, b1) = self.cofactor_pair(b, m)?;
         let r0 = self.apply_rec(op, a0, b0)?;
         let r1 = self.apply_rec(op, a1, b1)?;
         let r = self.mk(m, r0, r1)?;
@@ -168,18 +160,12 @@ impl Inner {
         if let Some(r) = self.cache_lookup(CacheOp::Subset, a, b, 0) {
             return Ok(r == T);
         }
-        let (la, lb) = (self.level(a), self.level(b));
-        let m = la.min(lb);
-        let (a0, a1) = if la == m {
-            (self.low(a), self.high(a))
-        } else {
-            (a, a)
-        };
-        let (b0, b1) = if lb == m {
-            (self.low(b), self.high(b))
-        } else {
-            (b, b)
-        };
+        let m = self.level(a).min(self.level(b));
+        // In chain mode the cofactor of a chain node may allocate a tail
+        // node, so the probe is no longer allocation-free there; plain
+        // managers keep the zero-allocation property.
+        let (a0, a1) = self.cofactor_pair(a, m)?;
+        let (b0, b1) = self.cofactor_pair(b, m)?;
         let r = self.subset(a0, b0)? && self.subset(a1, b1)?;
         self.cache_store(CacheOp::Subset, a, b, 0, if r { T } else { F });
         Ok(r)
@@ -208,23 +194,10 @@ impl Inner {
         if let Some(r) = self.cache_lookup(CacheOp::Ite, f, g, h) {
             return Ok(r);
         }
-        let (lf, lg, lh) = (self.level(f), self.level(g), self.level(h));
-        let m = lf.min(lg).min(lh);
-        let (f0, f1) = if lf == m {
-            (self.low(f), self.high(f))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if lg == m {
-            (self.low(g), self.high(g))
-        } else {
-            (g, g)
-        };
-        let (h0, h1) = if lh == m {
-            (self.low(h), self.high(h))
-        } else {
-            (h, h)
-        };
+        let m = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactor_pair(f, m)?;
+        let (g0, g1) = self.cofactor_pair(g, m)?;
+        let (h0, h1) = self.cofactor_pair(h, m)?;
         let r0 = self.ite(f0, g0, h0)?;
         let r1 = self.ite(f1, g1, h1)?;
         let r = self.mk(m, r0, r1)?;

@@ -1026,7 +1026,10 @@ impl Inner {
     /// lands on one worker, so engagement remains a pure function of the
     /// requested configuration.
     pub(crate) fn par_enabled(&self) -> bool {
-        self.par_threads() >= 2
+        // Chain-reduced managers always take the sequential path: the
+        // frozen-table worker protocol hashes plain triples and cannot
+        // intern chain tails created by cofactoring.
+        self.par_threads() >= 2 && !self.chain_mode()
     }
 
     /// Resolves the worker count for one parallel operation against the

@@ -59,6 +59,7 @@ impl Inner {
         if perm.is_identity() || f <= 1 {
             return Ok(f);
         }
+        self.record_op_shape(&[f]);
         self.validate_replace(f, perm)?;
         let pid = self.intern_permutation(perm);
         if self.par_enabled() {
@@ -90,10 +91,14 @@ impl Inner {
         if let Some(r) = self.cache_lookup(CacheOp::Replace, f, pid, 0) {
             return Ok(r);
         }
-        let (lo, hi) = (self.low(f), self.high(f));
+        // Splitting at the top level (not the stored child edge) keeps
+        // chain nodes correct: each chain level maps to its own target
+        // variable, and the cofactor tail re-exposes the remaining levels.
+        let lf = self.level(f);
+        let (lo, hi) = self.cofactor_pair(f, lf)?;
         let lo2 = self.replace_rec(lo, perm, pid)?;
         let hi2 = self.replace_rec(hi, perm, pid)?;
-        let new_var = perm.apply(self.var_at_level(self.level(f)));
+        let new_var = perm.apply(self.var_at_level(lf));
         let new_level = self.level_of_var(new_var);
         // When the mapped variable still sits above both rewritten
         // children the order is locally preserved and one `mk` suffices
@@ -140,8 +145,7 @@ impl Inner {
         }
         self.step()?;
         let level = self.level(f);
-        let lo = self.low(f);
-        let hi = self.high(f);
+        let (lo, hi) = self.cofactor_pair(f, level)?;
         let lo2 = self.replace_rebuild_rec(lo, perm, memo)?;
         let hi2 = self.replace_rebuild_rec(hi, perm, memo)?;
         let new_var = perm.apply(self.var_at_level(level));

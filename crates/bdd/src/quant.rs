@@ -17,6 +17,7 @@ impl Inner {
     /// cache key; splitting stops above the first quantified level, which
     /// keeps every master-phase combine a plain `mk`.
     pub(crate) fn exists(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
+        self.record_op_shape(&[f]);
         if self.par_enabled() && f > 1 && cube > 1 {
             let lf = self.level(f);
             let mut c = cube;
@@ -58,7 +59,11 @@ impl Inner {
             return Ok(r);
         }
         let lc = self.level(c);
-        let (f0, f1) = (self.low(f), self.high(f));
+        // Splitting at f's top level keeps chain nodes correct: the
+        // cofactor of a chain node is its (tail, FALSE) pair, and the tail
+        // re-exposes the remaining chain levels so cube variables that fall
+        // strictly inside a chain interval are quantified level by level.
+        let (f0, f1) = self.cofactor_pair(f, lf)?;
         let r = if lf == lc {
             let next = self.high(c);
             let r0 = self.exists_rec(f0, next)?;
@@ -86,6 +91,7 @@ impl Inner {
     /// commutative swap and cube skip — as the sequential recursion, so
     /// the cache keys coincide).
     pub(crate) fn and_exists(&mut self, f: u32, g: u32, cube: u32) -> Result<u32, BddError> {
+        self.record_op_shape(&[f, g]);
         if self.par_enabled() && f > 1 && g > 1 && cube > 1 {
             let m = self.level(f).min(self.level(g));
             let mut c = cube;
@@ -138,16 +144,8 @@ impl Inner {
         if let Some(r) = self.cache_lookup(CacheOp::AndExists, f, g, c) {
             return Ok(r);
         }
-        let (f0, f1) = if lf == m {
-            (self.low(f), self.high(f))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if lg == m {
-            (self.low(g), self.high(g))
-        } else {
-            (g, g)
-        };
+        let (f0, f1) = self.cofactor_pair(f, m)?;
+        let (g0, g1) = self.cofactor_pair(g, m)?;
         let r = if self.level(c) == m {
             let next = self.high(c);
             let r0 = self.and_exists_rec(f0, g0, next)?;

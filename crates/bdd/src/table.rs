@@ -121,6 +121,31 @@ pub struct KernelStats {
     /// hardware parallelism and was clamped down (the oversubscription
     /// footgun: more workers than CPUs only adds contention).
     pub par_thread_clamps: u64,
+    /// Chain nodes created (`bot > level`); always zero when chain
+    /// reduction is off.
+    pub chain_nodes_created: u64,
+    /// Sum of chain interval lengths (`bot - level`) over all chain nodes
+    /// created; `chain_len_sum / chain_nodes_created` is the mean chain
+    /// length.
+    pub chain_len_sum: u64,
+    /// Longest chain interval created.
+    pub chain_len_max: u64,
+    /// Node allocations bucketed into sixteenths of the level range — the
+    /// profile signal the order-search restarts read to find hot level
+    /// regions. Bucket 0 is the top of the order.
+    pub level_activity: [u64; 16],
+    /// Sum of operand level spans (`num_vars - min operand top level`)
+    /// recorded at the entry of each top-level apply / quantification /
+    /// replace.
+    pub op_span_sum: u64,
+    /// Largest operand level span recorded.
+    pub op_span_max: u64,
+    /// Top-level operations contributing to the span counters.
+    pub op_span_samples: u64,
+    /// Full sifting sweeps run (`reorder_sift` invocations, including the
+    /// ones the order search issues internally). A warm run started from a
+    /// persisted learned order must keep this at zero.
+    pub sift_sweeps: u64,
 }
 
 impl KernelStats {
@@ -204,6 +229,11 @@ pub(crate) struct Inner {
     /// Minimum combined operand size (distinct nodes) before a top-level
     /// operation takes the parallel path. Seeded from `JEDD_PAR_CUTOFF`.
     par_cutoff: usize,
+    /// Chain reduction (CBDD node semantics). Only settable on an arena
+    /// holding nothing but terminals; a chain-mode manager routes every
+    /// operation through the sequential kernel and treats its variable
+    /// order as static (reordering degrades to a collection).
+    chain: bool,
 }
 
 const INITIAL_BUCKETS: usize = 1 << 12;
@@ -233,6 +263,18 @@ fn env_usize_or_zero(name: &str) -> Option<usize> {
 pub(crate) fn triple_hash(level: u32, low: u32, high: u32) -> u64 {
     // Fibonacci-style mixing of the triple; cheap and well distributed.
     let mut h = (level as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= (low as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= (high as u64).wrapping_mul(0x1656_67b1_9e37_79f9);
+    h ^= h >> 29;
+    h
+}
+
+/// Unique-table hash over the full chain quadruple. Plain nodes have
+/// `bot == level`, so a chain-off manager hashes exactly as many distinct
+/// keys as before (ids are allocation-order and unaffected either way).
+#[inline]
+pub(crate) fn node_hash(level: u32, bot: u32, low: u32, high: u32) -> u64 {
+    let mut h = ((level as u64) | ((bot as u64) << 32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     h ^= (low as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
     h ^= (high as u64).wrapping_mul(0x1656_67b1_9e37_79f9);
     h ^= h >> 29;
@@ -273,7 +315,28 @@ impl Inner {
                 .map(|n| n.get())
                 .unwrap_or(1),
             par_cutoff: env_usize("JEDD_PAR_CUTOFF").unwrap_or(DEFAULT_PAR_CUTOFF).max(2),
+            chain: false,
         }
+    }
+
+    /// `true` when this manager builds chain-reduced (CBDD) nodes.
+    pub(crate) fn chain_mode(&self) -> bool {
+        self.chain
+    }
+
+    /// Switches chain reduction on or off. Only legal while the arena
+    /// holds nothing but the two terminals: plain and chain-reduced
+    /// canonical forms differ, so flipping the mode under live nodes
+    /// would leave the table non-canonical.
+    pub(crate) fn set_chain_mode(&mut self, on: bool) -> Result<(), BddError> {
+        if self.live_nodes() != 2 {
+            return Err(BddError::InvalidImport {
+                index: 0,
+                reason: "chain mode requires an arena holding only terminals",
+            });
+        }
+        self.chain = on;
+        Ok(())
     }
 
     /// Resolved worker-thread count of the parallel apply engine: the
@@ -518,26 +581,72 @@ impl Inner {
     }
 
     /// Creates or finds the node `(level, low, high)`, applying the
-    /// reduction rule `low == high => low`.
+    /// reduction rule `low == high => low` and, in chain mode, the CBDD
+    /// chain rules (the node may come back as a chain node, or an
+    /// existing chain may absorb it).
     ///
     /// Fails only under an active budget or fail plan: unique-table hits
     /// are always free, and the checks fire at the allocation point, where
     /// a node would actually be added. A failed `mk` leaves the table
     /// consistent — nothing has been inserted yet when the error returns.
     pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> Result<u32, BddError> {
-        if low == high {
-            return Ok(low);
+        self.mk_span(level, level, low, high)
+    }
+
+    /// Chain-reduced constructor: the canonical node for
+    /// `¬x_t ∧ … ∧ ¬x_{b-1} ∧ (¬x_b·f0 + x_b·f1)`.
+    ///
+    /// Canonicalisation (Bryant, TACAS 2018, OR-chain / CBDD flavour):
+    ///
+    /// 1. `⟨t:b, f, f⟩ ≡ ⟨t:b-1, f, 0⟩` (and `⟨t:t, f, f⟩ ≡ f`) — a
+    ///    don't-care bottom level folds into the chain;
+    /// 2. `⟨t:b, ⟨b+1:b2, g0, g1⟩, 0⟩ ≡ ⟨t:b2, g0, g1⟩` — a chain whose
+    ///    low edge continues the chain absorbs it.
+    ///
+    /// The canonical invariant is therefore `f0 != f1` and *not*
+    /// (`f1 == 0` and `f0`'s top level is `b + 1`). With chain mode off
+    /// this degenerates to the plain reduction rule (`t == b` always).
+    pub(crate) fn mk_span(
+        &mut self,
+        t: u32,
+        mut b: u32,
+        f0: u32,
+        mut f1: u32,
+    ) -> Result<u32, BddError> {
+        debug_assert!(self.chain || t == b, "chain span in a plain manager");
+        while f0 == f1 {
+            if t == b {
+                return Ok(f0);
+            }
+            b -= 1;
+            f1 = 0;
         }
-        debug_assert!(level < self.num_vars, "mk: level {level} out of range");
+        if self.chain && f1 == 0 && f0 > 1 {
+            let c = self.nodes[f0 as usize];
+            if c.level == b + 1 {
+                return self.mk_raw(t, c.bot, c.low, c.high);
+            }
+        }
+        self.mk_raw(t, b, f0, f1)
+    }
+
+    /// Hash-conses the (already canonical) quadruple `(level, bot, low,
+    /// high)`, allocating on a miss.
+    fn mk_raw(&mut self, level: u32, bot: u32, low: u32, high: u32) -> Result<u32, BddError> {
+        debug_assert!(low != high, "mk_raw: unreduced node");
         debug_assert!(
-            self.nodes[low as usize].level > level && self.nodes[high as usize].level > level,
-            "mk: ordering violation at level {level}"
+            level <= bot && bot < self.num_vars,
+            "mk_raw: span {level}:{bot} out of range"
         );
-        let h = triple_hash(level, low, high) as usize & self.bucket_mask;
+        debug_assert!(
+            self.nodes[low as usize].level > bot && self.nodes[high as usize].level > bot,
+            "mk_raw: ordering violation at span {level}:{bot}"
+        );
+        let h = node_hash(level, bot, low, high) as usize & self.bucket_mask;
         let mut cur = self.buckets[h];
         while cur != NIL {
             let n = &self.nodes[cur as usize];
-            if n.level == level && n.low == low && n.high == high {
+            if n.level == level && n.bot == bot && n.low == low && n.high == high {
                 self.stats.unique_hits += 1;
                 return Ok(cur);
             }
@@ -576,9 +685,20 @@ impl Inner {
             id
         };
         self.stats.nodes_created += 1;
+        if bot > level {
+            self.stats.chain_nodes_created += 1;
+            let len = (bot - level) as u64;
+            self.stats.chain_len_sum += len;
+            self.stats.chain_len_max = self.stats.chain_len_max.max(len);
+        }
+        if self.num_vars > 0 {
+            let bucket = (level as usize * 16 / self.num_vars as usize).min(15);
+            self.stats.level_activity[bucket] += 1;
+        }
         let next = self.buckets[h];
         self.nodes[id as usize] = Node {
             level,
+            bot,
             low,
             high,
             next,
@@ -592,13 +712,65 @@ impl Inner {
         Ok(id)
     }
 
+    /// The chain interval's bottom level of `id` (equals the top level for
+    /// plain nodes).
+    #[inline]
+    pub(crate) fn bot(&self, id: u32) -> u32 {
+        self.nodes[id as usize].bot
+    }
+
+    /// The two cofactors of `f` with respect to the variable at level `m`
+    /// (which must not be below `f`'s top level). For plain nodes this is
+    /// the direct `(low, high)` split; for a chain node at its top level
+    /// the 1-cofactor is `FALSE` and the 0-cofactor is the materialised
+    /// chain tail `⟨m+1:bot, low, high⟩` (hash-consed, so repeated
+    /// decompositions of one chain share tails; tails unreachable after
+    /// the operation are ordinary garbage).
+    pub(crate) fn cofactor_pair(&mut self, f: u32, m: u32) -> Result<(u32, u32), BddError> {
+        if f <= 1 {
+            return Ok((f, f));
+        }
+        let n = self.nodes[f as usize];
+        if n.level > m {
+            return Ok((f, f));
+        }
+        debug_assert_eq!(n.level, m, "cofactor_pair: level below the split");
+        if n.bot == n.level {
+            return Ok((n.low, n.high));
+        }
+        let tail = self.mk_span(m + 1, n.bot, n.low, n.high)?;
+        Ok((tail, 0))
+    }
+
+    /// Records operand shape for a top-level operation: the level span
+    /// from the highest operand root to the bottom of the order (the
+    /// region the recursion can touch). Feeds the profiler's node-shapes
+    /// row and the order-search hot-range heuristic.
+    pub(crate) fn record_op_shape(&mut self, operands: &[u32]) {
+        let mut top = u32::MAX;
+        for &f in operands {
+            if f > 1 {
+                top = top.min(self.nodes[f as usize].level);
+            }
+        }
+        if top == u32::MAX {
+            return;
+        }
+        let span = (self.num_vars - top) as u64;
+        self.stats.op_span_sum += span;
+        self.stats.op_span_max = self.stats.op_span_max.max(span);
+        self.stats.op_span_samples += 1;
+    }
+
     /// Lock-free probe of the unique table for `(level, low, high)`,
     /// used by parallel workers against the *frozen* master arena (no
     /// mutation happens while workers run, so the immutable chain walk is
     /// safe to share). Touches no counters — workers keep their own hit
     /// statistics and merge them after the join.
     pub(crate) fn lookup_frozen(&self, level: u32, low: u32, high: u32) -> Option<u32> {
-        let h = triple_hash(level, low, high) as usize & self.bucket_mask;
+        // The parallel engine never runs on a chain-mode manager, so the
+        // probe is always for a plain `bot == level` node.
+        let h = node_hash(level, level, low, high) as usize & self.bucket_mask;
         let mut cur = self.buckets[h];
         while cur != NIL {
             let n = &self.nodes[cur as usize];
@@ -631,10 +803,11 @@ impl Inner {
         let mut count = 0u64;
         for (level, low, high) in triples {
             let id = self.nodes.len() as u32;
-            let h = triple_hash(level, low, high) as usize & self.bucket_mask;
+            let h = node_hash(level, level, low, high) as usize & self.bucket_mask;
             let next = self.buckets[h];
             self.nodes.push(Node {
                 level,
+                bot: level,
                 low,
                 high,
                 next,
@@ -677,7 +850,7 @@ impl Inner {
     /// check for distinct ids; re-inserting the same id is a no-op).
     pub(crate) fn insert_unique(&mut self, id: u32) {
         let n = self.nodes[id as usize];
-        let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+        let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
         // Idempotence: skip if this id is already chained here.
         let mut cur = self.buckets[h];
         while cur != NIL {
@@ -699,7 +872,7 @@ impl Inner {
             if n.level == TERMINAL_LEVEL || n.level == FREE_LEVEL {
                 continue;
             }
-            let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+            let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
             self.nodes[i].next = self.buckets[h];
             self.buckets[h] = i as u32;
         }
@@ -881,7 +1054,7 @@ impl Inner {
                 continue;
             }
             if n.mark {
-                let h = triple_hash(n.level, n.low, n.high) as usize & self.bucket_mask;
+                let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
                 let node = &mut self.nodes[i];
                 node.mark = false;
                 node.next = self.buckets[h];
@@ -889,6 +1062,7 @@ impl Inner {
             } else {
                 let node = &mut self.nodes[i];
                 node.level = FREE_LEVEL;
+                node.bot = FREE_LEVEL;
                 node.low = self.free_head;
                 node.next = NIL;
                 self.free_head = i as u32;
@@ -976,7 +1150,10 @@ impl Inner {
                 continue;
             }
             let n = &self.nodes[id as usize];
-            vars.insert(self.var_at_level(n.level));
+            // A chain node depends on every variable in its interval.
+            for l in n.level..=n.bot {
+                vars.insert(self.var_at_level(l));
+            }
             stack.push(n.low);
             stack.push(n.high);
         }

@@ -25,9 +25,15 @@ impl ZddId {
     pub const UNIT: ZddId = ZddId(1);
 }
 
+/// A ZDD node. `bot` is the chain interval's bottom variable (Bryant's
+/// CZDD reduction, TACAS 2018): a node with `bot > var` encodes a
+/// don't-care chain over `var..bot-1` followed by the decision
+/// `(¬x_bot·low + x_bot·high)` in ZDD semantics. Plain managers only ever
+/// create the `bot == var` degenerate case.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct ZNode {
     var: u32,
+    bot: u32,
     low: u32,
     high: u32,
 }
@@ -47,16 +53,62 @@ struct ZInner {
     unique: HashMap<ZNode, u32>,
     cache: HashMap<(ZOp, u32, u32), u32>,
     num_vars: u32,
+    chain: bool,
 }
 
 impl ZInner {
     fn mk(&mut self, var: u32, low: u32, high: u32) -> u32 {
-        // Zero-suppression rule: a node whose high edge is the empty family
-        // is redundant.
-        if high == 0 {
-            return low;
+        self.mk_span(var, var, low, high)
+    }
+
+    /// The variable a node tests first (`u32::MAX` for terminals).
+    fn top(&self, a: u32) -> u32 {
+        self.nodes[a as usize].var
+    }
+
+    /// Chain-reduced constructor: the canonical node for the don't-care
+    /// chain `DC(t..b-1) · (¬x_b·f0 + x_b·f1)`.
+    ///
+    /// Canonicalisation (Bryant, TACAS 2018, CZDD flavour):
+    ///
+    /// 1. `⟨t:b, f, 0⟩ ≡ ⟨t:b-1, f, f⟩` (and `⟨t:t, f, 0⟩ ≡ f`, the
+    ///    plain zero-suppression rule) — an empty high edge folds the
+    ///    bottom level into the don't-care chain;
+    /// 2. `⟨t:b, f, f⟩` with `f = ⟨b+1:b2, g0, g1⟩` `≡ ⟨t:b2, g0, g1⟩` —
+    ///    a don't-care bottom whose child continues directly below absorbs
+    ///    the child's chain (chain mode only: plain ZDDs keep their
+    ///    `low == high` don't-care nodes).
+    ///
+    /// The canonical invariant is `f1 != 0` and *not* (`f0 == f1` and
+    /// `f0`'s top variable is `b + 1`). With chain mode off this
+    /// degenerates to the plain rule (`t == b` always).
+    fn mk_span(&mut self, t: u32, mut b: u32, mut f0: u32, mut f1: u32) -> u32 {
+        debug_assert!(self.chain || t == b, "chain span in a plain zdd manager");
+        loop {
+            if f1 == 0 {
+                if t == b {
+                    return f0;
+                }
+                b -= 1;
+                f1 = f0;
+            } else if self.chain && f0 == f1 && f0 > 1 && self.nodes[f0 as usize].var == b + 1 {
+                let c = self.nodes[f0 as usize];
+                b = c.bot;
+                f0 = c.low;
+                f1 = c.high;
+                // The child was canonical, so its (f0, f1) pair cannot
+                // trigger either rule again.
+                break;
+            } else {
+                break;
+            }
         }
-        let key = ZNode { var, low, high };
+        let key = ZNode {
+            var: t,
+            bot: b,
+            low: f0,
+            high: f1,
+        };
         if let Some(&id) = self.unique.get(&key) {
             return id;
         }
@@ -64,6 +116,37 @@ impl ZInner {
         self.nodes.push(key);
         self.unique.insert(key, id);
         id
+    }
+
+    /// The cofactor pair of `a` at variable `m`: (sets without `m`, sets
+    /// with `m` — `m` removed), both over variables `> m`. Requires
+    /// `m <= top(a)`; above the top the variable is absent from every set.
+    /// Don't-care chain levels cofactor to the same tail on both sides.
+    fn zcof(&mut self, a: u32, m: u32) -> (u32, u32) {
+        if a <= 1 {
+            return (a, 0);
+        }
+        let n = self.nodes[a as usize];
+        if n.var > m {
+            return (a, 0);
+        }
+        debug_assert_eq!(n.var, m, "zcof below the top variable");
+        if m == n.bot {
+            (n.low, n.high)
+        } else {
+            let tail = self.mk_span(m + 1, n.bot, n.low, n.high);
+            (tail, tail)
+        }
+    }
+
+    /// `DC(t..end-1) · f`: a don't-care span over the half-open range
+    /// `t..end` in front of `f` (identity when the range is empty).
+    fn dc_span(&mut self, t: u32, end: u32, f: u32) -> u32 {
+        if end <= t {
+            f
+        } else {
+            self.mk_span(t, end - 1, f, f)
+        }
     }
 
     fn union(&mut self, a: u32, b: u32) -> u32 {
@@ -77,26 +160,16 @@ impl ZInner {
         if let Some(&r) = self.cache.get(&(ZOp::Union, a, b)) {
             return r;
         }
-        let r = if a == 1 {
-            // Insert the empty set into b.
-            let nb = self.nodes[b as usize];
-            let lo = self.union(1, nb.low);
-            self.mk(nb.var, lo, nb.high)
-        } else {
-            let na = self.nodes[a as usize];
-            let nb = self.nodes[b as usize];
-            if na.var == nb.var {
-                let lo = self.union(na.low, nb.low);
-                let hi = self.union(na.high, nb.high);
-                self.mk(na.var, lo, hi)
-            } else if na.var < nb.var {
-                let lo = self.union(na.low, b);
-                self.mk(na.var, lo, na.high)
-            } else {
-                let lo = self.union(a, nb.low);
-                self.mk(nb.var, lo, nb.high)
-            }
-        };
+        // Generic merge on the cofactors at the higher top variable (UNIT
+        // reports `u32::MAX`, so `a == 1` descends b's low spine as the
+        // structural merge did). In a plain manager `zcof` is exactly the
+        // stored child pair, so ids and cache behaviour are unchanged.
+        let m = self.top(a).min(self.top(b));
+        let (a0, a1) = self.zcof(a, m);
+        let (b0, b1) = self.zcof(b, m);
+        let lo = self.union(a0, b0);
+        let hi = self.union(a1, b1);
+        let r = self.mk(m, lo, hi);
         self.cache.insert((ZOp::Union, a, b), r);
         r
     }
@@ -118,17 +191,12 @@ impl ZInner {
         if let Some(&r) = self.cache.get(&(ZOp::Intersect, a, b)) {
             return r;
         }
-        let na = self.nodes[a as usize];
-        let nb = self.nodes[b as usize];
-        let r = if na.var == nb.var {
-            let lo = self.intersect(na.low, nb.low);
-            let hi = self.intersect(na.high, nb.high);
-            self.mk(na.var, lo, hi)
-        } else if na.var < nb.var {
-            self.intersect(na.low, b)
-        } else {
-            self.intersect(a, nb.low)
-        };
+        let m = self.top(a).min(self.top(b));
+        let (a0, a1) = self.zcof(a, m);
+        let (b0, b1) = self.zcof(b, m);
+        let lo = self.intersect(a0, b0);
+        let hi = self.intersect(a1, b1);
+        let r = self.mk(m, lo, hi);
         self.cache.insert((ZOp::Intersect, a, b), r);
         r
     }
@@ -149,23 +217,13 @@ impl ZInner {
             } else {
                 1
             }
-        } else if b == 1 {
-            let na = self.nodes[a as usize];
-            let lo = self.diff(na.low, 1);
-            self.mk(na.var, lo, na.high)
         } else {
-            let na = self.nodes[a as usize];
-            let nb = self.nodes[b as usize];
-            if na.var == nb.var {
-                let lo = self.diff(na.low, nb.low);
-                let hi = self.diff(na.high, nb.high);
-                self.mk(na.var, lo, hi)
-            } else if na.var < nb.var {
-                let lo = self.diff(na.low, b);
-                self.mk(na.var, lo, na.high)
-            } else {
-                self.diff(a, nb.low)
-            }
+            let m = self.top(a).min(self.top(b));
+            let (a0, a1) = self.zcof(a, m);
+            let (b0, b1) = self.zcof(b, m);
+            let lo = self.diff(a0, b0);
+            let hi = self.diff(a1, b1);
+            self.mk(m, lo, hi)
         };
         self.cache.insert((ZOp::Diff, a, b), r);
         r
@@ -187,16 +245,23 @@ impl ZInner {
         if na.var > var {
             return a;
         }
-        if na.var == var {
-            return na.low;
-        }
         let key = (ZOp::Subset0, a, var);
         if let Some(&r) = self.cache.get(&key) {
             return r;
         }
-        let lo = self.subset0(na.low, var);
-        let hi = self.subset0(na.high, var);
-        let r = self.mk(na.var, lo, hi);
+        let r = if var < na.bot {
+            // A don't-care chain level: drop it from the chain, keep the
+            // don't-care prefix above it.
+            let tail = self.mk_span(var + 1, na.bot, na.low, na.high);
+            self.dc_span(na.var, var, tail)
+        } else if var == na.bot {
+            // The decision level: keep the low branch under the prefix.
+            self.dc_span(na.var, na.bot, na.low)
+        } else {
+            let lo = self.subset0(na.low, var);
+            let hi = self.subset0(na.high, var);
+            self.mk_span(na.var, na.bot, lo, hi)
+        };
         self.cache.insert(key, r);
         r
     }
@@ -210,16 +275,23 @@ impl ZInner {
         if na.var > var {
             return 0;
         }
-        if na.var == var {
-            return na.high;
-        }
         let key = (ZOp::Subset1, a, var);
         if let Some(&r) = self.cache.get(&key) {
             return r;
         }
-        let lo = self.subset1(na.low, var);
-        let hi = self.subset1(na.high, var);
-        let r = self.mk(na.var, lo, hi);
+        let r = if var < na.bot {
+            // Don't-care level: the sets containing `var` biject (by
+            // removing it) onto the sets without it — same result as
+            // `subset0`.
+            let tail = self.mk_span(var + 1, na.bot, na.low, na.high);
+            self.dc_span(na.var, var, tail)
+        } else if var == na.bot {
+            self.dc_span(na.var, na.bot, na.high)
+        } else {
+            let lo = self.subset1(na.low, var);
+            let hi = self.subset1(na.high, var);
+            self.mk_span(na.var, na.bot, lo, hi)
+        };
         self.cache.insert(key, r);
         r
     }
@@ -239,12 +311,16 @@ impl ZInner {
             let na = self.nodes[a as usize];
             if na.var > var {
                 self.mk(var, 0, a)
-            } else if na.var == var {
-                self.mk(var, na.high, na.low)
+            } else if var < na.bot {
+                // Toggling a don't-care level permutes the family onto
+                // itself.
+                a
+            } else if var == na.bot {
+                self.mk_span(na.var, na.bot, na.high, na.low)
             } else {
                 let lo = self.change(na.low, var);
                 let hi = self.change(na.high, var);
-                self.mk(na.var, lo, hi)
+                self.mk_span(na.var, na.bot, lo, hi)
             }
         };
         self.cache.insert(key, r);
@@ -262,7 +338,9 @@ impl ZInner {
             return c;
         }
         let n = self.nodes[a as usize];
-        let c = self.count(n.low, memo) + self.count(n.high, memo);
+        // Each don't-care chain level doubles the family.
+        let c = (self.count(n.low, memo) + self.count(n.high, memo))
+            * (2f64).powi((n.bot - n.var) as i32);
         memo.insert(a, c);
         c
     }
@@ -316,16 +394,31 @@ impl fmt::Debug for ZddManager {
 impl ZddManager {
     /// Creates a ZDD manager over `num_vars` variables.
     pub fn new(num_vars: usize) -> ZddManager {
+        ZddManager::new_inner(num_vars, false)
+    }
+
+    /// Creates a chain-reduced (CZDD) manager: nodes may carry a chain
+    /// interval encoding a don't-care span (Bryant, TACAS 2018), so
+    /// families where many variables are "present or absent freely" store
+    /// one node per span. A CZDD never holds more nodes than the plain
+    /// ZDD of the same family.
+    pub fn new_chained(num_vars: usize) -> ZddManager {
+        ZddManager::new_inner(num_vars, true)
+    }
+
+    fn new_inner(num_vars: usize, chain: bool) -> ZddManager {
         ZddManager {
             inner: Rc::new(RefCell::new(ZInner {
                 nodes: vec![
                     ZNode {
                         var: u32::MAX,
+                        bot: u32::MAX,
                         low: 0,
                         high: 0,
                     },
                     ZNode {
                         var: u32::MAX,
+                        bot: u32::MAX,
                         low: 1,
                         high: 1,
                     },
@@ -333,8 +426,15 @@ impl ZddManager {
                 unique: HashMap::new(),
                 cache: HashMap::new(),
                 num_vars: num_vars as u32,
+                chain,
             })),
         }
+    }
+
+    /// `true` when this manager applies chain reduction (created via
+    /// [`ZddManager::new_chained`]).
+    pub fn chain_mode(&self) -> bool {
+        self.inner.borrow().chain
     }
 
     /// Number of variables.
@@ -432,7 +532,10 @@ impl ZddManager {
         let inner = self.inner.borrow();
         let mut out = Vec::new();
         let mut prefix = Vec::new();
-        fn rec(inner: &ZInner, id: u32, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        // `top` is the effective top variable of `id`: chain nodes expand
+        // their don't-care levels one at a time (both with and without the
+        // variable) before the decision at `bot`.
+        fn rec(inner: &ZInner, id: u32, top: u32, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
             if id == 0 {
                 return;
             }
@@ -441,12 +544,20 @@ impl ZddManager {
                 return;
             }
             let n = inner.nodes[id as usize];
-            rec(inner, n.low, prefix, out);
-            prefix.push(n.var);
-            rec(inner, n.high, prefix, out);
+            if top < n.bot {
+                rec(inner, id, top + 1, prefix, out);
+                prefix.push(top);
+                rec(inner, id, top + 1, prefix, out);
+                prefix.pop();
+                return;
+            }
+            rec(inner, n.low, inner.top(n.low), prefix, out);
+            prefix.push(n.bot);
+            rec(inner, n.high, inner.top(n.high), prefix, out);
             prefix.pop();
         }
-        rec(&inner, a.0, &mut prefix, &mut out);
+        let top = inner.top(a.0);
+        rec(&inner, a.0, top, &mut prefix, &mut out);
         out.sort();
         out
     }
@@ -471,12 +582,26 @@ impl ZddManager {
                 }
                 let n = inner.nodes[id as usize];
                 if expanded {
+                    // A chain node expands to its plain spine: the decision
+                    // node at `bot`, then one don't-care `(next, next)` node
+                    // per chain level walking back up to `var`. Plain
+                    // managers emit exactly one entry per node, so their
+                    // tables are unchanged. The id maps to the topmost slot.
                     out.push(ExportedNode {
-                        var: n.var,
+                        var: n.bot,
                         low: slot[&n.low],
                         high: slot[&n.high],
                     });
-                    slot.insert(id, out.len() as u32 + 1);
+                    let mut acc = out.len() as u32 + 1;
+                    for l in (n.var..n.bot).rev() {
+                        out.push(ExportedNode {
+                            var: l,
+                            low: acc,
+                            high: acc,
+                        });
+                        acc = out.len() as u32 + 1;
+                    }
+                    slot.insert(id, acc);
                 } else {
                     stack.push((id, true));
                     stack.push((n.high, false));

@@ -3,8 +3,9 @@
 //! an equality-heavy relation, sifting should recover an interleaved-like
 //! order and collapse the BDD.
 
-use jedd_bench::criterion::Criterion;
 use jedd_bdd::BddManager;
+use jedd_bench::criterion::Criterion;
+use jedd_bench::report::{write_section, JsonObject};
 
 const BITS: usize = 11;
 
@@ -31,7 +32,7 @@ fn bench_sifting(c: &mut Criterion) {
     let (mgr, eq) = blocked_equality();
     let before = eq.node_count();
     let count = eq.satcount();
-    mgr.reorder_sift();
+    let (_, sift_s) = jedd_bench::timed(|| mgr.reorder_sift());
     let after = eq.node_count();
     assert_eq!(eq.satcount(), count, "sifting preserves the function");
     assert!(
@@ -39,6 +40,28 @@ fn bench_sifting(c: &mut Criterion) {
         "sifting should collapse the blocked equality: {before} -> {after}"
     );
     eprintln!("blocked equality over {BITS}-bit vectors: {before} nodes -> {after} after sifting");
+
+    // The order lab's search (sifting + window-3 + hot-window restarts)
+    // on the same pessimal start, for comparison against plain sifting.
+    let (mgr2, eq2) = blocked_equality();
+    let ((search_before, search_after), search_s) =
+        jedd_bench::timed(|| mgr2.order_search(2, 0x5EED));
+    assert_eq!(eq2.satcount(), count, "order search preserves the function");
+    write_section(
+        "sifting",
+        &JsonObject::new()
+            .int("bits", BITS as u64)
+            .int("nodes_before", before as u64)
+            .int("nodes_after_sift", after as u64)
+            .float("sift_s", sift_s)
+            .int("search_before", search_before as u64)
+            .int("search_after", search_after as u64)
+            .float("search_s", search_s)
+            .int(
+                "sift_sweeps",
+                mgr2.kernel_stats().sift_sweeps,
+            ),
+    );
 }
 
 jedd_bench::criterion_group!(benches, bench_sifting);

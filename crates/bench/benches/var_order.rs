@@ -3,8 +3,9 @@
 //! relation under interleaved and blocked physical-domain orders and
 //! compares both construction time and node counts.
 
-use jedd_bench::criterion::Criterion;
 use jedd_bdd::BddManager;
+use jedd_bench::criterion::Criterion;
+use jedd_bench::report::{write_section, JsonObject};
 
 const BITS: usize = 14;
 
@@ -35,8 +36,8 @@ fn bench_var_order(c: &mut Criterion) {
     g.bench_function("blocked", |b| b.iter(equality_blocked));
     g.finish();
 
-    let (count_i, nodes_i) = equality_interleaved();
-    let (count_b, nodes_b) = equality_blocked();
+    let ((count_i, nodes_i), secs_i) = jedd_bench::timed(equality_interleaved);
+    let ((count_b, nodes_b), secs_b) = jedd_bench::timed(equality_blocked);
     assert_eq!(count_i, count_b, "same relation under both orders");
     // The paper's point: ordering changes the size dramatically.
     assert!(
@@ -44,6 +45,16 @@ fn bench_var_order(c: &mut Criterion) {
         "blocked ({nodes_b}) should dwarf interleaved ({nodes_i})"
     );
     eprintln!("equality over {BITS}-bit vectors: interleaved {nodes_i} nodes, blocked {nodes_b} nodes");
+    write_section(
+        "var_order",
+        &JsonObject::new()
+            .int("bits", BITS as u64)
+            .int("interleaved_nodes", nodes_i as u64)
+            .int("blocked_nodes", nodes_b as u64)
+            .float("interleaved_s", secs_i)
+            .float("blocked_s", secs_b)
+            .float("blowup", nodes_b as f64 / nodes_i as f64),
+    );
 }
 
 jedd_bench::criterion_group!(benches, bench_var_order);

@@ -61,4 +61,4 @@ pub use jedd_bdd::{BddError, Budget, CancelToken, FailPlan, KernelStats};
 pub use ops::ComposeJob;
 pub use profile::{OpEvent, ProfileSink};
 pub use relation::Relation;
-pub use universe::{AttrId, DomainId, PhysDomId, Universe, UniverseStats};
+pub use universe::{AttrId, Backend, DomainId, PhysDomId, Universe, UniverseStats};

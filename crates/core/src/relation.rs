@@ -297,6 +297,44 @@ impl Relation {
         self.bdd.shape()
     }
 
+    /// The node count of this relation in its universe's storage backend.
+    ///
+    /// For [`Backend::Bdd`](crate::Backend::Bdd) and
+    /// [`Backend::Cbdd`](crate::Backend::Cbdd) this is
+    /// [`Relation::node_count`] — the (chain-reduced) BDD the operations
+    /// actually run on. For the zero-suppressed backends the tuple set is
+    /// re-encoded into a fresh (plain or chain-reduced) ZDD and its node
+    /// count is returned; this enumerates the tuples, so it is a
+    /// measurement facility for benches and the profiler, not an
+    /// operational path.
+    pub fn storage_nodes(&self) -> usize {
+        let backend = self.universe.backend();
+        if !backend.is_zdd_storage() {
+            return self.node_count();
+        }
+        let nvars = self.universe.bdd_manager().num_vars();
+        let z = if backend.is_chained() {
+            jedd_bdd::ZddManager::new_chained(nvars)
+        } else {
+            jedd_bdd::ZddManager::new(nvars)
+        };
+        let fields: Vec<Vec<u32>> = self
+            .schema
+            .iter()
+            .map(|&(_, p)| self.universe.physdom_bits(p))
+            .collect();
+        let mut acc = jedd_bdd::ZddId::EMPTY;
+        for tuple in self.tuples() {
+            let field_refs: Vec<(&[u32], u64)> = fields
+                .iter()
+                .zip(&tuple)
+                .map(|(bits, &v)| (bits.as_slice(), v))
+                .collect();
+            acc = z.union(acc, z.encode_tuple(&field_refs));
+        }
+        z.node_count(acc)
+    }
+
     /// All BDD levels used by the schema's physical domains, sorted.
     pub(crate) fn schema_bits(&self) -> Vec<u32> {
         let mut bits: Vec<u32> = self

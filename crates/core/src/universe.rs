@@ -85,8 +85,80 @@ pub struct UniverseStats {
     pub relational_ops: u64,
 }
 
+/// The decision-diagram backend a universe stores its relations in.
+///
+/// All four backends share the relational algebra: operations always run
+/// on the universe's BDD manager (plain for [`Backend::Bdd`] /
+/// [`Backend::Zdd`], chain-reduced for [`Backend::Cbdd`] /
+/// [`Backend::Czdd`]). The ZDD variants are *storage encodings*: they
+/// change what [`crate::Relation::storage_nodes`] measures (the
+/// zero-suppressed encoding of the tuple set), not how operations are
+/// computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Plain reduced ordered BDDs (the default).
+    Bdd,
+    /// Chain-reduced BDDs (CBDD): runs of forced-false levels collapse
+    /// into one node. Order-static (reordering degrades to collection).
+    Cbdd,
+    /// BDD algebra with zero-suppressed storage accounting.
+    Zdd,
+    /// Chain-reduced ZDD (CZDD) storage accounting over the CBDD kernel.
+    Czdd,
+}
+
+impl Backend {
+    /// True when the kernel runs with chain-reduced nodes.
+    pub fn is_chained(self) -> bool {
+        matches!(self, Backend::Cbdd | Backend::Czdd)
+    }
+
+    /// True when storage is accounted in the zero-suppressed encoding.
+    pub fn is_zdd_storage(self) -> bool {
+        matches!(self, Backend::Zdd | Backend::Czdd)
+    }
+
+    /// The stable single-byte tag used by the snapshot format.
+    pub fn tag(self) -> u8 {
+        match self {
+            Backend::Bdd => 0,
+            Backend::Zdd => 1,
+            Backend::Cbdd => 2,
+            Backend::Czdd => 3,
+        }
+    }
+
+    /// The backend for a snapshot tag, if it names one.
+    pub fn from_tag(tag: u8) -> Option<Backend> {
+        match tag {
+            0 => Some(Backend::Bdd),
+            1 => Some(Backend::Zdd),
+            2 => Some(Backend::Cbdd),
+            3 => Some(Backend::Czdd),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in bench output and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Bdd => "bdd",
+            Backend::Cbdd => "cbdd",
+            Backend::Zdd => "zdd",
+            Backend::Czdd => "czdd",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 struct UniverseInner {
     mgr: BddManager,
+    backend: Backend,
     domains: Vec<DomainInfo>,
     attrs: Vec<AttrInfo>,
     physdoms: Vec<PhysDomInfo>,
@@ -139,10 +211,31 @@ impl fmt::Debug for Universe {
 
 impl Universe {
     /// Creates an empty universe with a fresh BDD manager.
+    ///
+    /// The backend defaults to [`Backend::Bdd`]; setting the environment
+    /// variable `JEDD_CHAIN=1` switches the default to [`Backend::Cbdd`]
+    /// so a whole test or analysis run can be flipped to the chain-reduced
+    /// kernel without code changes (the CI chain pass uses this).
     pub fn new() -> Universe {
+        let backend = if std::env::var("JEDD_CHAIN").as_deref() == Ok("1") {
+            Backend::Cbdd
+        } else {
+            Backend::Bdd
+        };
+        Universe::new_with_backend(backend)
+    }
+
+    /// Creates an empty universe storing relations in the given backend.
+    pub fn new_with_backend(backend: Backend) -> Universe {
+        let mgr = if backend.is_chained() {
+            BddManager::new_chained(0)
+        } else {
+            BddManager::new(0)
+        };
         Universe {
             inner: Rc::new(RefCell::new(UniverseInner {
-                mgr: BddManager::new(0),
+                mgr,
+                backend,
                 domains: Vec::new(),
                 attrs: Vec::new(),
                 physdoms: Vec::new(),
@@ -151,6 +244,11 @@ impl Universe {
                 site: String::new(),
             })),
         }
+    }
+
+    /// The decision-diagram backend this universe was created with.
+    pub fn backend(&self) -> Backend {
+        self.inner.borrow().backend
     }
 
     /// The underlying BDD manager.
@@ -221,6 +319,24 @@ impl Universe {
             domain,
         });
         id
+    }
+
+    /// The number of BDD variables belonging to *named* physical domains.
+    ///
+    /// Named domains are all registered up front (before any relation
+    /// exists), so their variables are exactly `0..named_var_count()`;
+    /// anything beyond belongs to anonymous scratch domains allocated on
+    /// demand by the dynamic relational API. A learned variable order is
+    /// persisted projected onto this prefix — scratch variables are
+    /// transient and a fresh universe does not have them yet.
+    pub fn named_var_count(&self) -> usize {
+        self.inner
+            .borrow()
+            .physdoms
+            .iter()
+            .filter(|pd| !pd.anonymous)
+            .map(|pd| pd.bits.len())
+            .sum()
     }
 
     /// Registers a physical domain of `bits` BDD variables, allocated as a

@@ -43,8 +43,9 @@ pub use checkpoint::{
 pub use error::StoreError;
 pub use faults::{Kill, StoreFaults};
 pub use snapshot::{
-    decode_bdd_snapshot, decode_zdd_snapshot, encode_bdd_snapshot, encode_zdd_snapshot,
-    load_bdd_snapshot, load_zdd_snapshot, snapshot_backend, BddSnapshot, ZddSnapshot, BACKEND_BDD,
-    BACKEND_ZDD,
+    decode_bdd_snapshot, decode_order_record, decode_zdd_snapshot, encode_bdd_snapshot,
+    encode_order_record, encode_zdd_snapshot, load_bdd_snapshot, load_order_record,
+    load_zdd_snapshot, save_order_record, snapshot_backend, BddSnapshot, OrderRecord, ZddSnapshot,
+    BACKEND_BDD, BACKEND_CBDD, BACKEND_CZDD, BACKEND_ORDER, BACKEND_ZDD,
 };
 pub use wal::{read_records, read_records_prefix, LogRecord};

@@ -32,6 +32,18 @@ const VERSION: u32 = 1;
 pub const BACKEND_BDD: u8 = 0;
 /// Backend tag of a ZDD snapshot.
 pub const BACKEND_ZDD: u8 = 1;
+/// Backend tag of a chain-reduced BDD (CBDD) relation snapshot. The
+/// payload format is identical to [`BACKEND_BDD`] (the node table is the
+/// plain spine expansion); the tag tells the decoder to rebuild into a
+/// chain-reduced universe.
+pub const BACKEND_CBDD: u8 = 2;
+/// Backend tag of a chain-reduced ZDD (CZDD) snapshot; payload format as
+/// [`BACKEND_ZDD`], rebuilt into a chain-reduced manager.
+pub const BACKEND_CZDD: u8 = 3;
+/// Tag of a learned variable-order record (see [`OrderRecord`]): not a
+/// node snapshot but a per-analysis `level -> variable` table persisted by
+/// the order-search lab so warm runs skip sifting entirely.
+pub const BACKEND_ORDER: u8 = 4;
 const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 4;
 /// Sanity cap on the variable count a snapshot may declare; real
 /// universes are orders of magnitude below this.
@@ -149,7 +161,7 @@ fn unframe<'a>(bytes: &'a [u8], path: &Path) -> Result<(u8, &'a [u8]), StoreErro
         return Err(header_err("unsupported version"));
     }
     let backend = bytes[8];
-    if backend > BACKEND_ZDD {
+    if backend > BACKEND_ORDER {
         return Err(header_err("unknown backend tag"));
     }
     let payload_len = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
@@ -274,7 +286,16 @@ pub fn encode_bdd_snapshot(universe: &Universe, relations: &[(&str, &Relation)])
         }
         put_u32(&mut p, *slot);
     }
-    frame(BACKEND_BDD, p)
+    // The node table is the plain spine expansion either way; the tag
+    // records which kernel to rebuild into. (A `Backend::Czdd` universe
+    // runs on the chained kernel, so it round-trips as CBDD — the ZDD
+    // storage-accounting choice is not part of the persisted data.)
+    let tag = if mgr.chain_mode() {
+        BACKEND_CBDD
+    } else {
+        BACKEND_BDD
+    };
+    frame(tag, p)
 }
 
 // ------------------------------------------------------------ BDD decode
@@ -311,7 +332,7 @@ impl BddSnapshot {
 /// relational validation rejects the content.
 pub fn decode_bdd_snapshot(bytes: &[u8], path: &Path) -> Result<BddSnapshot, StoreError> {
     let (backend, payload) = unframe(bytes, path)?;
-    if backend != BACKEND_BDD {
+    if backend != BACKEND_BDD && backend != BACKEND_CBDD {
         return Err(StoreError::BadHeader {
             path: path.to_path_buf(),
             reason: "not a BDD snapshot",
@@ -413,7 +434,13 @@ pub fn decode_bdd_snapshot(bytes: &[u8], path: &Path) -> Result<BddSnapshot, Sto
     c.done()?;
 
     // Rebuild: fresh manager, saved order, registries replayed in id order.
-    let universe = Universe::new();
+    // The tag — not the ambient JEDD_CHAIN environment — decides the
+    // kernel, so snapshots decode identically everywhere.
+    let universe = Universe::new_with_backend(if backend == BACKEND_CBDD {
+        jedd_core::Backend::Cbdd
+    } else {
+        jedd_core::Backend::Bdd
+    });
     let mgr = universe.bdd_manager();
     mgr.add_vars(num_vars as usize);
     mgr.set_order(&order)?;
@@ -479,7 +506,12 @@ pub fn encode_zdd_snapshot(manager: &ZddManager, roots: &[(&str, ZddId)]) -> Vec
         put_str(&mut p, name);
         put_u32(&mut p, *slot);
     }
-    frame(BACKEND_ZDD, p)
+    let tag = if manager.chain_mode() {
+        BACKEND_CZDD
+    } else {
+        BACKEND_ZDD
+    };
+    frame(tag, p)
 }
 
 /// Decodes a framed ZDD snapshot into a fresh manager.
@@ -489,7 +521,7 @@ pub fn encode_zdd_snapshot(manager: &ZddManager, roots: &[(&str, ZddId)]) -> Vec
 /// Same classes as [`decode_bdd_snapshot`].
 pub fn decode_zdd_snapshot(bytes: &[u8], path: &Path) -> Result<ZddSnapshot, StoreError> {
     let (backend, payload) = unframe(bytes, path)?;
-    if backend != BACKEND_ZDD {
+    if backend != BACKEND_ZDD && backend != BACKEND_CZDD {
         return Err(StoreError::BadHeader {
             path: path.to_path_buf(),
             reason: "not a ZDD snapshot",
@@ -513,7 +545,11 @@ pub fn decode_zdd_snapshot(bytes: &[u8], path: &Path) -> Result<ZddSnapshot, Sto
         named.push((name, slot));
     }
     c.done()?;
-    let manager = ZddManager::new(num_vars as usize);
+    let manager = if backend == BACKEND_CZDD {
+        ZddManager::new_chained(num_vars as usize)
+    } else {
+        ZddManager::new(num_vars as usize)
+    };
     let slots: Vec<u32> = named.iter().map(|&(_, s)| s).collect();
     let ids = manager.import_nodes(&nodes, &slots)?;
     let roots = named
@@ -522,6 +558,107 @@ pub fn decode_zdd_snapshot(bytes: &[u8], path: &Path) -> Result<ZddSnapshot, Sto
         .map(|((name, _), id)| (name, id))
         .collect();
     Ok(ZddSnapshot { manager, roots })
+}
+
+// ----------------------------------------------------- learned orders
+
+/// A persisted learned variable order: the product of the offline
+/// order-search lab for one analysis, replayed on warm runs so they start
+/// from a known-good order and perform zero sifting sweeps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderRecord {
+    /// The analysis (or benchmark) the order was learned for.
+    pub analysis: String,
+    /// The backend the order was learned under.
+    pub backend: jedd_core::Backend,
+    /// The `level -> variable` table, as accepted by
+    /// `BddManager::set_order` — a permutation of `0..len`.
+    pub level2var: Vec<u32>,
+}
+
+/// Serializes a learned-order record in the common JSNP frame with the
+/// [`BACKEND_ORDER`] tag.
+pub fn encode_order_record(record: &OrderRecord) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_str(&mut p, &record.analysis);
+    put_u8(&mut p, record.backend.tag());
+    put_u32(&mut p, record.level2var.len() as u32);
+    for v in &record.level2var {
+        put_u32(&mut p, *v);
+    }
+    frame(BACKEND_ORDER, p)
+}
+
+/// Decodes a learned-order record, validating that the table is a
+/// permutation.
+///
+/// # Errors
+///
+/// The frame errors of [`decode_bdd_snapshot`], a
+/// [`StoreError::BadHeader`] when the tag is not [`BACKEND_ORDER`], and
+/// [`StoreError::Malformed`] when the backend byte or the permutation is
+/// invalid.
+pub fn decode_order_record(bytes: &[u8], path: &Path) -> Result<OrderRecord, StoreError> {
+    let (backend, payload) = unframe(bytes, path)?;
+    if backend != BACKEND_ORDER {
+        return Err(StoreError::BadHeader {
+            path: path.to_path_buf(),
+            reason: "not a learned-order record",
+        });
+    }
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+        path,
+    };
+    let analysis = c.str("analysis name")?;
+    let backend_tag = c.u8("order backend tag")?;
+    let backend = jedd_core::Backend::from_tag(backend_tag)
+        .ok_or_else(|| c.malformed(format!("unknown order backend tag {backend_tag}")))?;
+    let n = c.count(4, "order table")?;
+    if n as u64 > MAX_VARS as u64 {
+        return Err(c.malformed("implausible variable count"));
+    }
+    let mut level2var = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let v = c.u32("order entry")?;
+        if (v as usize) >= n || seen[v as usize] {
+            return Err(c.malformed(format!("order table is not a permutation (entry {v})")));
+        }
+        seen[v as usize] = true;
+        level2var.push(v);
+    }
+    c.done()?;
+    Ok(OrderRecord {
+        analysis,
+        backend,
+        level2var,
+    })
+}
+
+/// Atomically writes a learned-order record (write to a temp file in the
+/// same directory, fsync, rename).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure.
+pub fn save_order_record(path: &Path, record: &OrderRecord) -> Result<(), StoreError> {
+    crate::io::write_atomic(path, &encode_order_record(record), None, false)
+}
+
+/// Reads and decodes a learned-order record file.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the file is unreadable, else the decode errors.
+pub fn load_order_record(path: &Path) -> Result<OrderRecord, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+        op: "read order record",
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    decode_order_record(&bytes, path)
 }
 
 // ------------------------------------------------------------- file I/O

@@ -2,7 +2,9 @@
 //! independent backends — the production BDD-backed [`Relation`], a ZDD
 //! encoding driven through `ZddManager`'s family algebra, and a plain
 //! `BTreeSet` oracle — must produce identical tuple sets after every
-//! operation.
+//! operation. Every case also runs with chain-reduced kernels (CBDD
+//! relations against a CZDD family), so all four decision-diagram kinds
+//! are checked against the same oracle.
 //!
 //! Each case builds a fresh universe (one domain of 6 objects encoded in
 //! 3 bits, five attributes over it) and applies a random sequence of
@@ -14,7 +16,7 @@
 
 use jedd::bdd::rng::XorShift64Star;
 use jedd::bdd::{ZddId, ZddManager};
-use jedd::core::{AttrId, PhysDomId, Relation, Universe};
+use jedd::core::{AttrId, Backend, PhysDomId, Relation, Universe};
 use std::collections::BTreeSet;
 
 const NATTRS: usize = 5;
@@ -30,8 +32,12 @@ struct World {
 }
 
 impl World {
-    fn new() -> World {
-        let u = Universe::new();
+    /// `chained` selects chain-reduced kernels on both sides: the
+    /// relation universe runs on a CBDD manager and the family algebra on
+    /// a CZDD manager. The relational and family APIs are identical, so
+    /// every fuzz step below is backend-agnostic.
+    fn new_with(chained: bool) -> World {
+        let u = Universe::new_with_backend(if chained { Backend::Cbdd } else { Backend::Bdd });
         let d = u.add_domain("obj", DOM);
         let attrs: Vec<AttrId> = (0..NATTRS)
             .map(|i| u.add_attribute(&format!("a{i}"), d))
@@ -43,12 +49,12 @@ impl World {
         // it so runs with JEDD_THREADS > 1 also exercise the parallel
         // apply path through the differential check.
         u.bdd_manager().set_par_cutoff(64);
-        World {
-            u,
-            attrs,
-            phys,
-            z: ZddManager::new(NATTRS * BITS),
-        }
+        let z = if chained {
+            ZddManager::new_chained(NATTRS * BITS)
+        } else {
+            ZddManager::new(NATTRS * BITS)
+        };
+        World { u, attrs, phys, z }
     }
 }
 
@@ -316,6 +322,7 @@ fn combine(w: &World, l: &Rel3, r: &Rel3, compose: bool) -> Rel3 {
 struct CaseOpts {
     threads: Option<usize>,
     churn: bool,
+    chained: bool,
 }
 
 fn run_case(seed: u64) {
@@ -323,7 +330,7 @@ fn run_case(seed: u64) {
 }
 
 fn run_case_with(seed: u64, opts: CaseOpts) {
-    let w = World::new();
+    let w = World::new_with(opts.chained);
     if let Some(t) = opts.threads {
         w.u.bdd_manager().set_threads(t);
     }
@@ -457,6 +464,54 @@ fn differential_fuzz_thread_sweep_with_churn() {
                 CaseOpts {
                     threads: Some(threads),
                     churn: true,
+                    chained: false,
+                },
+            );
+        }
+    }
+}
+
+/// The chain-reduced kinds against the same oracle: CBDD relations and a
+/// CZDD family replay the same seeds as the plain run. Since the plain
+/// run checks BDD/ZDD against the identical oracle rows, passing both
+/// suites is a four-way differential across every decision-diagram kind.
+#[test]
+fn differential_fuzz_cbdd_czdd_sets() {
+    let cases: u64 = std::env::var("JEDD_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    for case in 0..cases {
+        run_case_with(
+            case,
+            CaseOpts {
+                chained: true,
+                ..CaseOpts::default()
+            },
+        );
+    }
+}
+
+/// The thread sweep under chain-reduced kernels. Chained managers keep
+/// the parallel apply path off internally and degrade sifting to a
+/// collection, so what this enforces is exactly that: explicit thread
+/// counts and mid-run churn must be invisible no-ops — identical tuples
+/// at every thread count, with GC/reorder calls interleaved throughout.
+#[test]
+fn differential_fuzz_chained_thread_sweep_with_churn() {
+    let cases: u64 = std::env::var("JEDD_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| (n / 8).max(2))
+        .unwrap_or(12);
+    for &threads in &[1usize, 2, 4, 8] {
+        for case in 0..cases {
+            run_case_with(
+                case,
+                CaseOpts {
+                    threads: Some(threads),
+                    churn: true,
+                    chained: true,
                 },
             );
         }
