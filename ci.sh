@@ -2,7 +2,7 @@
 # Offline CI: build, test, lint. No network access is required (the
 # workspace has no external dependencies).
 #
-# Usage: ci.sh [--stress] [--crash]
+# Usage: ci.sh [--stress] [--crash] [--paged]
 #   --stress  additionally run the #[ignore] concurrency stress tests
 #             (4 workers hammering mk/apply through GC safepoints).
 #   --crash   additionally run a bounded slice of the fault-injection
@@ -10,16 +10,24 @@
 #             resume, assert tuple-identical results). Bound the number
 #             of matrix cases with JEDD_CRASH_CASES (default 10 here;
 #             the full matrix runs in the regular test suite).
+#   --paged   additionally run the disk-backed pager suites: the
+#             paged-vs-resident differential fuzz worlds, the
+#             Table-2 analyses under a tiny JEDD_PAGE_CACHE budget
+#             (asserting page_faults > 0 and tuple identity), the
+#             kill-mid-eviction crash/resume path, and the
+#             paged_capacity bench.
 set -eu
 
 cd "$(dirname "$0")"
 
 STRESS=0
 CRASH=0
+PAGED=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
         --crash) CRASH=1 ;;
+        --paged) PAGED=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -86,6 +94,26 @@ if [ "$CRASH" = 1 ]; then
         cargo test -p jedd-analyses --test crash_resume --offline -q
 fi
 
+if [ "$PAGED" = 1 ]; then
+    echo "==> paged kernel (pager unit/property tests)"
+    cargo test -p jedd-bdd --test pager --offline -q
+    echo "==> paged kernel (differential fuzz worlds)"
+    # The paged fuzz worlds run tiny/medium/unbounded frame budgets on
+    # both the plain and the chain-reduced backend against the resident
+    # world and the BTreeSet oracle, with GC churn mid-case.
+    cargo test --offline -q --test differential differential_fuzz_paged_worlds
+    echo "==> paged kernel (analyses paged-vs-resident contract)"
+    cargo test -p jedd-analyses --test paged --offline -q
+    # The env seam: JEDD_PAGE_CACHE turns every env-default universe
+    # into a paged one; the ignored test asserts it faults under the
+    # budget and still matches a resident run tuple-for-tuple.
+    JEDD_PAGE_CACHE=4 \
+        cargo test -p jedd-analyses --test paged --offline -q -- --ignored
+    echo "==> paged kernel (kill-mid-eviction crash/resume)"
+    cargo test -p jedd-analyses --test crash_resume --offline -q \
+        paged_run_killed_mid_eviction_resumes_tuple_identical
+fi
+
 echo "==> jeddc --lint --deny warnings (embedded analysis corpus)"
 # The five Table-1 module combinations (mirroring jedd_src::modules())
 # must be lint-clean: jeddlint gating its own shipped analyses keeps the
@@ -146,6 +174,13 @@ JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench sifting --offline
 JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
     cargo bench -p jedd-bench --bench var_order --offline
+# The paged-capacity bench validates the disk-backed pager's headline
+# claim in every CI run: the points-to analysis completes under a
+# 4-frame resident budget (1024 node slots, far below its live working
+# set), faults pages, and lands tuple-identical to the resident run.
+# Wall clocks and page-fault/eviction counters join the report.
+JEDD_BENCH_SAMPLES=1 JEDD_BENCH_JSON="$(pwd)/BENCH_kernel.json" \
+    cargo bench -p jedd-bench --bench paged_capacity --offline
 test -s BENCH_kernel.json
 
 echo "==> OK"

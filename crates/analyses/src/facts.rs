@@ -153,6 +153,18 @@ impl Facts {
         Self::load_into(Universe::new(), p, None)
     }
 
+    /// Builds the universe on a disk-backed paged manager with a resident
+    /// budget of `frames` buffer-pool frames (`0` = paged, unbounded) —
+    /// the larger-than-RAM path. Results are tuple-identical to
+    /// [`Facts::load`] at any budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Facts::load`].
+    pub fn load_paged(p: &Program, frames: usize) -> Result<Facts, JeddError> {
+        Self::load_into(Universe::new_paged(frames), p, None)
+    }
+
     /// Builds the universe on an explicit backend, optionally installing a
     /// learned variable order (a persisted `jedd_store::OrderRecord`
     /// `level -> var` table) before any relation is built — the

@@ -336,6 +336,60 @@ fn zdd_closure_resumes_after_kill() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A *paged* checkpointed run killed mid-eviction: the points-to
+/// analysis runs on a disk-backed universe whose resident-frame budget
+/// forces constant eviction, and `StoreFaults::kill_page_write` tears
+/// the Nth eviction write after the first checkpoint arms the pager.
+/// The run must die with a typed error (surfaced as resource
+/// exhaustion, with the full pager error parked on the manager and
+/// convertible to the store's vocabulary) — and resuming from the
+/// committed checkpoint must land tuple-identical to a clean run. The
+/// page file is scratch; only checkpoints are durable, so resume works
+/// from a fresh manager.
+#[test]
+fn paged_run_killed_mid_eviction_resumes_tuple_identical() {
+    let clean = tmpdir("paged-clean");
+    let expected = run_checkpointed(Which::Pointsto, &clean, None, None).unwrap();
+    let _ = std::fs::remove_dir_all(&clean);
+
+    let dir = tmpdir("paged-kill");
+    let p = Benchmark::Tiny.generate();
+    let f = Facts::load_paged(&p, 4).unwrap();
+    assert!(f.u.is_paged());
+    let mut cp = Checkpointer::create(&dir, CheckpointPolicy::default()).unwrap();
+    // The 3rd eviction write after arming dies half-way through a block.
+    cp.set_faults(StoreFaults::kill_page_write(3, 64));
+    let err = match persist::pointsto_checkpointed(&f, CallGraphMode::OnTheFly, &mut cp) {
+        Ok(_) => panic!("a killed eviction write must kill the paged run"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            err,
+            PersistError::Jedd(jedd_core::JeddError::ResourceExhausted { .. })
+        ),
+        "unexpected error: {err}"
+    );
+    // The full typed pager error is parked on the manager, and maps into
+    // the store's error vocabulary as the injected kill it is.
+    let page_err = f
+        .u
+        .bdd_manager()
+        .take_page_error()
+        .expect("pager error parked on the manager");
+    let as_store: StoreError = page_err.into();
+    assert!(
+        matches!(as_store, StoreError::Killed { at: "page-write" }),
+        "unexpected store mapping: {as_store}"
+    );
+
+    // At least one checkpoint committed before the kill, and resuming
+    // from it completes tuple-identically.
+    let got = resume_run(Which::Pointsto, &dir).unwrap();
+    assert_eq!(got, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Budget exhaustion mid-round triggers the policy's on-exhausted
 /// checkpoint of the last good round, and the error still propagates as
 /// `ResourceExhausted` — the degradation-path contract, now with a

@@ -74,6 +74,19 @@ pub enum BddError {
         /// What is wrong with the entry (e.g. `"variable out of range"`).
         reason: &'static str,
     },
+    /// The disk-backed pager failed: an eviction write or block fault-in
+    /// hit an I/O error, a torn (corrupt) block, or an injected kill. This
+    /// is the compact `Copy` form; the full error (paths, the underlying
+    /// I/O error) stays parked in the manager and is retrievable once via
+    /// [`crate::BddManager::take_page_error`]. The recovery ladder never
+    /// retries it — losing the page file is not recoverable by GC.
+    Page {
+        /// The page-file block involved.
+        block: u32,
+        /// Failure class: `"io"`, `"killed"`, or a block decode tag
+        /// (`"checksum"`, `"truncated"`, `"bad-magic"`, …).
+        kind: &'static str,
+    },
 }
 
 /// Why a permutation was rejected (see [`BddError::InvalidPermutation`]).
@@ -117,6 +130,9 @@ impl fmt::Display for BddError {
             },
             BddError::InvalidImport { index, reason } => {
                 write!(f, "invalid node import at entry {index}: {reason}")
+            }
+            BddError::Page { block, kind } => {
+                write!(f, "pager failure ({kind}) at block {block}")
             }
         }
     }
@@ -324,6 +340,10 @@ mod tests {
             BddError::InvalidImport {
                 index: 7,
                 reason: "variable out of range",
+            },
+            BddError::Page {
+                block: 3,
+                kind: "checksum",
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -18,7 +18,7 @@ impl Inner {
         let mut out = Vec::new();
         let mut cur = f;
         while cur > 1 {
-            let n = &self.nodes[cur as usize];
+            let n = self.nodes.get(cur as usize);
             // Chain levels (level..bot) are forced false on every path
             // through the node; plain nodes have an empty interval here.
             for l in n.level..n.bot {
@@ -118,6 +118,7 @@ impl Inner {
             return Ok(r);
         }
         self.step()?;
+        self.prefault(&[f])?;
         // Cofactoring at the top level keeps chain nodes correct: the tail
         // produced by `cofactor_pair` re-exposes the remaining chain levels.
         let level = self.level(f);
@@ -152,7 +153,7 @@ impl Inner {
             if id <= 1 || !seen.insert(id) {
                 continue;
             }
-            let n = &self.nodes[id as usize];
+            let n = self.nodes.get(id as usize);
             let label = if n.bot > n.level {
                 // Chain node: show the whole forced interval.
                 format!(

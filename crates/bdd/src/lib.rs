@@ -44,14 +44,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod batch;
 mod budget;
 mod count;
+pub mod crc32;
 mod cube;
 mod extras;
 mod manager;
 mod node;
 mod ops;
+pub mod pager;
 mod par;
 mod permute;
 mod quant;

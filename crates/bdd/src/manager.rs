@@ -174,6 +174,110 @@ impl BddManager {
         self.inner.borrow().chain_mode()
     }
 
+    /// Creates a manager whose node arena is paged to disk through the
+    /// buffer pool in [`crate::pager`]: at most `frames` blocks of
+    /// [`crate::pager::BLOCK_NODES`] nodes are resident at once (`0` =
+    /// unbounded), cold blocks are evicted to a scratch page file (under
+    /// `JEDD_PAGE_DIR` when set, else the system temp dir) and faulted
+    /// back transparently on access. This is the capacity lever for
+    /// analyses whose live arena exceeds RAM: the governor's node budget
+    /// bounds *live nodes*, the frame budget bounds *resident memory*.
+    ///
+    /// The determinism contract: a paged manager produces tuple-identical
+    /// relations to a fully-resident one at any frame budget — in fact it
+    /// allocates node ids in exactly the resident sequential order, since
+    /// paged managers always run the sequential kernel (parallel apply is
+    /// disabled, like chain mode). Paged managers are also order-static:
+    /// [`BddManager::reorder_sift`] and [`BddManager::order_search`]
+    /// degrade to a garbage collection; install a learned order with
+    /// [`BddManager::set_order`] before building nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the page file cannot be created (use
+    /// [`BddManager::try_new_paged`] to handle that as an error).
+    pub fn new_paged(num_vars: usize, frames: usize) -> BddManager {
+        match BddManager::try_new_paged(num_vars, frames) {
+            Ok(m) => m,
+            Err(e) => panic!("failed to create paged manager: {e}"),
+        }
+    }
+
+    /// Fallible form of [`BddManager::new_paged`], with chain reduction
+    /// selectable: `chained = true` gives a paged CBDD manager (both
+    /// contracts compose — the arena is chain-reduced *and* disk-backed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::Page`] when the page directory or file cannot
+    /// be created.
+    pub fn try_new_paged_full(
+        num_vars: usize,
+        frames: usize,
+        chained: bool,
+    ) -> Result<BddManager, BddError> {
+        let m = BddManager::new(num_vars);
+        {
+            let mut inner = m.inner.borrow_mut();
+            if chained {
+                inner
+                    .set_chain_mode(true)
+                    .expect("fresh arena holds only terminals");
+            }
+            inner.enable_paging(frames, None)?;
+        }
+        Ok(m)
+    }
+
+    /// Fallible form of [`BddManager::new_paged`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::Page`] when the page directory or file cannot
+    /// be created.
+    pub fn try_new_paged(num_vars: usize, frames: usize) -> Result<BddManager, BddError> {
+        BddManager::try_new_paged_full(num_vars, frames, false)
+    }
+
+    /// `true` when this manager pages its arena to disk (created via
+    /// [`BddManager::new_paged`]).
+    pub fn is_paged(&self) -> bool {
+        self.inner.borrow().paged()
+    }
+
+    /// Takes the full pager error parked behind the most recent
+    /// [`BddError::Page`], if any. The compact `Page` form carries only a
+    /// block number and a failure-class tag; this carries the page-file
+    /// path, the decode failure class, and the underlying I/O error.
+    /// Clears the parked error, un-poisoning the manager.
+    pub fn take_page_error(&self) -> Option<crate::pager::PageError> {
+        self.inner.borrow().take_page_error()
+    }
+
+    /// Installs a deterministic pager crash-injection plan (tests only;
+    /// no-op on a resident manager). See [`crate::pager::PagerFaults`].
+    pub fn set_pager_faults(&self, faults: crate::pager::PagerFaults) {
+        self.inner.borrow().set_pager_faults(faults);
+    }
+
+    /// The backing page file of a paged manager (`None` when resident).
+    pub fn page_file(&self) -> Option<std::path::PathBuf> {
+        self.inner.borrow().page_file()
+    }
+
+    /// Faults every block of `b`'s sub-DAG into the buffer pool, reporting
+    /// read failures (torn pages, I/O errors) as typed errors. A no-op on
+    /// a resident manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::Page`] on a fault-in failure; the full error is
+    /// retrievable through [`BddManager::take_page_error`].
+    pub fn try_page_in(&self, b: &Bdd) -> Result<(), BddError> {
+        assert!(self.owns(b), "try_page_in: BDD from a different manager");
+        self.inner.borrow_mut().page_in(b.id)
+    }
+
     /// Installs a resource [`Budget`] governing all subsequent operations;
     /// `Budget::unlimited()` removes all limits.
     pub fn set_budget(&self, budget: Budget) {
@@ -450,9 +554,12 @@ impl BddManager {
         self.inner.borrow_mut().gc_enabled = enabled;
     }
 
-    /// Snapshot of kernel activity counters.
+    /// Snapshot of kernel activity counters. For paged managers this
+    /// merges the pager's counters (`page_faults`, `page_reads`,
+    /// `page_writes`, `page_evictions`, `page_max_resident`) into the
+    /// snapshot; resident managers report zeros there.
     pub fn kernel_stats(&self) -> KernelStats {
-        self.inner.borrow().stats
+        self.inner.borrow().stats_snapshot()
     }
 
     /// Runs Rudell sifting: every variable is moved to its locally optimal
@@ -1043,6 +1150,16 @@ impl Bdd {
     /// Number of decision nodes in this BDD (terminals excluded).
     pub fn node_count(&self) -> usize {
         self.mgr.borrow().node_count(self.id)
+    }
+
+    /// The canonical root node id inside this BDD's manager.
+    ///
+    /// Ids are arena indices, so they are only comparable between BDDs of
+    /// the same manager — except that two single-threaded managers fed the
+    /// identical operation sequence allocate identically, which is how the
+    /// paged-vs-resident tests check that paging never perturbs structure.
+    pub fn root_id(&self) -> u32 {
+        self.id
     }
 
     /// Nodes per level — the "shape" plotted by the Jedd profiler (§4.3).

@@ -124,6 +124,10 @@ impl Inner {
             return Ok(r);
         }
         self.step()?;
+        // Paged managers fault the operand blocks in here, where failures
+        // (torn pages, I/O errors) can surface typed; the `level` reads
+        // below then hit resident frames.
+        self.prefault(&[a, b])?;
         let (ka, kb) = if op.commutative() && a > b {
             (b, a)
         } else {
@@ -157,6 +161,7 @@ impl Inner {
             return Ok(false);
         }
         self.step()?;
+        self.prefault(&[a, b])?;
         if let Some(r) = self.cache_lookup(CacheOp::Subset, a, b, 0) {
             return Ok(r == T);
         }
@@ -191,6 +196,7 @@ impl Inner {
             return Ok(f);
         }
         self.step()?;
+        self.prefault(&[f, g, h])?;
         if let Some(r) = self.cache_lookup(CacheOp::Ite, f, g, h) {
             return Ok(r);
         }

@@ -1028,8 +1028,11 @@ impl Inner {
     pub(crate) fn par_enabled(&self) -> bool {
         // Chain-reduced managers always take the sequential path: the
         // frozen-table worker protocol hashes plain triples and cannot
-        // intern chain tails created by cofactoring.
-        self.par_threads() >= 2 && !self.chain_mode()
+        // intern chain tails created by cofactoring. Paged managers do
+        // too: workers read the frozen master arena lock-free through
+        // direct slot references, which a faulting buffer pool cannot
+        // hand out.
+        self.par_threads() >= 2 && !self.chain_mode() && !self.paged()
     }
 
     /// Resolves the worker count for one parallel operation against the

@@ -88,6 +88,7 @@ impl Inner {
             return Ok(f);
         }
         self.step()?;
+        self.prefault(&[f])?;
         if let Some(r) = self.cache_lookup(CacheOp::Replace, f, pid, 0) {
             return Ok(r);
         }
@@ -144,6 +145,7 @@ impl Inner {
             return Ok(r);
         }
         self.step()?;
+        self.prefault(&[f])?;
         let level = self.level(f);
         let (lo, hi) = self.cofactor_pair(f, level)?;
         let lo2 = self.replace_rebuild_rec(lo, perm, memo)?;

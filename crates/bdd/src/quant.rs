@@ -46,6 +46,7 @@ impl Inner {
         }
         debug_assert_ne!(cube, F, "exists: cube must be a positive cube");
         self.step()?;
+        self.prefault(&[f, cube])?;
         // Skip cube variables above f's top level.
         let mut c = cube;
         let lf = self.level(f);
@@ -129,6 +130,7 @@ impl Inner {
             return Ok(T);
         }
         self.step()?;
+        self.prefault(&[f, g, cube])?;
         // Normalise commutative argument order for the cache.
         let (f, g) = if f > g { (g, f) } else { (f, g) };
         let (lf, lg) = (self.level(f), self.level(g));

@@ -145,7 +145,10 @@ impl Inner {
         // a collection (the recovery ladder still gets its compaction);
         // order *search* runs offline on plain managers and is applied to
         // chain managers through `set_order` before any node exists.
-        if self.chain_mode() {
+        // Paged managers are order-static too: the swap passes index the
+        // arena slice directly, and level geometry rewrites would have to
+        // stream every on-disk block through the pool per swap.
+        if self.chain_mode() || self.paged() {
             self.gc();
             let n = self.live_nodes() - 2;
             return (n, n);
@@ -311,10 +314,10 @@ impl Inner {
     /// the live decision-node count before and after. Deterministic for a
     /// given `seed` and arena.
     ///
-    /// On a chain-mode manager this degrades to a collection, like
-    /// [`Inner::reorder_sift`]: chain managers are order-static.
+    /// On a chain-mode or paged manager this degrades to a collection,
+    /// like [`Inner::reorder_sift`]: those managers are order-static.
     pub(crate) fn order_search(&mut self, restarts: usize, seed: u64) -> (usize, usize) {
-        if self.chain_mode() {
+        if self.chain_mode() || self.paged() {
             self.gc();
             let n = self.live_decision_nodes();
             return (n, n);

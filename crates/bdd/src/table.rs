@@ -1,7 +1,10 @@
 //! The node arena, unique table, operation cache and garbage collector.
 
+use crate::arena::Arena;
 use crate::budget::{BddError, Budget, FailPlan};
 use crate::node::{Node, NodeId, Permutation, FREE_LEVEL, NIL, TERMINAL_LEVEL};
+use crate::pager::{PageError, PagerFaults};
+use std::path::{Path, PathBuf};
 
 /// Operation tags used as part of cache keys.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -146,6 +149,19 @@ pub struct KernelStats {
     /// ones the order search issues internally). A warm run started from a
     /// persisted learned order must keep this at zero.
     pub sift_sweeps: u64,
+    /// Block fault-ins served by the pager (paged managers only). Equal to
+    /// [`KernelStats::page_reads`] by construction: fresh blocks are born
+    /// resident and count as neither.
+    pub page_faults: u64,
+    /// Blocks read back from the page file.
+    pub page_reads: u64,
+    /// Block writes attempted by eviction (counted on attempt, so
+    /// `page_evictions <= page_writes` always holds).
+    pub page_writes: u64,
+    /// Frames successfully evicted to the page file.
+    pub page_evictions: u64,
+    /// High-water mark of simultaneously resident frames.
+    pub page_max_resident: u64,
 }
 
 impl KernelStats {
@@ -175,7 +191,7 @@ impl KernelStats {
 
 /// Mutable kernel state shared by all handles of one manager.
 pub(crate) struct Inner {
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) nodes: Arena,
     /// Unique-table bucket heads; chained through `Node::next`.
     buckets: Vec<u32>,
     bucket_mask: usize,
@@ -234,6 +250,12 @@ pub(crate) struct Inner {
     /// operation through the sequential kernel and treats its variable
     /// order as static (reordering degrades to a collection).
     chain: bool,
+    /// Disk-backed paging (see [`crate::pager`]). Like chain mode, only
+    /// settable on an arena holding nothing but terminals; a paged manager
+    /// routes every operation through the sequential kernel and keeps its
+    /// variable order static. Cached outside the arena so the per-step
+    /// sticky-error probe costs one branch for resident managers.
+    paged: bool,
 }
 
 const INITIAL_BUCKETS: usize = 1 << 12;
@@ -283,9 +305,9 @@ pub(crate) fn node_hash(level: u32, bot: u32, low: u32, high: u32) -> u64 {
 
 impl Inner {
     pub(crate) fn new(num_vars: u32) -> Inner {
-        let mut nodes = Vec::with_capacity(1024);
-        nodes.push(Node::terminal()); // FALSE
-        nodes.push(Node::terminal()); // TRUE
+        let mut nodes = Arena::with_capacity(1024);
+        nodes.push_resident(Node::terminal()); // FALSE
+        nodes.push_resident(Node::terminal()); // TRUE
         Inner {
             nodes,
             buckets: vec![NIL; INITIAL_BUCKETS],
@@ -316,6 +338,7 @@ impl Inner {
                 .unwrap_or(1),
             par_cutoff: env_usize("JEDD_PAR_CUTOFF").unwrap_or(DEFAULT_PAR_CUTOFF).max(2),
             chain: false,
+            paged: false,
         }
     }
 
@@ -337,6 +360,99 @@ impl Inner {
         }
         self.chain = on;
         Ok(())
+    }
+
+    /// `true` when this manager pages its arena to disk.
+    pub(crate) fn paged(&self) -> bool {
+        self.paged
+    }
+
+    /// Switches the arena to disk-backed paging with a resident budget of
+    /// `frames` (`0` = unbounded). Like [`Inner::set_chain_mode`], only
+    /// legal while the arena holds nothing but the two terminals: paging
+    /// an already-populated flat arena would need a bulk spill pass this
+    /// kernel deliberately does not grow (managers decide their storage
+    /// mode at construction).
+    pub(crate) fn enable_paging(
+        &mut self,
+        frames: usize,
+        dir: Option<&Path>,
+    ) -> Result<(), BddError> {
+        if self.live_nodes() != 2 {
+            return Err(BddError::InvalidImport {
+                index: 0,
+                reason: "paging requires an arena holding only terminals",
+            });
+        }
+        self.nodes.enable_paging(frames, dir).map_err(|e| BddError::Page {
+            block: e.block(),
+            kind: e.kind(),
+        })?;
+        self.paged = self.nodes.is_paged();
+        Ok(())
+    }
+
+    /// Faults the blocks holding `ids` in before a recursion descends, so
+    /// cold operands surface fault-in failures (torn pages, I/O errors) as
+    /// typed errors at the governed entry instead of panics mid-walk. Free
+    /// for resident managers.
+    #[inline]
+    pub(crate) fn prefault(&mut self, ids: &[u32]) -> Result<(), BddError> {
+        if !self.paged {
+            return Ok(());
+        }
+        self.nodes.try_fault(ids)
+    }
+
+    /// Faults in every block of the sub-DAG under `root`, surfacing read
+    /// failures typed. A no-op for resident managers; for paged ones this
+    /// is the explicit "warm this relation" hook (and the test hook that
+    /// turns a corrupted on-disk block into a typed error on demand).
+    pub(crate) fn page_in(&mut self, root: u32) -> Result<(), BddError> {
+        if !self.paged {
+            return Ok(());
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let n = self.nodes.try_read(id as usize)?;
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        Ok(())
+    }
+
+    /// Takes the full parked pager error, if any (see `BddError::Page`).
+    pub(crate) fn take_page_error(&self) -> Option<PageError> {
+        self.nodes.take_page_error()
+    }
+
+    /// Installs a pager crash-injection plan (no-op for resident managers).
+    pub(crate) fn set_pager_faults(&self, faults: PagerFaults) {
+        self.nodes.set_pager_faults(faults);
+    }
+
+    /// The backing page file of a paged manager.
+    pub(crate) fn page_file(&self) -> Option<PathBuf> {
+        self.nodes.page_file()
+    }
+
+    /// The kernel counters with the pager's counters merged in (they live
+    /// behind the pager lock, not in `stats`, so the merge happens at
+    /// observation time).
+    pub(crate) fn stats_snapshot(&self) -> KernelStats {
+        let mut s = self.stats;
+        if let Some(p) = self.nodes.page_stats() {
+            s.page_faults = p.page_faults;
+            s.page_reads = p.page_reads;
+            s.page_writes = p.page_writes;
+            s.page_evictions = p.evictions;
+            s.page_max_resident = p.max_resident;
+        }
+        s
     }
 
     /// Resolved worker-thread count of the parallel apply engine: the
@@ -407,7 +523,7 @@ impl Inner {
             if seen.len() >= threshold {
                 return true;
             }
-            let n = &self.nodes[id as usize];
+            let n = self.nodes.get(id as usize);
             if n.low > 1 {
                 stack.push(n.low);
             }
@@ -466,6 +582,14 @@ impl Inner {
     /// per-node fast path.
     #[inline]
     pub(crate) fn step(&mut self) -> Result<(), BddError> {
+        if self.paged {
+            // A parked pager error (a failed eviction write) poisons the
+            // manager: every governed operation reports it until the host
+            // takes the full error and rebuilds.
+            if let Some((block, kind)) = self.nodes.sticky_brief() {
+                return Err(BddError::Page { block, kind });
+            }
+        }
         if !self.checks_active {
             return Ok(());
         }
@@ -562,17 +686,17 @@ impl Inner {
 
     #[inline]
     pub(crate) fn level(&self, id: u32) -> u32 {
-        self.nodes[id as usize].level
+        self.nodes.get(id as usize).level
     }
 
     #[inline]
     pub(crate) fn low(&self, id: u32) -> u32 {
-        self.nodes[id as usize].low
+        self.nodes.get(id as usize).low
     }
 
     #[inline]
     pub(crate) fn high(&self, id: u32) -> u32 {
-        self.nodes[id as usize].high
+        self.nodes.get(id as usize).high
     }
 
     /// Number of live (allocated, non-free) nodes including terminals.
@@ -622,7 +746,7 @@ impl Inner {
             f1 = 0;
         }
         if self.chain && f1 == 0 && f0 > 1 {
-            let c = self.nodes[f0 as usize];
+            let c = self.nodes.try_read(f0 as usize)?;
             if c.level == b + 1 {
                 return self.mk_raw(t, c.bot, c.low, c.high);
             }
@@ -639,13 +763,13 @@ impl Inner {
             "mk_raw: span {level}:{bot} out of range"
         );
         debug_assert!(
-            self.nodes[low as usize].level > bot && self.nodes[high as usize].level > bot,
+            self.nodes.get(low as usize).level > bot && self.nodes.get(high as usize).level > bot,
             "mk_raw: ordering violation at span {level}:{bot}"
         );
         let h = node_hash(level, bot, low, high) as usize & self.bucket_mask;
         let mut cur = self.buckets[h];
         while cur != NIL {
-            let n = &self.nodes[cur as usize];
+            let n = self.nodes.try_read(cur as usize)?;
             if n.level == level && n.bot == bot && n.low == low && n.high == high {
                 self.stats.unique_hits += 1;
                 return Ok(cur);
@@ -676,13 +800,11 @@ impl Inner {
         // Allocate.
         let id = if self.free_head != NIL {
             let id = self.free_head;
-            self.free_head = self.nodes[id as usize].low;
+            self.free_head = self.nodes.try_read(id as usize)?.low;
             self.free_count -= 1;
             id
         } else {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node::terminal());
-            id
+            self.nodes.try_append(Node::terminal())?
         };
         self.stats.nodes_created += 1;
         if bot > level {
@@ -696,15 +818,17 @@ impl Inner {
             self.stats.level_activity[bucket] += 1;
         }
         let next = self.buckets[h];
-        self.nodes[id as usize] = Node {
-            level,
-            bot,
-            low,
-            high,
-            next,
-            ext_refs: 0,
-            mark: false,
-        };
+        self.nodes.try_update(id as usize, |n| {
+            *n = Node {
+                level,
+                bot,
+                low,
+                high,
+                next,
+                ext_refs: 0,
+                mark: false,
+            };
+        })?;
         self.buckets[h] = id;
         if !self.in_swap {
             self.maybe_grow_buckets();
@@ -716,7 +840,7 @@ impl Inner {
     /// plain nodes).
     #[inline]
     pub(crate) fn bot(&self, id: u32) -> u32 {
-        self.nodes[id as usize].bot
+        self.nodes.get(id as usize).bot
     }
 
     /// The two cofactors of `f` with respect to the variable at level `m`
@@ -730,7 +854,7 @@ impl Inner {
         if f <= 1 {
             return Ok((f, f));
         }
-        let n = self.nodes[f as usize];
+        let n = self.nodes.try_read(f as usize)?;
         if n.level > m {
             return Ok((f, f));
         }
@@ -750,7 +874,13 @@ impl Inner {
         let mut top = u32::MAX;
         for &f in operands {
             if f > 1 {
-                top = top.min(self.nodes[f as usize].level);
+                // Profiling must not escalate a pager fault into a panic:
+                // skip the sample and let the operation itself surface the
+                // parked error as a typed result at its first `step`.
+                match self.nodes.try_read(f as usize) {
+                    Ok(n) => top = top.min(n.level),
+                    Err(_) => return,
+                }
             }
         }
         if top == u32::MAX {
@@ -802,10 +932,9 @@ impl Inner {
         );
         let mut count = 0u64;
         for (level, low, high) in triples {
-            let id = self.nodes.len() as u32;
             let h = node_hash(level, level, low, high) as usize & self.bucket_mask;
             let next = self.buckets[h];
-            self.nodes.push(Node {
+            let id = self.nodes.push_resident(Node {
                 level,
                 bot: level,
                 low,
@@ -849,7 +978,7 @@ impl Inner {
     /// Inserts node `id` into its unique-table bucket (no duplicate-id
     /// check for distinct ids; re-inserting the same id is a no-op).
     pub(crate) fn insert_unique(&mut self, id: u32) {
-        let n = self.nodes[id as usize];
+        let n = self.nodes.read(id as usize);
         let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
         // Idempotence: skip if this id is already chained here.
         let mut cur = self.buckets[h];
@@ -857,9 +986,10 @@ impl Inner {
             if cur == id {
                 return;
             }
-            cur = self.nodes[cur as usize].next;
+            cur = self.nodes.read(cur as usize).next;
         }
-        self.nodes[id as usize].next = self.buckets[h];
+        let head = self.buckets[h];
+        self.nodes.update(id as usize, |n| n.next = head);
         self.buckets[h] = id;
     }
 
@@ -867,15 +997,16 @@ impl Inner {
         let new_len = self.buckets.len() * 2;
         self.buckets = vec![NIL; new_len];
         self.bucket_mask = new_len - 1;
-        for i in 0..self.nodes.len() {
-            let n = self.nodes[i];
+        let mask = self.bucket_mask;
+        let buckets = &mut self.buckets;
+        self.nodes.scan_mut(0, &mut |i, n| {
             if n.level == TERMINAL_LEVEL || n.level == FREE_LEVEL {
-                continue;
+                return;
             }
-            let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
-            self.nodes[i].next = self.buckets[h];
-            self.buckets[h] = i as u32;
-        }
+            let h = node_hash(n.level, n.bot, n.low, n.high) as usize & mask;
+            n.next = buckets[h];
+            buckets[h] = i as u32;
+        });
         // Grow the cache alongside the table, up to a limit, rehashing the
         // surviving entries into the doubled table instead of discarding
         // a warm cache. Doubling adds one hash bit, so old entries land in
@@ -955,7 +1086,7 @@ impl Inner {
     /// Only meaningful between the GC mark and sweep phases.
     #[inline]
     fn node_survives(&self, id: u32) -> bool {
-        id <= 1 || self.nodes[id as usize].mark
+        id <= 1 || self.nodes.get(id as usize).mark
     }
 
     /// Sweep-style cache invalidation: drops exactly the entries that
@@ -994,14 +1125,19 @@ impl Inner {
 
     #[inline]
     pub(crate) fn inc_ref(&mut self, id: u32) {
-        self.nodes[id as usize].ext_refs += 1;
+        self.nodes.update(id as usize, |n| n.ext_refs += 1);
     }
 
     #[inline]
     pub(crate) fn dec_ref(&mut self, id: u32) {
-        let r = &mut self.nodes[id as usize].ext_refs;
-        debug_assert!(*r > 0, "dec_ref on node with zero refcount");
-        *r -= 1;
+        // `dec_ref` runs from `Drop`, so a pager fault here must not
+        // panic (a panic in a destructor aborts). Failing to decrement
+        // only leaks the node — it stays conservatively live — and the
+        // underlying error is parked for `take_page_error`.
+        let _ = self.nodes.try_update(id as usize, |n| {
+            debug_assert!(n.ext_refs > 0, "dec_ref on node with zero refcount");
+            n.ext_refs -= 1;
+        });
     }
 
     /// Runs a GC if the arena has grown past the current hint. Must only be
@@ -1020,20 +1156,25 @@ impl Inner {
     /// Mark-and-sweep collection from externally referenced roots.
     /// Returns the number of reclaimed nodes.
     pub(crate) fn gc(&mut self) -> usize {
-        // Mark phase: roots are nodes with ext_refs > 0.
+        // Mark phase: roots are nodes with ext_refs > 0. A paged manager
+        // streams blocks through the buffer pool here; marks written into
+        // evicted frames persist on disk through the block format.
         let mut stack: Vec<u32> = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+        self.nodes.scan_mut(2, &mut |i, n| {
             if n.level != FREE_LEVEL && n.ext_refs > 0 && !n.mark {
                 stack.push(i as u32);
             }
-        }
+        });
         while let Some(id) = stack.pop() {
-            let n = &mut self.nodes[id as usize];
-            if n.mark || n.level == TERMINAL_LEVEL {
-                continue;
-            }
-            n.mark = true;
-            let (lo, hi) = (n.low, n.high);
+            let children = self.nodes.update(id as usize, |n| {
+                if n.mark || n.level == TERMINAL_LEVEL {
+                    None
+                } else {
+                    n.mark = true;
+                    Some((n.low, n.high))
+                }
+            });
+            let Some((lo, hi)) = children else { continue };
             if lo > 1 {
                 stack.push(lo);
             }
@@ -1048,28 +1189,29 @@ impl Inner {
         // Sweep phase: rebuild unique table with only marked nodes.
         self.buckets.fill(NIL);
         let mut reclaimed = 0usize;
-        for i in 2..self.nodes.len() {
-            let n = self.nodes[i];
-            if n.level == FREE_LEVEL {
-                continue;
+        let mask = self.bucket_mask;
+        let buckets = &mut self.buckets;
+        let free_head = &mut self.free_head;
+        let free_count = &mut self.free_count;
+        self.nodes.scan_mut(2, &mut |i, node| {
+            if node.level == FREE_LEVEL {
+                return;
             }
-            if n.mark {
-                let h = node_hash(n.level, n.bot, n.low, n.high) as usize & self.bucket_mask;
-                let node = &mut self.nodes[i];
+            if node.mark {
+                let h = node_hash(node.level, node.bot, node.low, node.high) as usize & mask;
                 node.mark = false;
-                node.next = self.buckets[h];
-                self.buckets[h] = i as u32;
+                node.next = buckets[h];
+                buckets[h] = i as u32;
             } else {
-                let node = &mut self.nodes[i];
                 node.level = FREE_LEVEL;
                 node.bot = FREE_LEVEL;
-                node.low = self.free_head;
+                node.low = *free_head;
                 node.next = NIL;
-                self.free_head = i as u32;
-                self.free_count += 1;
+                *free_head = i as u32;
+                *free_count += 1;
                 reclaimed += 1;
             }
-        }
+        });
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += reclaimed as u64;
         reclaimed
@@ -1112,7 +1254,7 @@ impl Inner {
             if id <= 1 || !seen.insert(id) {
                 continue;
             }
-            let n = &self.nodes[id as usize];
+            let n = self.nodes.get(id as usize);
             stack.push(n.low);
             stack.push(n.high);
         }
@@ -1131,7 +1273,7 @@ impl Inner {
             if id <= 1 || !seen.insert(id) {
                 continue;
             }
-            let n = &self.nodes[id as usize];
+            let n = self.nodes.get(id as usize);
             out[n.level as usize] += 1;
             stack.push(n.low);
             stack.push(n.high);
@@ -1149,7 +1291,7 @@ impl Inner {
             if id <= 1 || !seen.insert(id) {
                 continue;
             }
-            let n = &self.nodes[id as usize];
+            let n = self.nodes.get(id as usize);
             // A chain node depends on every variable in its interval.
             for l in n.level..=n.bot {
                 vars.insert(self.var_at_level(l));

@@ -192,6 +192,16 @@ pub struct Universe {
     inner: Rc<RefCell<UniverseInner>>,
 }
 
+/// Parses `JEDD_PAGE_CACHE`: unset, empty, or unparseable means "stay
+/// fully resident"; a number is the paged resident-frame budget (`0` =
+/// paged, unbounded).
+fn page_cache_from_env() -> Option<usize> {
+    match std::env::var("JEDD_PAGE_CACHE") {
+        Ok(v) if !v.is_empty() => v.parse().ok(),
+        _ => None,
+    }
+}
+
 impl Default for Universe {
     fn default() -> Self {
         Universe::new()
@@ -216,13 +226,25 @@ impl Universe {
     /// variable `JEDD_CHAIN=1` switches the default to [`Backend::Cbdd`]
     /// so a whole test or analysis run can be flipped to the chain-reduced
     /// kernel without code changes (the CI chain pass uses this).
+    ///
+    /// Likewise, `JEDD_PAGE_CACHE=N` switches the default manager to the
+    /// disk-backed pager with a resident budget of `N` frames (`0` means
+    /// paged but unbounded); unset or empty keeps the fully-resident
+    /// arena. `JEDD_PAGE_DIR` picks the page-file directory. The flags
+    /// compose: a chain-mode run can be paged. Only this default
+    /// constructor reads the variables — explicit-backend construction
+    /// (snapshot restore, the order lab) stays resident unless
+    /// [`Universe::new_paged_with_backend`] is called.
     pub fn new() -> Universe {
         let backend = if std::env::var("JEDD_CHAIN").as_deref() == Ok("1") {
             Backend::Cbdd
         } else {
             Backend::Bdd
         };
-        Universe::new_with_backend(backend)
+        match page_cache_from_env() {
+            Some(frames) => Universe::new_paged_with_backend(backend, frames),
+            None => Universe::new_with_backend(backend),
+        }
     }
 
     /// Creates an empty universe storing relations in the given backend.
@@ -232,6 +254,33 @@ impl Universe {
         } else {
             BddManager::new(0)
         };
+        Universe::with_manager(backend, mgr)
+    }
+
+    /// Creates an empty universe whose node arena pages to disk under a
+    /// resident budget of `frames` buffer-pool frames (`0` = paged but
+    /// unbounded), on the default [`Backend::Bdd`].
+    ///
+    /// Paged universes produce tuple-identical relations to resident ones
+    /// at any budget; they trade kernel speed for the ability to run
+    /// analyses whose live node count exceeds memory.
+    pub fn new_paged(frames: usize) -> Universe {
+        Universe::new_paged_with_backend(Backend::Bdd, frames)
+    }
+
+    /// Creates an empty *paged* universe on an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the page file cannot be created (same contract as
+    /// [`jedd_bdd::BddManager::new_paged`]).
+    pub fn new_paged_with_backend(backend: Backend, frames: usize) -> Universe {
+        let mgr = BddManager::try_new_paged_full(0, frames, backend.is_chained())
+            .expect("failed to create the page file for a paged universe");
+        Universe::with_manager(backend, mgr)
+    }
+
+    fn with_manager(backend: Backend, mgr: BddManager) -> Universe {
         Universe {
             inner: Rc::new(RefCell::new(UniverseInner {
                 mgr,
@@ -244,6 +293,11 @@ impl Universe {
                 site: String::new(),
             })),
         }
+    }
+
+    /// Whether this universe's node arena pages to disk.
+    pub fn is_paged(&self) -> bool {
+        self.bdd_manager().is_paged()
     }
 
     /// The decision-diagram backend this universe was created with.

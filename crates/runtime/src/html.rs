@@ -276,6 +276,17 @@ fn kernel_section(k: &KernelStats) -> String {
         k.par_threads_effective,
         k.par_thread_clamps
     );
+    let _ = writeln!(
+        out,
+        "<h3>Paging</h3>\
+         <p>{} page faults ({} block reads), {} evictions \
+         ({} block writes), peak {} resident frames.</p>",
+        k.page_faults,
+        k.page_reads,
+        k.page_evictions,
+        k.page_writes,
+        k.page_max_resident
+    );
     let avg_chain = if k.chain_nodes_created == 0 {
         0.0
     } else {
@@ -441,6 +452,26 @@ mod tests {
         // The shapes row is always present, zeroed on plain sequential runs.
         assert!(html.contains("Node shapes"));
         assert!(html.contains("0 chain nodes created"));
+    }
+
+    #[test]
+    fn kernel_section_reports_paging_counters() {
+        let stats = KernelStats {
+            page_faults: 120,
+            page_reads: 120,
+            page_writes: 90,
+            page_evictions: 87,
+            page_max_resident: 4,
+            ..Default::default()
+        };
+        let html = render_html_with_kernel(&Profiler::new(), Some(&stats));
+        assert!(html.contains("Paging"));
+        assert!(html.contains("120 page faults (120 block reads)"));
+        assert!(html.contains("87 evictions (90 block writes)"));
+        assert!(html.contains("peak 4 resident frames"));
+        // The paging row is always present, zeroed on resident runs.
+        let resident = render_html_with_kernel(&Profiler::new(), Some(&KernelStats::default()));
+        assert!(resident.contains("0 page faults"));
     }
 
     #[test]

@@ -208,6 +208,13 @@ impl Checkpointer {
         universe: &Universe,
         relations: &[(&str, &Relation)],
     ) -> Result<u64, StoreError> {
+        // Arm any scheduled pager kill on this universe's kernel (once):
+        // the first checkpoint of a paged run is the earliest point the
+        // checkpointer sees the manager, and the kill then fires during a
+        // later round's eviction write.
+        if let Some(pf) = self.faults.take_pager_faults() {
+            universe.bdd_manager().set_pager_faults(pf);
+        }
         let bytes = encode_bdd_snapshot(universe, relations);
         self.commit(meta, BACKEND_BDD, bytes, universe.stats())
     }

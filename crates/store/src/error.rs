@@ -131,6 +131,45 @@ impl From<jedd_core::JeddError> for StoreError {
     }
 }
 
+impl From<jedd_bdd::pager::PageError> for StoreError {
+    /// A pager failure in the same vocabulary as the store's own on-disk
+    /// failures: the page file is one more checksummed format, so a torn
+    /// block maps to the variant a torn snapshot would produce.
+    fn from(e: jedd_bdd::pager::PageError) -> StoreError {
+        use jedd_bdd::pager::{BlockError, PageError};
+        match e {
+            PageError::Io {
+                op, path, source, ..
+            } => StoreError::Io { op, path, source },
+            PageError::Corrupt { path, kind, .. } => match kind {
+                BlockError::ChecksumMismatch => StoreError::ChecksumMismatch { path },
+                BlockError::Truncated { expected, actual } => StoreError::Truncated {
+                    path,
+                    expected: expected as u64,
+                    actual: actual as u64,
+                },
+                BlockError::BadMagic => StoreError::BadHeader {
+                    path,
+                    reason: "bad block magic",
+                },
+                BlockError::BadVersion(_) => StoreError::BadHeader {
+                    path,
+                    reason: "unsupported block version",
+                },
+                BlockError::WrongBlock { .. } => StoreError::BadHeader {
+                    path,
+                    reason: "block index mismatch",
+                },
+                BlockError::BadLength(_) => StoreError::BadHeader {
+                    path,
+                    reason: "impossible block payload length",
+                },
+            },
+            PageError::Killed { at, .. } => StoreError::Killed { at },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +207,50 @@ mod tests {
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn page_errors_map_to_the_matching_store_variants() {
+        use jedd_bdd::pager::{BlockError, PageError};
+        let corrupt = |kind| PageError::Corrupt {
+            block: 4,
+            path: "nodes.jpgb".into(),
+            kind,
+        };
+        assert!(matches!(
+            StoreError::from(corrupt(BlockError::ChecksumMismatch)),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        assert!(matches!(
+            StoreError::from(corrupt(BlockError::Truncated {
+                expected: 20,
+                actual: 3
+            })),
+            StoreError::Truncated {
+                expected: 20,
+                actual: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            StoreError::from(corrupt(BlockError::BadMagic)),
+            StoreError::BadHeader { .. }
+        ));
+        assert!(matches!(
+            StoreError::from(PageError::Killed {
+                at: "page-write",
+                block: 1
+            }),
+            StoreError::Killed { at: "page-write" }
+        ));
+        assert!(matches!(
+            StoreError::from(PageError::Io {
+                op: "read",
+                block: 0,
+                path: "nodes.jpgb".into(),
+                source: std::io::Error::other("gone"),
+            }),
+            StoreError::Io { op: "read", .. }
+        ));
     }
 }

@@ -35,6 +35,12 @@ pub struct StoreFaults {
     /// Tear the Nth log append: the record's prefix lands on disk as a
     /// torn tail the reader must skip with a warning.
     pub log_kill: Option<Kill>,
+    /// Tear the Nth pager eviction write of a *paged* run: the block's
+    /// prefix lands in the page file as a torn frame. Armed on the
+    /// kernel's pager (see [`StoreFaults::pager_faults`]) by the first
+    /// checkpoint of a paged universe, so the kill lands mid-eviction
+    /// inside a later fixpoint round.
+    pub page_write_kill: Option<Kill>,
 }
 
 impl StoreFaults {
@@ -67,6 +73,25 @@ impl StoreFaults {
             ..StoreFaults::default()
         }
     }
+
+    /// A plan tearing the `n`-th pager eviction write after `bytes`
+    /// bytes.
+    pub fn kill_page_write(n: u64, bytes: u64) -> StoreFaults {
+        StoreFaults {
+            page_write_kill: Some(Kill {
+                at: n,
+                after_bytes: bytes,
+            }),
+            ..StoreFaults::default()
+        }
+    }
+
+    /// The kernel-pager share of this plan, in the pager's own fault
+    /// vocabulary, or `None` when the plan has no pager kill.
+    pub fn pager_faults(&self) -> Option<jedd_bdd::pager::PagerFaults> {
+        self.page_write_kill
+            .map(|k| jedd_bdd::pager::PagerFaults::kill_write(k.at, k.after_bytes))
+    }
 }
 
 /// Runtime state of a plan: occurrence counters beside the schedule.
@@ -76,6 +101,7 @@ pub(crate) struct FaultClock {
     snapshots: u64,
     renames: u64,
     appends: u64,
+    pager_armed: bool,
 }
 
 impl FaultClock {
@@ -108,6 +134,17 @@ impl FaultClock {
             Some(k) if k.at == self.appends => Some(k.after_bytes),
             _ => None,
         }
+    }
+
+    /// Hands the plan's pager kill out exactly once, so the checkpointer
+    /// arms the kernel's pager on the first checkpoint of a paged run
+    /// and re-checkpointing never rewinds the kill schedule.
+    pub(crate) fn take_pager_faults(&mut self) -> Option<jedd_bdd::pager::PagerFaults> {
+        if self.pager_armed {
+            return None;
+        }
+        self.pager_armed = true;
+        self.plan.pager_faults()
     }
 }
 

@@ -35,9 +35,16 @@ impl World {
     /// `chained` selects chain-reduced kernels on both sides: the
     /// relation universe runs on a CBDD manager and the family algebra on
     /// a CZDD manager. The relational and family APIs are identical, so
-    /// every fuzz step below is backend-agnostic.
-    fn new_with(chained: bool) -> World {
-        let u = Universe::new_with_backend(if chained { Backend::Cbdd } else { Backend::Bdd });
+    /// every fuzz step below is backend-agnostic. `page_cache` puts the
+    /// relation universe on the disk-backed pager with that
+    /// resident-frame budget (the ZDD family and the oracle stay
+    /// resident, so they cross-check the paged kernel from outside it).
+    fn new_with(chained: bool, page_cache: Option<usize>) -> World {
+        let backend = if chained { Backend::Cbdd } else { Backend::Bdd };
+        let u = match page_cache {
+            Some(frames) => Universe::new_paged_with_backend(backend, frames),
+            None => Universe::new_with_backend(backend),
+        };
         let d = u.add_domain("obj", DOM);
         let attrs: Vec<AttrId> = (0..NATTRS)
             .map(|i| u.add_attribute(&format!("a{i}"), d))
@@ -49,6 +56,21 @@ impl World {
         // it so runs with JEDD_THREADS > 1 also exercise the parallel
         // apply path through the differential check.
         u.bdd_manager().set_par_cutoff(64);
+        if page_cache.is_some() {
+            // Pre-grow the arena past several pager blocks with a
+            // throwaway dense BDD, then collect it: the freed slots are
+            // reused across blocks, so the fuzz's small relations scatter
+            // over the file and a tiny resident budget actually pages.
+            let mgr = u.bdd_manager();
+            let bits: Vec<u32> = (0..(NATTRS * BITS) as u32).collect();
+            let mut warm_rng = XorShift64Star::new(0xfeed);
+            let mut acc = mgr.constant_false();
+            for _ in 0..160 {
+                acc = acc.or(&mgr.encode_value(&bits, warm_rng.gen_range(0..1 << 15)));
+            }
+            drop(acc);
+            mgr.gc();
+        }
         let z = if chained {
             ZddManager::new_chained(NATTRS * BITS)
         } else {
@@ -314,23 +336,27 @@ fn combine(w: &World, l: &Rel3, r: &Rel3, compose: bool) -> Rel3 {
 }
 
 /// Per-case knobs: an explicit worker-thread count (`None` keeps the
-/// `JEDD_THREADS` default) and mid-run kernel churn — a GC and a sifting
+/// `JEDD_THREADS` default), mid-run kernel churn — a GC and a sifting
 /// reorder between steps, so the differential check also covers the
 /// parallel kernel's interaction with arena compaction and variable
-/// moves.
+/// moves — and an optional pager resident-frame budget for the relation
+/// universe (`Some(0)` = paged but unbounded).
 #[derive(Clone, Copy, Default)]
 struct CaseOpts {
     threads: Option<usize>,
     churn: bool,
     chained: bool,
+    page_cache: Option<usize>,
 }
 
 fn run_case(seed: u64) {
     run_case_with(seed, CaseOpts::default());
 }
 
-fn run_case_with(seed: u64, opts: CaseOpts) {
-    let w = World::new_with(opts.chained);
+/// Returns the universe manager's final kernel stats so paged sweeps can
+/// assert the cache actually thrashed.
+fn run_case_with(seed: u64, opts: CaseOpts) -> jedd::bdd::KernelStats {
+    let w = World::new_with(opts.chained, opts.page_cache);
     if let Some(t) = opts.threads {
         w.u.bdd_manager().set_threads(t);
     }
@@ -431,6 +457,7 @@ fn run_case_with(seed: u64, opts: CaseOpts) {
             pool.remove(0);
         }
     }
+    w.u.bdd_manager().kernel_stats()
 }
 
 #[test]
@@ -465,6 +492,7 @@ fn differential_fuzz_thread_sweep_with_churn() {
                     threads: Some(threads),
                     churn: true,
                     chained: false,
+                    page_cache: None,
                 },
             );
         }
@@ -492,6 +520,52 @@ fn differential_fuzz_cbdd_czdd_sets() {
     }
 }
 
+/// The paged worlds: the same seeds re-run with the relation universe on
+/// the disk-backed pager at a thrashing budget (2 frames), a medium one
+/// (16), and paged-but-unbounded (0) — each for both the plain and the
+/// chain-reduced backend, with GC/reorder churn throughout. The ZDD
+/// family and the `BTreeSet` oracle stay fully resident, so every check
+/// compares a paged kernel against two resident witnesses; the contract
+/// is tuple-identical results at any cache size. The tiny budget must
+/// actually page (summed fault count over the sweep is pinned non-zero).
+#[test]
+fn differential_fuzz_paged_worlds() {
+    let cases: u64 = std::env::var("JEDD_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| (n / 8).max(2))
+        .unwrap_or(10);
+    for &chained in &[false, true] {
+        let mut tiny_faults = 0u64;
+        for &frames in &[2usize, 16, 0] {
+            for case in 0..cases {
+                let stats = run_case_with(
+                    case,
+                    CaseOpts {
+                        churn: true,
+                        chained,
+                        page_cache: Some(frames),
+                        ..CaseOpts::default()
+                    },
+                );
+                assert_eq!(
+                    stats.page_faults, stats.page_reads,
+                    "every fault is exactly one block read"
+                );
+                assert!(stats.page_evictions <= stats.page_writes);
+                if frames == 2 {
+                    tiny_faults += stats.page_faults;
+                }
+            }
+        }
+        assert!(
+            tiny_faults > 0,
+            "chained={chained}: a 2-frame budget never paged — the paged \
+             world is not actually exercising the pager"
+        );
+    }
+}
+
 /// The thread sweep under chain-reduced kernels. Chained managers keep
 /// the parallel apply path off internally and degrade sifting to a
 /// collection, so what this enforces is exactly that: explicit thread
@@ -512,6 +586,7 @@ fn differential_fuzz_chained_thread_sweep_with_churn() {
                     threads: Some(threads),
                     churn: true,
                     chained: true,
+                    page_cache: None,
                 },
             );
         }
