@@ -2,7 +2,7 @@
 # Offline CI: build, test, lint. No network access is required (the
 # workspace has no external dependencies).
 #
-# Usage: ci.sh [--stress] [--crash] [--paged]
+# Usage: ci.sh [--stress] [--crash] [--paged] [--model]
 #   --stress  additionally run the #[ignore] concurrency stress tests
 #             (4 workers hammering mk/apply through GC safepoints).
 #   --crash   additionally run a bounded slice of the fault-injection
@@ -16,6 +16,13 @@
 #             (asserting page_faults > 0 and tuple identity), the
 #             kill-mid-eviction crash/resume path, and the
 #             paged_capacity bench.
+#   --model   additionally run the full deterministic model-checking
+#             sweep (jedd-sync scheduler): every model suite at worker
+#             counts 2 and 4 under PCT priority preemption, the
+#             bounded-exhaustive DFS protocols, and a JEDD_SCHED-seeded
+#             replay of the differential fuzzer and budget-trip parity.
+#             Every run also executes a short smoke slice of these
+#             suites; --model is the wide sweep.
 set -eu
 
 cd "$(dirname "$0")"
@@ -23,14 +30,22 @@ cd "$(dirname "$0")"
 STRESS=0
 CRASH=0
 PAGED=0
+MODEL=0
 for arg in "$@"; do
     case "$arg" in
         --stress) STRESS=1 ;;
         --crash) CRASH=1 ;;
         --paged) PAGED=1 ;;
+        --model) MODEL=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+# The synchronization seam is load-bearing for everything the model
+# scheduler proves, so its lint runs first and unconditionally.
+echo "==> seam lint (crates/bdd must sync through jedd-sync)"
+tools/seam_lint.sh --self-test
+tools/seam_lint.sh
 
 echo "==> cargo build --release"
 # --workspace so member binaries (the jeddc CLI used by the lint stage
@@ -82,6 +97,29 @@ JEDD_ORDER_SEARCH_ROUNDS="${JEDD_ORDER_SEARCH_ROUNDS:-1}" \
     cargo test -p jedd-bdd --test chain --offline -q
 JEDD_ORDER_SEARCH_ROUNDS="${JEDD_ORDER_SEARCH_ROUNDS:-1}" \
     cargo test -p jedd-analyses --test learned_order --offline -q
+
+# Model-checking smoke slice, every run: the jedd-sync scheduler's own
+# protocol suites (race detector, lock-order cycles, DFS lost-update)
+# plus the kernel's bounded-exhaustive model checks at 2 threads. The
+# wide sweep lives behind --model.
+echo "==> model-check smoke (jedd-sync + kernel model suites)"
+cargo test -p jedd-sync --features model --offline -q
+cargo test -p jedd-bdd --features model --test model_check --offline -q
+cargo test -p jedd-bdd --features model --lib --offline -q model_tests
+
+if [ "$MODEL" = 1 ]; then
+    echo "==> model sweep (PCT, threads {2,4}; exhaustive tiny protocols)"
+    # The kernel suites internally sweep threads 2 and 4 under PCT and
+    # run the DFS-exhaustive protocols.
+    cargo test -p jedd-bdd --features model --test model_check --offline -q
+    cargo test -p jedd-bdd --features model --lib --offline -q model_tests
+    JEDD_SCHED="${JEDD_SCHED:-2}" JEDD_SCHED_STRATEGY=pct \
+        cargo test --features model --offline -q --test differential \
+        differential_fuzz_scheduled_replay_is_bit_identical
+    JEDD_SCHED="${JEDD_SCHED:-2}" JEDD_SCHED_STRATEGY=pct \
+        cargo test -p jedd-analyses --features model --offline -q --test budget_parity \
+        budget_trip_parity_replays_bit_identically_under_jedd_sched
+fi
 
 if [ "$STRESS" = 1 ]; then
     echo "==> stress tests (ignored set)"

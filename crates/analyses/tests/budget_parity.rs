@@ -106,3 +106,33 @@ fn generous_budget_succeeds_at_every_thread_count() {
         });
     }
 }
+
+/// `JEDD_SCHED` mode: the parallel step-limit trip replayed under the
+/// deterministic scheduler. `JEDD_SCHED=<seed>` selects the schedule
+/// stream (fixed default seed otherwise); the trip must keep its variant
+/// and echoed limit on every explored interleaving, and re-running the
+/// same configuration must reproduce the identical schedule fingerprints
+/// bit-for-bit.
+#[cfg(feature = "model")]
+#[test]
+fn budget_trip_parity_replays_bit_identically_under_jedd_sched() {
+    use jedd_sync::model::{check, Config};
+    let cfg = Config::from_env().unwrap_or_else(|| Config::random(7, 3));
+    let sweep = || {
+        check(cfg.clone(), || {
+            let (_, c) = cause(run(2, Budget::unlimited().with_max_steps(10)));
+            assert!(
+                matches!(c, BddError::StepLimit { limit: 10, .. }),
+                "scheduled parallel trip changed its type: {c}"
+            );
+        })
+    };
+    let first = sweep();
+    let second = sweep();
+    first.assert_clean();
+    assert_eq!(first.schedules, second.schedules, "schedule counts diverged");
+    assert_eq!(
+        first.fingerprints, second.fingerprints,
+        "same JEDD_SCHED seed must replay the same schedules bit-for-bit"
+    );
+}

@@ -45,7 +45,7 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use jedd_sync::atomic::{AtomicU64, Ordering};
 
 /// Why a pager operation failed. Unlike the kernel's `Copy` error type
 /// this carries the full context (paths, the underlying I/O error); the

@@ -67,8 +67,8 @@ use crate::node::{Permutation, NIL};
 use crate::ops::BinOp;
 use crate::table::{triple_hash, CacheOp, Inner};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use jedd_sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use jedd_sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Number of unique-table shards and cache stripes (a power of two).
@@ -188,8 +188,7 @@ impl ParCache {
 
     fn get(&self, h: u64, op: CacheOp, a: u32, b: u32, c: u32) -> Option<u32> {
         let stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)]
-            .lock()
-            .unwrap();
+            .lock();
         let e = stripe[h as usize & (STRIPE_SLOTS - 1)];
         if e.op == op && e.a == a && e.b == b && e.c == c {
             Some(e.result)
@@ -200,8 +199,7 @@ impl ParCache {
 
     fn put(&self, h: u64, e: CEntry) {
         let mut stripe = self.stripes[(h >> 40) as usize & (NUM_SHARDS - 1)]
-            .lock()
-            .unwrap();
+            .lock();
         stripe[h as usize & (STRIPE_SLOTS - 1)] = e;
     }
 }
@@ -250,7 +248,7 @@ impl SharedGov {
     /// dropped — the first trip is the one reported, matching the
     /// sequential engine's single-error semantics.
     fn trip(&self, e: BddError) -> BddError {
-        let mut slot = self.error.lock().unwrap();
+        let mut slot = self.error.lock();
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -259,7 +257,7 @@ impl SharedGov {
     }
 
     fn take_error(&self) -> Option<BddError> {
-        self.error.lock().unwrap().take()
+        self.error.lock().take()
     }
 }
 
@@ -563,8 +561,7 @@ impl<'a> Worker<'a> {
         }
         let h = triple_hash(level, low, high);
         let mut shard = self.k.shards[(h >> 40) as usize & (NUM_SHARDS - 1)]
-            .lock()
-            .unwrap();
+            .lock();
         if let Some(&id) = shard.get(&(level, low, high)) {
             self.stats.unique_hits += 1;
             return Ok(id);
@@ -843,13 +840,13 @@ struct OpShared<'a, 'p> {
 /// Pops from the worker's own deque front, then steals from the back of
 /// the other deques (round-robin from the right neighbour).
 fn next_task(sh: &OpShared, idx: usize, stats: &mut WorkerStats) -> Option<u32> {
-    if let Some(t) = sh.deques[idx].lock().unwrap().pop_front() {
+    if let Some(t) = sh.deques[idx].lock().pop_front() {
         return Some(t);
     }
     let n = sh.deques.len();
     for k in 1..n {
         let j = (idx + k) % n;
-        if let Some(t) = sh.deques[j].lock().unwrap().pop_back() {
+        if let Some(t) = sh.deques[j].lock().pop_back() {
             stats.steals += 1;
             return Some(t);
         }
@@ -976,7 +973,7 @@ fn batch_worker(sh: &BatchShared) -> WorkerStats {
     let mut w = Worker::new(sh.inner, sh.k, &sh.k.gov.steps);
     loop {
         let i = {
-            let mut q = sh.sched.queue.lock().unwrap();
+            let mut q = sh.sched.queue.lock();
             loop {
                 if sh.k.gov.aborted() || sh.sched.remaining.load(Ordering::Relaxed) == 0 {
                     drop(q);
@@ -986,7 +983,7 @@ fn batch_worker(sh: &BatchShared) -> WorkerStats {
                 if let Some(i) = q.pop_front() {
                     break i;
                 }
-                q = sh.sched.ready_cv.wait(q).unwrap();
+                q = sh.sched.ready_cv.wait(q);
             }
         };
         w.steps_ctr = &sh.steps[i];
@@ -999,7 +996,7 @@ fn batch_worker(sh: &BatchShared) -> WorkerStats {
         }) {
             Ok(r) => {
                 sh.values[i].store(r, Ordering::Release);
-                let mut q = sh.sched.queue.lock().unwrap();
+                let mut q = sh.sched.queue.lock();
                 for &p in &sh.sched.parents[i] {
                     if sh.sched.pending[p as usize].fetch_sub(1, Ordering::Relaxed) == 1 {
                         q.push_back(p as usize);
@@ -1011,7 +1008,7 @@ fn batch_worker(sh: &BatchShared) -> WorkerStats {
             Err(_) => {
                 // The governor already recorded the trip (or another
                 // worker's); wake everyone so they observe the abort.
-                let _q = sh.sched.queue.lock().unwrap();
+                let _q = sh.sched.queue.lock();
                 sh.sched.ready_cv.notify_all();
                 return w.stats;
             }
@@ -1117,7 +1114,7 @@ impl Inner {
         let deques: Vec<Mutex<VecDeque<u32>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (t, dq) in (0..plan.tasks.len() as u32).zip((0..workers).cycle()) {
-            deques[dq].lock().unwrap().push_back(t);
+            deques[dq].lock().push_back(t);
         }
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
         {
@@ -1129,7 +1126,7 @@ impl Inner {
                 deques: &deques,
                 results: &results,
             };
-            std::thread::scope(|s| {
+            jedd_sync::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|i| {
                         let sh = &shared;
@@ -1251,7 +1248,7 @@ impl Inner {
                 steps: &steps,
                 sched: &sched,
             };
-            std::thread::scope(|s| {
+            jedd_sync::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let sh = &shared;
@@ -1310,7 +1307,7 @@ mod tests {
         }
         let k = Kernel::new(&inner);
         let nthreads = 8;
-        let ids: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let ids: Vec<Vec<u32>> = jedd_sync::thread::scope(|s| {
             let handles: Vec<_> = (0..nthreads)
                 .map(|t| {
                     let k = &k;
@@ -1356,5 +1353,87 @@ mod tests {
             let id = inner.mk(l, lo, hi).unwrap();
             assert_eq!(id, canonical[slot], "commit re-keyed triple {slot}");
         }
+    }
+}
+
+/// Model-checked variants of the shard protocols: the same invariants as
+/// the threaded tests above, but swept across adversarial interleavings
+/// by the `jedd-sync` deterministic scheduler instead of trusting the OS
+/// to produce interesting ones.
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::*;
+    use jedd_sync::model::{self, Config};
+    use std::sync::Mutex as StdMutex;
+
+    /// Frozen-base snapshot vs. concurrent shard insert, exhaustively at
+    /// two threads: workers probe the frozen master table lock-free while
+    /// racing inserts of identical triples through the sharded unique
+    /// table. On every explored schedule the threads must agree on every
+    /// id, the allocator must hold exactly one reservation per distinct
+    /// triple, and the commit must re-key nothing.
+    #[test]
+    fn frozen_base_vs_shard_insert_is_exhaustively_deduped() {
+        let schedules_seen: StdMutex<u64> = StdMutex::new(0);
+        let report = model::check(Config::dfs(1), || {
+            let mut inner = Inner::new(8);
+            // Frozen master nodes: the lock-free probe path must stay
+            // coherent while the shards fill underneath it.
+            let masters: Vec<u32> =
+                (4..8).map(|l| inner.mk(l, 0, 1).unwrap()).collect();
+            let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+            for level in 0..2u32 {
+                for &m in &masters {
+                    triples.push((level, 0, m));
+                    triples.push((level, m, 1));
+                }
+            }
+            let k = Kernel::new(&inner);
+            let nthreads = 2;
+            let ids: Vec<Vec<u32>> = jedd_sync::thread::scope(|s| {
+                let handles: Vec<_> = (0..nthreads)
+                    .map(|t| {
+                        let k = &k;
+                        let inner = &inner;
+                        let triples = &triples;
+                        s.spawn(move || {
+                            let mut w = Worker::new(inner, k, &k.gov.steps);
+                            let n = triples.len();
+                            (0..n)
+                                .map(|i| {
+                                    let (l, lo, hi) = triples[(i + t * 3) % n];
+                                    w.cmk(l, lo, hi).unwrap()
+                                })
+                                .collect::<Vec<u32>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let n = triples.len();
+            let mut canonical = vec![NIL; n];
+            for (t, row) in ids.iter().enumerate() {
+                for (i, &id) in row.iter().enumerate() {
+                    let slot = (i + t * 3) % n;
+                    if canonical[slot] == NIL {
+                        canonical[slot] = id;
+                    } else {
+                        assert_eq!(canonical[slot], id, "duplicate node for triple {slot}");
+                    }
+                }
+            }
+            assert_eq!(k.alloc.count.load(Ordering::Relaxed), n);
+            let base = k.alloc.base;
+            let count = k.alloc.count.load(Ordering::Relaxed);
+            inner.commit_par_nodes(base, (0..count).map(|i| k.alloc.read(i)));
+            for (slot, &(l, lo, hi)) in triples.iter().enumerate() {
+                assert_eq!(inner.mk(l, lo, hi).unwrap(), canonical[slot]);
+            }
+            *schedules_seen.lock().unwrap() += 1;
+        });
+        report.assert_clean();
+        assert!(report.complete, "DFS must exhaust the insert-race protocol");
+        assert!(report.schedules >= 2, "the race must branch, got {}", report.schedules);
+        assert_eq!(*schedules_seen.lock().unwrap(), report.schedules);
     }
 }

@@ -162,6 +162,17 @@ pub struct KernelStats {
     pub page_evictions: u64,
     /// High-water mark of simultaneously resident frames.
     pub page_max_resident: u64,
+    /// Schedules explored by `jedd-sync` model-check sessions in this
+    /// process (zero outside `--features model` runs; merged from the
+    /// shim's process-wide counters at observation time).
+    pub sched_schedules: u64,
+    /// Forced preemptions injected by the deterministic scheduler.
+    pub sched_preemptions: u64,
+    /// Data races reported by the vector-clock detector.
+    pub sched_races: u64,
+    /// Distinct lock-order edges (held-lock → acquired-lock, by
+    /// acquisition-site pair) observed by the lock-order graph.
+    pub sched_lock_edges: u64,
 }
 
 impl KernelStats {
@@ -452,6 +463,11 @@ impl Inner {
             s.page_evictions = p.evictions;
             s.page_max_resident = p.max_resident;
         }
+        let sched = jedd_sync::counters();
+        s.sched_schedules = sched.schedules;
+        s.sched_preemptions = sched.preemptions;
+        s.sched_races = sched.races;
+        s.sched_lock_edges = sched.lock_edges;
         s
     }
 
@@ -479,6 +495,13 @@ impl Inner {
     /// a machine only adds contention — the footgun behind the recorded
     /// 0.65x "speedup" of the scratch-table engine).
     pub(crate) fn par_workers(&self) -> usize {
+        if jedd_sync::model_active() {
+            // A model-check session serializes the workers itself, and
+            // its schedules need the requested worker count to actually
+            // materialize — even on a 1-CPU host, where the clamp would
+            // otherwise reduce every model test to a sequential run.
+            return self.par_threads().max(1);
+        }
         self.par_threads().min(self.cpus).max(1)
     }
 

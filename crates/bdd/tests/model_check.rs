@@ -1,0 +1,235 @@
+//! Model-checked protocol suites for the parallel kernel, run under the
+//! `jedd-sync` deterministic scheduler (`--features model`). Each test
+//! re-executes a tiny kernel workload under many adversarial
+//! interleavings — bounded-exhaustive DFS for the small protocols,
+//! PCT priority preemption for the larger oracles — and asserts the
+//! kernel's determinism contract: the *function* computed (satcount,
+//! assignments, typed error) is identical on every explored schedule.
+//!
+//! The operands here are deliberately tiny: the scheduler serialises
+//! every lock, condvar and (strided) atomic into a decision point, so a
+//! schedule space that is exhaustive at two threads must start from a
+//! workload with a small synchronization footprint.
+
+use jedd_bdd::rng::XorShift64Star;
+use jedd_bdd::{Bdd, BddError, BddManager, Budget};
+use jedd_sync::model::{self, Config, TrackedCell};
+use std::sync::Mutex as StdMutex;
+
+const NBITS: usize = 14;
+
+/// A small union-of-minterms BDD; big enough to split at the forced
+/// cutoff, small enough that one apply has a bounded lock footprint.
+fn dense(mgr: &BddManager, terms: usize, seed: u64) -> Bdd {
+    let mut rng = XorShift64Star::new(seed);
+    let bits: Vec<u32> = (0..NBITS as u32).collect();
+    let mut acc = mgr.constant_false();
+    for _ in 0..terms {
+        let value = rng.next_u64() & ((1u64 << NBITS) - 1);
+        acc = acc.or(&mgr.encode_value(&bits, value));
+    }
+    acc
+}
+
+/// A manager forced onto the parallel path on test-sized operands.
+fn manager(threads: usize) -> BddManager {
+    let mgr = BddManager::new(NBITS);
+    mgr.set_threads(threads);
+    mgr.set_par_cutoff(2);
+    mgr
+}
+
+/// `commit_par_nodes` vs. governor trip, explored exhaustively at two
+/// threads: when a node-limit budget trips mid-operation, every
+/// interleaving must (a) surface the same typed error with the
+/// configured limit echoed back, and (b) leave the master arena
+/// untouched by the aborted operation — the commit is skipped, so a
+/// follow-up unbudgeted operation still computes the right function.
+#[test]
+fn governor_trip_commit_skip_is_exhaustive_at_two_threads() {
+    let outcomes: StdMutex<Vec<String>> = StdMutex::new(Vec::new());
+    let mut cfg = Config::dfs(1);
+    cfg.yield_stride = 64; // locks/condvars still decide every time
+    let report = model::check(cfg, || {
+        // Operands are built at the default cutoff (sequentially — no
+        // decision points), so the DFS frontier is confined to the two
+        // budgeted parallel operations below.
+        let mgr = BddManager::new(NBITS);
+        mgr.set_threads(2);
+        let f = dense(&mgr, 16, 11);
+        let g = dense(&mgr, 16, 12);
+        mgr.set_par_cutoff(2);
+        // GC first so the dead construction intermediates cannot bail the
+        // ladder out, then set a node ceiling right at the live count: the
+        // conjunction's reservations blow through it at the `cmk`
+        // allocation point, the governor trips, and the reserved block is
+        // discarded without touching the master arena.
+        mgr.gc();
+        mgr.set_budget(Budget::unlimited().with_max_live_nodes(mgr.live_nodes() + 2));
+        // The union allocates genuinely new structure (the operands are
+        // disjoint minterm sets), so the workers trip within their first
+        // few reservations — keeping the DFS frontier small.
+        let trip = match f.try_or(&g) {
+            Err(BddError::NodeLimit { limit, .. }) => format!("node-limit {limit}"),
+            Err(e) => format!("unexpected error {e}"),
+            Ok(_) => "no trip".to_string(),
+        };
+        // Commit-skip invariant: the same union, unbudgeted, must now
+        // succeed on the surviving arena. Run it sequentially (cutoff
+        // back up) so verification adds no decision points of its own.
+        mgr.set_budget(Budget::unlimited());
+        mgr.set_par_cutoff(1 << 20);
+        let ok = f.or(&g).satcount();
+        outcomes.lock().unwrap().push(format!("{trip}; or={ok}"));
+    });
+    report.assert_clean();
+    assert!(report.complete, "DFS must exhaust the bounded schedule space");
+    assert!(report.schedules >= 2, "the sweep should branch, got {}", report.schedules);
+    let outcomes = outcomes.into_inner().unwrap();
+    assert_eq!(outcomes.len() as u64, report.schedules);
+    let first = &outcomes[0];
+    assert!(first.starts_with("node-limit"), "budget must trip: {first}");
+    for o in &outcomes {
+        assert_eq!(o, first, "every schedule must reach the identical outcome");
+    }
+}
+
+/// The determinism contract under adversarial PCT schedules: the
+/// parallel kernel computes the same function as the sequential
+/// reference on every explored interleaving, at both thread counts.
+#[test]
+fn parallel_apply_matches_sequential_on_every_schedule() {
+    let reference = {
+        let mgr = manager(1);
+        let f = dense(&mgr, 30, 5);
+        let g = dense(&mgr, 30, 6);
+        (f.and(&g).satcount(), f.xor(&g).satcount())
+    };
+    for threads in [2usize, 4] {
+        let mut cfg = Config::pct(0xC0FF_EE00 + threads as u64, 12, 3);
+        cfg.yield_stride = 64;
+        let report = model::check(cfg, || {
+            let mgr = manager(threads);
+            let f = dense(&mgr, 30, 5);
+            let g = dense(&mgr, 30, 6);
+            assert_eq!(f.and(&g).satcount(), reference.0, "and @ {threads} threads");
+            assert_eq!(f.xor(&g).satcount(), reference.1, "xor @ {threads} threads");
+        });
+        report.assert_clean();
+        assert_eq!(report.schedules, 12);
+    }
+}
+
+/// Batch Condvar wakeups: the DAG scheduler parks workers on `ready_cv`
+/// when the queue is empty and notifies as dependencies resolve. Under
+/// priority-preemption schedules (notifier descheduled at the worst
+/// moment, waiter woken late) no wakeup may be lost and every root must
+/// still resolve to the sequential value.
+#[test]
+fn batch_condvar_wakeups_survive_adversarial_schedules() {
+    let reference: Vec<f64> = {
+        let mgr = manager(1);
+        let roots = batch_workload(&mgr);
+        roots.iter().map(|b| b.satcount()).collect()
+    };
+    let mut cfg = Config::pct(0xBA7C4, 10, 4);
+    cfg.yield_stride = 64;
+    let report = model::check(cfg, || {
+        let mgr = manager(2);
+        let roots = batch_workload(&mgr);
+        let got: Vec<f64> = roots.iter().map(|b| b.satcount()).collect();
+        assert_eq!(got, reference, "batch roots diverged from the sequential run");
+    });
+    report.assert_clean();
+    assert_eq!(report.schedules, 10);
+}
+
+/// A small dependency DAG: two independent conjunctions feeding a
+/// quantified combination, so the batch scheduler has both ready
+/// parallelism and a join that must wait on `ready_cv`.
+fn batch_workload(mgr: &BddManager) -> Vec<Bdd> {
+    let f = dense(mgr, 20, 21);
+    let g = dense(mgr, 20, 22);
+    let h = dense(mgr, 20, 23);
+    let cube = mgr.cube(&[10, 12]);
+    let mut b = mgr.batch();
+    let tf = b.leaf(&f);
+    let tg = b.leaf(&g);
+    let th = b.leaf(&h);
+    let left = b.and(tf, tg);
+    let right = b.xor(tg, th);
+    let top = b.or(left, right);
+    let ex = b.exists(top, &cube);
+    b.run(&[left, right, ex])
+}
+
+/// The intentionally racy mutation: two scope threads bump a
+/// [`TrackedCell`] without a lock. Both layers of the harness must
+/// convict it — the vector-clock detector reports the race, and the
+/// bounded-exhaustive sweep *witnesses* the lost update (a final value
+/// of 1) that the race makes possible.
+#[test]
+fn injected_racy_increment_is_convicted_by_both_layers() {
+    let finals: StdMutex<Vec<u32>> = StdMutex::new(Vec::new());
+    let report = model::check(Config::dfs(2), || {
+        let cell = TrackedCell::new(0u32);
+        jedd_sync::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let v = cell.get();
+                    cell.set(v + 1);
+                });
+            }
+        });
+        finals.lock().unwrap().push(cell.get());
+    });
+    assert!(report.complete, "the two-increment protocol is tiny; DFS must finish");
+    assert!(!report.races.is_empty(), "the vector-clock detector must fire");
+    let finals = finals.into_inner().unwrap();
+    assert!(finals.contains(&1), "the exhaustive sweep must witness the lost update");
+    assert!(finals.contains(&2), "...and the correct outcome");
+    assert!(finals.iter().all(|&v| v == 1 || v == 2));
+}
+
+/// The same protocol with the cell guarded by a shim mutex: the
+/// detector must stay quiet and DFS must prove the lost update gone.
+#[test]
+fn guarded_increment_is_race_free_and_exact() {
+    let finals: StdMutex<Vec<u32>> = StdMutex::new(Vec::new());
+    let report = model::check(Config::dfs(2), || {
+        let cell = jedd_sync::Mutex::new(0u32);
+        jedd_sync::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut v = cell.lock();
+                    *v += 1;
+                });
+            }
+        });
+        finals.lock().unwrap().push(*cell.lock());
+    });
+    report.assert_clean();
+    assert!(report.complete);
+    let finals = finals.into_inner().unwrap();
+    assert!(finals.iter().all(|&v| v == 2), "mutual exclusion must make 2 the only outcome");
+}
+
+/// Scheduler counters flow into `KernelStats`: after a model sweep the
+/// snapshot must report the schedules just explored.
+#[test]
+fn kernel_stats_carry_scheduler_counters() {
+    let mgr = manager(2);
+    let before = mgr.kernel_stats().sched_schedules;
+    let report = model::check(Config::random(7, 4), || {
+        let m = manager(2);
+        let f = dense(&m, 20, 1);
+        let g = dense(&m, 20, 2);
+        let _ = f.and(&g);
+    });
+    report.assert_clean();
+    let after = mgr.kernel_stats().sched_schedules;
+    assert!(
+        after >= before + 4,
+        "KernelStats must absorb the sweep: before={before} after={after}"
+    );
+}

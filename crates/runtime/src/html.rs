@@ -287,6 +287,16 @@ fn kernel_section(k: &KernelStats) -> String {
         k.page_writes,
         k.page_max_resident
     );
+    let _ = writeln!(
+        out,
+        "<h3>Scheduling</h3>\
+         <p>{} model schedules explored ({} preemptions), \
+         {} data races reported, {} lock-order edges observed.</p>",
+        k.sched_schedules,
+        k.sched_preemptions,
+        k.sched_races,
+        k.sched_lock_edges
+    );
     let avg_chain = if k.chain_nodes_created == 0 {
         0.0
     } else {
@@ -472,6 +482,24 @@ mod tests {
         // The paging row is always present, zeroed on resident runs.
         let resident = render_html_with_kernel(&Profiler::new(), Some(&KernelStats::default()));
         assert!(resident.contains("0 page faults"));
+    }
+
+    #[test]
+    fn kernel_section_reports_scheduler_counters() {
+        let stats = KernelStats {
+            sched_schedules: 64,
+            sched_preemptions: 17,
+            sched_races: 1,
+            sched_lock_edges: 9,
+            ..Default::default()
+        };
+        let html = render_html_with_kernel(&Profiler::new(), Some(&stats));
+        assert!(html.contains("Scheduling"));
+        assert!(html.contains("64 model schedules explored (17 preemptions)"));
+        assert!(html.contains("1 data races reported, 9 lock-order edges observed"));
+        // The scheduling row is always present, zeroed on non-model runs.
+        let plain = render_html_with_kernel(&Profiler::new(), Some(&KernelStats::default()));
+        assert!(plain.contains("0 model schedules explored"));
     }
 
     #[test]

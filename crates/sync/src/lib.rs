@@ -1,0 +1,847 @@
+//! `jedd-sync`: the workspace's synchronization seam.
+//!
+//! Every lock, condvar, atomic and scoped thread used by the parallel
+//! kernel goes through this crate instead of `std::sync` directly. In a
+//! normal build the wrappers are `#[inline]` passthroughs over the std
+//! primitives (zero cost, no extra state), with one deliberate semantic
+//! change: lock acquisition **recovers from poison** instead of
+//! panicking, so a panicking worker unwinding through `Drop` can never
+//! cascade into a second panic/abort (the pager's park-then-typed-error
+//! pattern, applied crate-wide).
+//!
+//! Under the `model` cargo feature the same wrappers gain a hook: when a
+//! [`model::check`] session is active on the current thread, every sync
+//! operation routes through a deterministic cooperative scheduler that
+//! serializes the threads and *chooses* the interleaving — seeded random
+//! walks, PCT-style priority preemption, or bounded exhaustive DFS —
+//! while a vector-clock happens-before race detector watches
+//! [`model::TrackedCell`] accesses and a lock-order graph records every
+//! held-lock → acquired-lock edge and reports cycles (potential
+//! deadlocks) with both acquisition sites. With the feature compiled in
+//! but no session active, the only cost is one thread-local lookup per
+//! operation, so feature-unified test builds stay fast.
+//!
+//! The model explores **sequentially consistent** interleavings (like a
+//! stateless model checker, not a weak-memory simulator); atomic
+//! `Ordering`s only affect which happens-before edges the race detector
+//! learns (`Relaxed` publishes nothing, `Acquire`/`Release`/`SeqCst`
+//! synchronize).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+#[cfg(feature = "model")]
+pub mod model;
+
+#[cfg(feature = "model")]
+use std::panic::Location;
+
+/// Scheduler counters aggregated across every model-check session in
+/// this process. All zeros when the `model` feature is off or no
+/// session has run; merged into `KernelStats` by the BDD kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Schedules (iterations) fully explored by model sessions.
+    pub schedules: u64,
+    /// Forced preemptions injected by the scheduler.
+    pub preemptions: u64,
+    /// Data races reported by the vector-clock detector.
+    pub races: u64,
+    /// Distinct lock-order edges (by acquisition-site pair) observed.
+    pub lock_edges: u64,
+}
+
+/// Process-wide scheduler counters. Zeros unless the `model` feature is
+/// enabled and at least one [`model::check`] session has run.
+#[inline]
+pub fn counters() -> SchedCounters {
+    #[cfg(feature = "model")]
+    {
+        model::counters_snapshot()
+    }
+    #[cfg(not(feature = "model"))]
+    {
+        SchedCounters::default()
+    }
+}
+
+/// True when a deterministic model-check session is driving the current
+/// thread. Always `false` without the `model` feature. The kernel uses
+/// this to bypass its worker-count hardware clamp: model schedules need
+/// real multi-worker runs even on a 1-CPU host (the scheduler serializes
+/// them anyway).
+#[inline]
+pub fn model_active() -> bool {
+    #[cfg(feature = "model")]
+    {
+        model::current().is_some()
+    }
+    #[cfg(not(feature = "model"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock; `std::sync::Mutex` with poison recovery and
+/// a model-scheduler hook.
+///
+/// [`Mutex::lock`] returns the guard directly (no `LockResult`): if the
+/// lock was poisoned by a panicking holder the data is still returned,
+/// because every protected structure in this workspace is either
+/// repaired or discarded by the governor after a worker panic — aborting
+/// the unwind with a second panic would be strictly worse.
+pub struct Mutex<T> {
+    #[cfg(feature = "model")]
+    tag: std::sync::atomic::AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            #[cfg(feature = "model")]
+            tag: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, recovering from poison. Under an active model
+    /// session this is a schedule decision point and a lock-order graph
+    /// edge source/target.
+    #[inline]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Mutex);
+            sess.mutex_lock(tid, oid, Location::caller());
+            let g = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("jedd-sync model: mutex exclusivity violated")
+                }
+            };
+            return MutexGuard { lock: self, inner: Some(g), model: Some((sess, tid, oid)) };
+        }
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            lock: self,
+            inner: Some(g),
+            #[cfg(feature = "model")]
+            model: None,
+        }
+    }
+
+    /// Attempts the lock without blocking; `None` if held. Poison is
+    /// recovered like [`Mutex::lock`].
+    #[inline]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Mutex);
+            if !sess.mutex_try_lock(tid, oid, Location::caller()) {
+                return None;
+            }
+            let g = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("jedd-sync model: mutex exclusivity violated")
+                }
+            };
+            return Some(MutexGuard { lock: self, inner: Some(g), model: Some((sess, tid, oid)) });
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                #[cfg(feature = "model")]
+                model: None,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+                #[cfg(feature = "model")]
+                model: None,
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`), poison
+    /// recovered.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value, poison recovered.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; releases the lock (and notifies the model
+/// scheduler) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(feature = "model")]
+    model: Option<(std::sync::Arc<model::Session>, usize, u32)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // Release the std lock before telling the scheduler: once
+        // another model thread is granted the lock, its `try_lock` must
+        // succeed.
+        self.inner.take();
+        #[cfg(feature = "model")]
+        if let Some((sess, tid, oid)) = self.model.take() {
+            sess.mutex_unlock(tid, oid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Condition variable paired with [`Mutex`]; poison-recovering, with
+/// deterministic FIFO wakeups under a model session (no spurious
+/// wakeups in model mode — callers must still loop on their predicate,
+/// as all in-tree users do).
+pub struct Condvar {
+    #[cfg(feature = "model")]
+    tag: std::sync::atomic::AtomicU64,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Condvar {
+            #[cfg(feature = "model")]
+            tag: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// re-acquires the lock. Poison on re-acquisition is recovered.
+    #[inline]
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(feature = "model")]
+        if guard.model.is_some() {
+            let mut guard = guard;
+            let (sess, tid, _moid) = guard.model.take().expect("model guard");
+            let lock = guard.lock;
+            let coid = sess.object_id(&self.tag, model::ObjClass::Condvar);
+            // Drop the std guard, release at the model level, park on
+            // the condvar, then re-acquire through the normal path.
+            guard.inner.take();
+            let moid = sess.object_id(&lock.tag, model::ObjClass::Mutex);
+            sess.mutex_unlock(tid, moid);
+            drop(guard);
+            sess.cond_wait(tid, coid, Location::caller());
+            return lock.lock();
+        }
+        let mut guard = guard;
+        let lock = guard.lock;
+        let std_guard = guard.inner.take().expect("guard taken");
+        // Forget the wrapper so its Drop doesn't double-release.
+        std::mem::forget(guard);
+        let g = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            lock,
+            inner: Some(g),
+            #[cfg(feature = "model")]
+            model: None,
+        }
+    }
+
+    /// Wakes one waiter (deterministically the longest-waiting one under
+    /// a model session).
+    #[inline]
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Condvar);
+            sess.cond_notify(tid, oid, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[inline]
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Condvar);
+            sess.cond_notify(tid, oid, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Reader-writer lock; `std::sync::RwLock` with poison recovery and a
+/// model hook (shared readers / exclusive writer are modelled exactly).
+pub struct RwLock<T> {
+    #[cfg(feature = "model")]
+    tag: std::sync::atomic::AtomicU64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            #[cfg(feature = "model")]
+            tag: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, recovering from poison.
+    #[inline]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::RwLock);
+            sess.rw_lock(tid, oid, false, Location::caller());
+            let g = match self.inner.try_read() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("jedd-sync model: rwlock read exclusivity violated")
+                }
+            };
+            return RwLockReadGuard { inner: Some(g), model: Some((sess, tid, oid)) };
+        }
+        let g = match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard {
+            inner: Some(g),
+            #[cfg(feature = "model")]
+            model: None,
+        }
+    }
+
+    /// Acquires exclusive write access, recovering from poison.
+    #[inline]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::RwLock);
+            sess.rw_lock(tid, oid, true, Location::caller());
+            let g = match self.inner.try_write() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("jedd-sync model: rwlock write exclusivity violated")
+                }
+            };
+            return RwLockWriteGuard { inner: Some(g), model: Some((sess, tid, oid)) };
+        }
+        let g = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard {
+            inner: Some(g),
+            #[cfg(feature = "model")]
+            model: None,
+        }
+    }
+
+    /// Mutable access without locking, poison recovered.
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    #[cfg(feature = "model")]
+    model: Option<(std::sync::Arc<model::Session>, usize, u32)>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.inner.take();
+        #[cfg(feature = "model")]
+        if let Some((sess, tid, oid)) = self.model.take() {
+            sess.rw_unlock(tid, oid, false);
+        }
+    }
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    #[cfg(feature = "model")]
+    model: Option<(std::sync::Arc<model::Session>, usize, u32)>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.inner.take();
+        #[cfg(feature = "model")]
+        if let Some((sess, tid, oid)) = self.model.take() {
+            sess.rw_unlock(tid, oid, true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// One-shot initialization cell; `std::sync::OnceLock` with a model
+/// hook (competing initializers block cooperatively, and the winning
+/// initializer's writes happen-before every reader).
+pub struct OnceLock<T> {
+    #[cfg(feature = "model")]
+    tag: std::sync::atomic::AtomicU64,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    #[inline]
+    pub const fn new() -> Self {
+        OnceLock {
+            #[cfg(feature = "model")]
+            tag: std::sync::atomic::AtomicU64::new(0),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Returns the value if initialized.
+    #[inline]
+    #[track_caller]
+    pub fn get(&self) -> Option<&T> {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Once);
+            sess.once_read(tid, oid, Location::caller());
+        }
+        self.inner.get()
+    }
+
+    /// Returns the value, initializing it with `init` if empty. Under a
+    /// model session a thread arriving while another is mid-`init`
+    /// blocks cooperatively until initialization completes.
+    #[inline]
+    #[track_caller]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, init: F) -> &T {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(&self.tag, model::ObjClass::Once);
+            let site = Location::caller();
+            loop {
+                match sess.once_begin(tid, oid, self.inner.get().is_some(), site) {
+                    model::OnceRole::Done => return self.inner.get().expect("once ready"),
+                    model::OnceRole::Init => {
+                        let v = init();
+                        let _ = self.inner.set(v);
+                        sess.once_finish(tid, oid);
+                        return self.inner.get().expect("once initialized");
+                    }
+                    model::OnceRole::Wait => sess.once_wait(tid, oid),
+                }
+            }
+        }
+        self.inner.get_or_init(init)
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OnceLock").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Atomic integers and flags routed through the model scheduler.
+///
+/// Each operation is a schedule decision point under an active session;
+/// `Ordering` is honoured by the race detector's happens-before relation
+/// (`Relaxed` publishes no edge) while the value semantics are the std
+/// atomics', executed under the scheduler's serialization.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(feature = "model")]
+    use crate::model;
+    #[cfg(feature = "model")]
+    use std::panic::Location;
+
+    #[cfg(feature = "model")]
+    #[inline]
+    fn hook(tag: &std::sync::atomic::AtomicU64, load: bool, store: bool, order: Ordering) {
+        if let Some((sess, tid)) = model::current() {
+            let oid = sess.object_id(tag, model::ObjClass::Atomic);
+            let acquire = load && matches!(order, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+            let release = store && matches!(order, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+            sess.atomic_op(tid, oid, acquire, release, Location::caller());
+        }
+    }
+
+    macro_rules! atomic_shim {
+        ($(#[$doc:meta])* $Name:ident, $Std:ident, $T:ty, rmw: [$($rmw:ident),*]) => {
+            $(#[$doc])*
+            pub struct $Name {
+                #[cfg(feature = "model")]
+                tag: std::sync::atomic::AtomicU64,
+                inner: std::sync::atomic::$Std,
+            }
+
+            impl $Name {
+                /// Creates a new atomic with the given initial value.
+                #[inline]
+                pub const fn new(v: $T) -> Self {
+                    $Name {
+                        #[cfg(feature = "model")]
+                        tag: std::sync::atomic::AtomicU64::new(0),
+                        inner: std::sync::atomic::$Std::new(v),
+                    }
+                }
+
+                /// Atomic load.
+                #[inline]
+                #[track_caller]
+                pub fn load(&self, order: Ordering) -> $T {
+                    #[cfg(feature = "model")]
+                    hook(&self.tag, true, false, order);
+                    self.inner.load(order)
+                }
+
+                /// Atomic store.
+                #[inline]
+                #[track_caller]
+                pub fn store(&self, v: $T, order: Ordering) {
+                    #[cfg(feature = "model")]
+                    hook(&self.tag, false, true, order);
+                    self.inner.store(v, order)
+                }
+
+                /// Atomic swap.
+                #[inline]
+                #[track_caller]
+                pub fn swap(&self, v: $T, order: Ordering) -> $T {
+                    #[cfg(feature = "model")]
+                    hook(&self.tag, true, true, order);
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic compare-and-exchange; on failure the load uses
+                /// `failure` ordering.
+                #[inline]
+                #[track_caller]
+                pub fn compare_exchange(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    #[cfg(feature = "model")]
+                    hook(&self.tag, true, true, success);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-and-exchange (may spuriously fail on real
+                /// hardware; never spuriously fails under the model).
+                #[inline]
+                #[track_caller]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    #[cfg(feature = "model")]
+                    hook(&self.tag, true, true, success);
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Mutable access without synchronization.
+                #[inline]
+                pub fn get_mut(&mut self) -> &mut $T {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                #[inline]
+                pub fn into_inner(self) -> $T {
+                    self.inner.into_inner()
+                }
+
+                $(
+                    /// Atomic read-modify-write; returns the previous value.
+                    #[inline]
+                    #[track_caller]
+                    pub fn $rmw(&self, v: $T, order: Ordering) -> $T {
+                        #[cfg(feature = "model")]
+                        hook(&self.tag, true, true, order);
+                        self.inner.$rmw(v, order)
+                    }
+                )*
+            }
+
+            impl std::fmt::Debug for $Name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+
+            impl Default for $Name {
+                fn default() -> Self {
+                    $Name::new(<$T>::default())
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// Shimmed `AtomicBool`.
+        AtomicBool, AtomicBool, bool, rmw: [fetch_or, fetch_and]
+    );
+    atomic_shim!(
+        /// Shimmed `AtomicU32`.
+        AtomicU32, AtomicU32, u32, rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    atomic_shim!(
+        /// Shimmed `AtomicU64`.
+        AtomicU64, AtomicU64, u64, rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    atomic_shim!(
+        /// Shimmed `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize, rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Scoped thread spawning routed through the model scheduler.
+pub mod thread {
+    #[cfg(feature = "model")]
+    use crate::model;
+    #[cfg(feature = "model")]
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Creates a scope for spawning scoped threads; the shim equivalent
+    /// of `std::thread::scope`. Under a model session the parent joins
+    /// its children cooperatively (the scheduler decides when each child
+    /// runs), and a panicking child aborts the whole schedule so no
+    /// sibling is left parked.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        #[cfg(feature = "model")]
+        if let Some((sess, tid)) = model::current() {
+            return std::thread::scope(|s| {
+                let sid = sess.new_scope();
+                let wrap = Scope { inner: s, ctx: Some((sess.clone(), tid, sid)) };
+                let r = catch_unwind(AssertUnwindSafe(|| f(&wrap)));
+                sess.scope_end(tid, sid, r.is_err());
+                match r {
+                    Ok(v) => v,
+                    Err(p) => resume_unwind(p),
+                }
+            });
+        }
+        std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                #[cfg(feature = "model")]
+                ctx: None,
+            })
+        })
+    }
+
+    /// Shim over `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        #[cfg(feature = "model")]
+        ctx: Option<(std::sync::Arc<model::Session>, usize, u32)>,
+    }
+
+    impl<'scope> Scope<'scope, '_> {
+        /// Spawns a scoped thread; the shim equivalent of
+        /// `std::thread::Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            #[cfg(feature = "model")]
+            if let Some((sess, parent, sid)) = &self.ctx {
+                let tid = sess.register_child(*parent, *sid);
+                let sess2 = sess.clone();
+                let h = self.inner.spawn(move || model::child_main(sess2, tid, f));
+                return ScopedJoinHandle { inner: h, model: Some((sess.clone(), tid)) };
+            }
+            let h = self.inner.spawn(move || Some(f()));
+            ScopedJoinHandle {
+                inner: h,
+                #[cfg(feature = "model")]
+                model: None,
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread spawned through the shim.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        #[cfg(feature = "model")]
+        model: Option<(std::sync::Arc<model::Session>, usize)>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result. Under
+        /// a model session the wait is cooperative (a scheduler blocking
+        /// point); a worker torn down by a schedule abort yields an
+        /// `Err` whose payload the session's final report explains.
+        pub fn join(self) -> std::thread::Result<T> {
+            #[cfg(feature = "model")]
+            if let Some((sess, child)) = &self.model {
+                let me = model::current().map(|(_, tid)| tid).expect("model join outside session");
+                sess.join_thread(me, *child);
+                return match self.inner.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(Box::new(model::ScheduleAborted)),
+                    Err(e) => Err(e),
+                };
+            }
+            self.inner.join().map(|v| v.expect("passthrough worker result"))
+        }
+    }
+}

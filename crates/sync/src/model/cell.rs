@@ -1,0 +1,63 @@
+//! A plain-data cell the race detector watches.
+//!
+//! `TrackedCell` deliberately provides **no synchronization** in the
+//! model's eyes: its accesses carry no happens-before edges, so two
+//! threads touching one without an ordering lock/atomic between them
+//! (at least one writing) is reported as a data race. Use it in model
+//! tests to assert that a protocol's plain-data fields really are
+//! protected by its locks — or, with the protection removed, that the
+//! detector fires.
+//!
+//! Outside an active model session the cell degrades to a mutex-backed
+//! cell (it is a test aid, not a production primitive).
+
+use super::ObjClass;
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex as StdMutex;
+
+/// A shared cell of plain data under vector-clock race detection.
+pub struct TrackedCell<T> {
+    tag: AtomicU64,
+    data: StdMutex<T>,
+}
+
+impl<T: Copy> TrackedCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        TrackedCell { tag: AtomicU64::new(0), data: StdMutex::new(value) }
+    }
+
+    /// Reads the value. A model-session read is a schedule decision
+    /// point and is checked against unordered prior writes.
+    #[track_caller]
+    pub fn get(&self) -> T {
+        if let Some((sess, tid)) = super::current() {
+            let oid = sess.object_id(&self.tag, ObjClass::Cell);
+            sess.cell_access(tid, oid, false, std::panic::Location::caller());
+        }
+        match self.data.lock() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        }
+    }
+
+    /// Writes the value. A model-session write is a schedule decision
+    /// point and is checked against unordered prior reads and writes.
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        if let Some((sess, tid)) = super::current() {
+            let oid = sess.object_id(&self.tag, ObjClass::Cell);
+            sess.cell_access(tid, oid, true, std::panic::Location::caller());
+        }
+        match self.data.lock() {
+            Ok(mut g) => *g = value,
+            Err(p) => *p.into_inner() = value,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug + Copy> std::fmt::Debug for TrackedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TrackedCell").field(&self.get()).finish()
+    }
+}

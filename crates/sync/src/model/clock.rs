@@ -1,0 +1,68 @@
+//! Vector clocks for the happens-before relation.
+//!
+//! One component per model thread id. Edges come from thread
+//! spawn/join, mutex release → acquire, condvar notify → wake,
+//! `OnceLock` init → read, and `Release`/`Acquire` atomics; `Relaxed`
+//! atomic operations publish nothing. Two [`super::TrackedCell`]
+//! accesses (at least one a write) that are unordered under this
+//! relation are a data race.
+
+/// A vector clock: `v[t]` is the last event of thread `t` known to
+/// happen before the owner's current point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    v: Vec<u64>,
+}
+
+impl VClock {
+    /// Clock component for thread `tid` (0 if never observed).
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.v.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances the owner thread's own component by one (a new event).
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.v.len() <= tid {
+            self.v.resize(tid + 1, 0);
+        }
+        self.v[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other` (learn everything it knows).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.v.len() < other.v.len() {
+            self.v.resize(other.v.len(), 0);
+        }
+        for (i, &o) in other.v.iter().enumerate() {
+            if self.v[i] < o {
+                self.v[i] = o;
+            }
+        }
+    }
+
+    /// True if the event `(tid, epoch)` happens before (or at) this
+    /// clock's current knowledge — i.e. it is ordered with us.
+    pub(crate) fn covers(&self, tid: usize, epoch: u64) -> bool {
+        self.get(tid) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn join_and_covers() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0); // a = [2]
+        let mut b = VClock::default();
+        b.tick(1); // b = [0, 1]
+        assert!(!b.covers(0, 2));
+        b.join(&a);
+        assert!(b.covers(0, 2));
+        assert!(b.covers(1, 1));
+        assert!(!b.covers(1, 2));
+        assert_eq!(b.get(7), 0);
+    }
+}

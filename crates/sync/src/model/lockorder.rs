@@ -1,0 +1,107 @@
+//! Runtime lock-order graph with cycle detection.
+//!
+//! Every successful lock acquisition while other locks are held adds
+//! edges `held → acquired`, each remembering both acquisition sites.
+//! A cycle in the per-schedule object graph means two threads can
+//! acquire the same locks in opposite orders — a potential deadlock —
+//! and is reported with the full site chain even if no schedule
+//! actually deadlocked.
+
+use std::collections::HashMap;
+use std::panic::Location;
+
+type Site = &'static Location<'static>;
+
+#[derive(Default)]
+pub(crate) struct LockGraph {
+    /// Adjacency: oid → (oid, held-site, acquired-site).
+    adj: HashMap<u32, Vec<(u32, Site, Site)>>,
+}
+
+impl LockGraph {
+    /// Records `held → acquired` and returns a cycle description if
+    /// this edge closes one. `edges` receives the (site, site) pair for
+    /// dedup/stats.
+    pub(crate) fn add_edge(
+        &mut self,
+        held: u32,
+        held_site: Site,
+        acquired: u32,
+        acquired_site: Site,
+        name: impl Fn(u32) -> String,
+    ) -> (Option<String>, (String, String)) {
+        let pair = (held_site.to_string(), acquired_site.to_string());
+        let slot = self.adj.entry(held).or_default();
+        if !slot.iter().any(|&(to, _, _)| to == acquired) {
+            slot.push((acquired, held_site, acquired_site));
+        }
+        // A cycle exists iff `acquired` can already reach `held`.
+        let cycle = self.path(acquired, held).map(|mut path| {
+            // Close the loop with the edge just added.
+            path.push((held, acquired, held_site, acquired_site));
+            let mut msg = String::from("lock-order cycle:");
+            for (from, to, s_from, s_to) in path {
+                msg.push_str(&format!(
+                    " {}(acquired at {}) -> {}(acquired at {});",
+                    name(from),
+                    s_from,
+                    name(to),
+                    s_to
+                ));
+            }
+            msg
+        });
+        (cycle, pair)
+    }
+
+    /// DFS path from `from` to `to` as (from, to, from-site, to-site)
+    /// edge list, if one exists.
+    fn path(&self, from: u32, to: u32) -> Option<Vec<(u32, u32, Site, Site)>> {
+        let mut stack = vec![(from, Vec::new())];
+        let mut seen = vec![from];
+        while let Some((node, path)) = stack.pop() {
+            if let Some(edges) = self.adj.get(&node) {
+                for &(next, s_from, s_to) in edges {
+                    let mut p = path.clone();
+                    p.push((node, next, s_from, s_to));
+                    if next == to {
+                        return Some(p);
+                    }
+                    if !seen.contains(&next) {
+                        seen.push(next);
+                        stack.push((next, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockGraph;
+    use std::panic::Location;
+
+    #[test]
+    fn ab_ba_is_a_cycle() {
+        let mut g = LockGraph::default();
+        let site: &'static Location<'static> = Location::caller();
+        let name = |o: u32| format!("Mutex#{o}");
+        let (c1, _) = g.add_edge(1, site, 2, site, name);
+        assert!(c1.is_none());
+        let (c2, _) = g.add_edge(2, site, 1, site, name);
+        let msg = c2.expect("reverse edge closes the cycle");
+        assert!(msg.contains("Mutex#1") && msg.contains("Mutex#2"), "{msg}");
+    }
+
+    #[test]
+    fn chains_without_reversal_are_clean() {
+        let mut g = LockGraph::default();
+        let site: &'static Location<'static> = Location::caller();
+        let name = |o: u32| format!("Mutex#{o}");
+        assert!(g.add_edge(1, site, 2, site, name).0.is_none());
+        assert!(g.add_edge(2, site, 3, site, name).0.is_none());
+        assert!(g.add_edge(1, site, 3, site, name).0.is_none());
+    }
+}

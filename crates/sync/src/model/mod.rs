@@ -1,0 +1,510 @@
+//! Deterministic-interleaving model checking for the `jedd-sync` shim.
+//!
+//! [`check`] re-executes a closure under a cooperative scheduler that
+//! serializes all shim-spawned threads and chooses every interleaving
+//! decision itself: seeded random walks, PCT-style priority preemption,
+//! or bounded-exhaustive DFS over schedules. Along the way a
+//! vector-clock happens-before detector watches [`TrackedCell`]
+//! accesses for data races and a lock-order graph records every
+//! held-lock → acquired-lock edge, reporting cycles (potential
+//! deadlocks) with both acquisition sites. Actual deadlocks (no
+//! runnable thread) are detected, torn down and reported rather than
+//! hanging the test.
+//!
+//! The same seed and config replay the same schedule bit-for-bit:
+//! [`Report::fingerprints`] carries one fingerprint per explored
+//! schedule, folded from every (decision index, chosen thread, enabled
+//! set) triple.
+
+mod cell;
+mod clock;
+mod lockorder;
+mod sched;
+
+pub use cell::TrackedCell;
+pub(crate) use sched::Session;
+use sched::{Abort, IterSummary};
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Thread-local session
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Session>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The model session driving the current thread, if any.
+pub(crate) fn current() -> Option<(Arc<Session>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Session>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Marker payload for joins torn down by a schedule abort; the final
+/// report (deadlock / step-limit / sibling failure) explains why.
+#[derive(Debug)]
+pub struct ScheduleAborted;
+
+/// Panic payload used internally to unwind threads out of an aborting
+/// schedule; never escapes [`check`].
+pub(crate) struct AbortPayload;
+
+pub(crate) fn panic_abort() -> ! {
+    std::panic::panic_any(AbortPayload)
+}
+
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortPayload>() {
+                return; // scheduled teardown, not a failure
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Body of a model-spawned thread: park until first scheduled, run the
+/// closure, report the outcome to the session. Real panics are recorded
+/// as the session failure (re-raised by [`check`]); abort markers are
+/// swallowed.
+pub(crate) fn child_main<T, F: FnOnce() -> T>(sess: Arc<Session>, tid: usize, f: F) -> Option<T> {
+    let guard = sched::ThreadGuard::new(sess.clone(), tid);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        sess.park(tid);
+        set_current(Some((sess.clone(), tid)));
+        f()
+    }));
+    let out = match r {
+        Ok(v) => Some(v),
+        Err(p) => {
+            if !p.is::<AbortPayload>() {
+                sess.record_failure(p);
+            }
+            None
+        }
+    };
+    drop(guard);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Object identity
+// ---------------------------------------------------------------------------
+
+/// What kind of sync object a registered id refers to (used in reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjClass {
+    Mutex,
+    Condvar,
+    RwLock,
+    Once,
+    Atomic,
+    Cell,
+}
+
+impl ObjClass {
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            ObjClass::Mutex => "Mutex",
+            ObjClass::Condvar => "Condvar",
+            ObjClass::RwLock => "RwLock",
+            ObjClass::Once => "OnceLock",
+            ObjClass::Atomic => "Atomic",
+            ObjClass::Cell => "TrackedCell",
+        }
+    }
+}
+
+/// Role assigned to a thread entering `OnceLock::get_or_init`.
+pub(crate) enum OnceRole {
+    /// Already initialized; read it.
+    Done,
+    /// This thread runs the initializer.
+    Init,
+    /// Another thread is mid-initialization; block and retry.
+    Wait,
+}
+
+static GENERATION: AtomicU32 = AtomicU32::new(1);
+
+pub(crate) fn next_generation() -> u32 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Global counters (merged into KernelStats by the BDD kernel)
+// ---------------------------------------------------------------------------
+
+static CTR_SCHEDULES: AtomicU64 = AtomicU64::new(0);
+static CTR_PREEMPTIONS: AtomicU64 = AtomicU64::new(0);
+static CTR_RACES: AtomicU64 = AtomicU64::new(0);
+static CTR_LOCK_EDGES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn counters_snapshot() -> crate::SchedCounters {
+    crate::SchedCounters {
+        schedules: CTR_SCHEDULES.load(Ordering::Relaxed),
+        preemptions: CTR_PREEMPTIONS.load(Ordering::Relaxed),
+        races: CTR_RACES.load(Ordering::Relaxed),
+        lock_edges: CTR_LOCK_EDGES.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PRNG (splitmix64; the workspace builds offline with no external deps)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Schedule-exploration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Seeded uniform choice among enabled threads at every decision.
+    RandomWalk,
+    /// PCT-style: random per-thread priorities with `depth` seeded
+    /// priority-change points per schedule; highest-priority enabled
+    /// thread runs.
+    Pct,
+    /// Bounded-exhaustive DFS over schedules: run-to-block baseline,
+    /// branching on up to `preemption_bound` forced preemptions.
+    Dfs,
+}
+
+/// Configuration for a [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Seed for random-walk / PCT schedule generation.
+    pub seed: u64,
+    /// Exploration strategy.
+    pub strategy: Strategy,
+    /// Schedules to explore for random-walk / PCT.
+    pub iterations: usize,
+    /// Hard cap on schedules for DFS (guards exponential protocols).
+    pub max_schedules: usize,
+    /// DFS preemption bound (CHESS-style).
+    pub preemption_bound: usize,
+    /// PCT priority-change points per schedule.
+    pub depth: usize,
+    /// Only every n-th atomic operation becomes a schedule decision
+    /// point (locks and condvars always decide). Raising this makes big
+    /// oracle tests cheap at the cost of schedule granularity.
+    pub yield_stride: u64,
+    /// Per-schedule decision cap; schedules exceeding it are torn down
+    /// and counted in [`Report::truncated`].
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 1,
+            strategy: Strategy::RandomWalk,
+            iterations: 64,
+            max_schedules: 20_000,
+            preemption_bound: 2,
+            depth: 3,
+            yield_stride: 1,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+impl Config {
+    /// Seeded random-walk exploration over `iterations` schedules.
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Config { seed, iterations, strategy: Strategy::RandomWalk, ..Config::default() }
+    }
+
+    /// PCT exploration with `depth` priority-change points.
+    pub fn pct(seed: u64, iterations: usize, depth: usize) -> Self {
+        Config { seed, iterations, depth, strategy: Strategy::Pct, ..Config::default() }
+    }
+
+    /// Bounded-exhaustive DFS with the given preemption bound.
+    pub fn dfs(preemption_bound: usize) -> Self {
+        Config { preemption_bound, strategy: Strategy::Dfs, ..Config::default() }
+    }
+
+    /// Builds a config from the `JEDD_SCHED*` environment:
+    /// `JEDD_SCHED=<seed>` (required; enables the mode),
+    /// `JEDD_SCHED_STRATEGY=random|pct|dfs`, `JEDD_SCHED_ITERS`,
+    /// `JEDD_SCHED_DEPTH`, `JEDD_SCHED_PREEMPTIONS`,
+    /// `JEDD_SCHED_MAX_SCHEDULES`, `JEDD_SCHED_STRIDE`.
+    /// Returns `None` when `JEDD_SCHED` is unset or unparsable.
+    pub fn from_env() -> Option<Self> {
+        let seed: u64 = std::env::var("JEDD_SCHED").ok()?.trim().parse().ok()?;
+        let mut cfg = Config { seed, ..Config::default() };
+        if let Ok(s) = std::env::var("JEDD_SCHED_STRATEGY") {
+            cfg.strategy = match s.trim() {
+                "pct" => Strategy::Pct,
+                "dfs" => Strategy::Dfs,
+                _ => Strategy::RandomWalk,
+            };
+        }
+        let num = |k: &str| std::env::var(k).ok().and_then(|v| v.trim().parse::<u64>().ok());
+        if let Some(v) = num("JEDD_SCHED_ITERS") {
+            cfg.iterations = v as usize;
+        }
+        if let Some(v) = num("JEDD_SCHED_DEPTH") {
+            cfg.depth = v as usize;
+        }
+        if let Some(v) = num("JEDD_SCHED_PREEMPTIONS") {
+            cfg.preemption_bound = v as usize;
+        }
+        if let Some(v) = num("JEDD_SCHED_MAX_SCHEDULES") {
+            cfg.max_schedules = v as usize;
+        }
+        if let Some(v) = num("JEDD_SCHED_STRIDE") {
+            cfg.yield_stride = v.max(1);
+        }
+        Some(cfg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One data race found by the vector-clock detector.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Which tracked object raced (class + per-schedule id).
+    pub cell: String,
+    /// Kind of conflict: `"write-write"`, `"read-write"` or
+    /// `"write-read"`.
+    pub kind: &'static str,
+    /// Source location of the earlier unordered access.
+    pub first: String,
+    /// Source location of the later access that completed the race.
+    pub second: String,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} race on {}: {} is unordered with {}", self.kind, self.cell, self.first, self.second)
+    }
+}
+
+/// Result of a [`check`] run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Schedules fully executed (including aborted ones).
+    pub schedules: u64,
+    /// Forced preemptions across all schedules.
+    pub preemptions: u64,
+    /// Data races found (deduplicated by site pair).
+    pub races: Vec<RaceReport>,
+    /// Lock-order cycles found (each names every acquisition site on
+    /// the cycle), deduplicated.
+    pub lock_cycles: Vec<String>,
+    /// Distinct lock-order edges (by acquisition-site pair) observed.
+    pub lock_edges: u64,
+    /// Schedules that ended in an actual deadlock (no runnable thread).
+    pub deadlocks: u64,
+    /// Description of the first deadlock: every blocked thread, what it
+    /// waits on, and the locks it holds.
+    pub first_deadlock: Option<String>,
+    /// Schedules torn down by the per-schedule step cap.
+    pub truncated: u64,
+    /// Schedules whose DFS replay prefix diverged (the closure made a
+    /// nondeterministic choice outside the scheduler's control).
+    pub divergences: u64,
+    /// True when DFS exhausted the bounded schedule space.
+    pub complete: bool,
+    /// One fingerprint per schedule, folded from every (decision,
+    /// chosen thread, enabled set) triple; same seed + config → same
+    /// fingerprints, bit for bit.
+    pub fingerprints: Vec<u64>,
+}
+
+impl Report {
+    /// Single fingerprint for the whole run (fold of the per-schedule
+    /// fingerprints in order).
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xA076_1D64_78BD_642Fu64;
+        for &f in &self.fingerprints {
+            let mut s = acc ^ f;
+            acc = splitmix64(&mut s);
+        }
+        acc
+    }
+
+    /// Panics with a readable summary if any race, lock-order cycle or
+    /// deadlock was found.
+    pub fn assert_clean(&self) {
+        if self.races.is_empty() && self.lock_cycles.is_empty() && self.deadlocks == 0 {
+            return;
+        }
+        let mut msg = format!(
+            "model check failed after {} schedules: {} race(s), {} lock-order cycle(s), {} deadlock(s)",
+            self.schedules,
+            self.races.len(),
+            self.lock_cycles.len(),
+            self.deadlocks
+        );
+        for r in &self.races {
+            msg.push_str(&format!("\n  race: {r}"));
+        }
+        for c in &self.lock_cycles {
+            msg.push_str(&format!("\n  lock order: {c}"));
+        }
+        if let Some(d) = &self.first_deadlock {
+            msg.push_str(&format!("\n  deadlock: {d}"));
+        }
+        panic!("{msg}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+/// Runs `f` repeatedly under the deterministic cooperative scheduler,
+/// exploring schedules per `cfg`, and returns what was found.
+///
+/// `f` must drive all its concurrency through the `jedd-sync` wrappers
+/// (threads spawned with `jedd_sync::thread::scope`); given that, each
+/// schedule is fully deterministic and replayable. Real panics inside
+/// `f` (e.g. failed assertions) propagate out of `check` annotated with
+/// the schedule index; deadlocks and step-limit teardowns are recorded
+/// in the [`Report`] instead of hanging.
+pub fn check<F: Fn()>(cfg: Config, f: F) -> Report {
+    assert!(current().is_none(), "jedd-sync model: nested check() sessions are not supported");
+    install_quiet_hook();
+    let mut cfg = cfg;
+    cfg.yield_stride = cfg.yield_stride.max(1);
+    let sess = Arc::new(Session::new(cfg.clone()));
+    let mut report = Report::default();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut race_keys: BTreeSet<String> = BTreeSet::new();
+    let mut cycle_keys: BTreeSet<String> = BTreeSet::new();
+    let mut edge_keys: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut seed_stream = cfg.seed;
+    let mut last_depth = 64u64;
+
+    loop {
+        let iter_seed = splitmix64(&mut seed_stream);
+        sess.begin_iteration(next_generation(), std::mem::take(&mut prefix), iter_seed, last_depth);
+        set_current(Some((sess.clone(), 0)));
+        let r = catch_unwind(AssertUnwindSafe(&f));
+        set_current(None);
+        let sum: IterSummary = sess.end_iteration();
+        last_depth = (sum.depth as u64).max(16);
+
+        report.schedules += 1;
+        report.preemptions += sum.preemptions as u64;
+        report.fingerprints.push(sum.fingerprint);
+        for race in sum.races {
+            let key = format!("{}|{}|{}", race.kind, race.first, race.second);
+            if race_keys.insert(key) {
+                report.races.push(race);
+            }
+        }
+        for cyc in sum.cycles {
+            if cycle_keys.insert(cyc.clone()) {
+                report.lock_cycles.push(cyc);
+            }
+        }
+        for e in sum.edges {
+            edge_keys.insert(e);
+        }
+        if sum.divergent {
+            report.divergences += 1;
+        }
+        match &sum.aborted {
+            Some(Abort::Deadlock(desc)) => {
+                report.deadlocks += 1;
+                if report.first_deadlock.is_none() {
+                    report.first_deadlock = Some(desc.clone());
+                }
+            }
+            Some(Abort::StepLimit) => report.truncated += 1,
+            Some(Abort::Failure) | Some(Abort::Teardown) | None => {}
+        }
+
+        // A real panic inside the closure wins over everything: finish
+        // the books, then re-raise it with the schedule index attached.
+        if let Some(payload) = sum.failure {
+            finalize_counters(&report, edge_keys.len() as u64);
+            eprintln!(
+                "jedd-sync model: schedule {} (seed {}, fingerprint {:#x}) failed",
+                report.schedules - 1,
+                cfg.seed,
+                sum.fingerprint
+            );
+            resume_unwind(payload);
+        }
+        if let Err(p) = r {
+            if !p.is::<AbortPayload>() {
+                finalize_counters(&report, edge_keys.len() as u64);
+                eprintln!(
+                    "jedd-sync model: schedule {} (seed {}, fingerprint {:#x}) failed",
+                    report.schedules - 1,
+                    cfg.seed,
+                    sum.fingerprint
+                );
+                resume_unwind(p);
+            }
+        }
+
+        // Advance the exploration.
+        match cfg.strategy {
+            Strategy::Dfs => {
+                let mut levels = sum.levels;
+                let mut next: Option<Vec<usize>> = None;
+                while let Some(level) = levels.pop() {
+                    if level.idx + 1 < level.cands {
+                        let mut p: Vec<usize> = levels.iter().map(|l| l.idx).collect();
+                        p.push(level.idx + 1);
+                        next = Some(p);
+                        break;
+                    }
+                }
+                match next {
+                    Some(p) if (report.schedules as usize) < cfg.max_schedules => prefix = p,
+                    Some(_) => break, // schedule cap hit with work remaining
+                    None => {
+                        report.complete = true;
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if report.schedules as usize >= cfg.iterations {
+                    break;
+                }
+            }
+        }
+    }
+
+    report.lock_edges = edge_keys.len() as u64;
+    finalize_counters(&report, report.lock_edges);
+    report
+}
+
+fn finalize_counters(report: &Report, edges: u64) {
+    CTR_SCHEDULES.fetch_add(report.schedules, Ordering::Relaxed);
+    CTR_PREEMPTIONS.fetch_add(report.preemptions, Ordering::Relaxed);
+    CTR_RACES.fetch_add(report.races.len() as u64, Ordering::Relaxed);
+    CTR_LOCK_EDGES.fetch_add(edges, Ordering::Relaxed);
+}

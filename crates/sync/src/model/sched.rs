@@ -1,0 +1,899 @@
+//! The deterministic cooperative scheduler.
+//!
+//! All model threads are real OS threads, but exactly one holds the
+//! *token* (is `running`) at any moment; everyone else parks on one
+//! shared condvar. At every decision point the token holder consults
+//! the strategy (random walk / PCT / DFS replay) to pick the next
+//! runnable thread and hands the token over. Because threads only
+//! observe each other through the shim, the execution is a function of
+//! the decision sequence — which is what makes schedules replayable
+//! bit-for-bit from a seed or a DFS prefix.
+
+use super::clock::VClock;
+use super::lockorder::LockGraph;
+use super::{panic_abort, splitmix64, Config, ObjClass, OnceRole, RaceReport, Strategy};
+use std::any::Any;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+type Site = &'static Location<'static>;
+
+// ---------------------------------------------------------------------------
+// Per-iteration state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Block {
+    Lock(u32),
+    Cond(u32),
+    Once(u32),
+    Join(usize),
+    Scope(u32),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct Thread {
+    status: Status,
+    clock: VClock,
+    /// Locks currently held: (object id, acquisition site).
+    held: Vec<(u32, Site)>,
+    scope: Option<u32>,
+    priority: u64,
+}
+
+struct CellState {
+    last_write: Option<(usize, u64, Site)>,
+    /// Per-thread last read: (epoch, site).
+    reads: Vec<Option<(u64, Site)>>,
+}
+
+struct Obj {
+    class: ObjClass,
+    /// Clock published by the last release-like event on this object.
+    release: VClock,
+    /// Mutex owner / RwLock writer / OnceLock initializer.
+    owner: Option<usize>,
+    readers: Vec<usize>,
+    /// Condvar wait queue (FIFO) — threads parked in `wait`.
+    waiters: Vec<usize>,
+    /// OnceLock: 0 = uninit, 1 = initializing, 2 = ready.
+    once_state: u8,
+    cell: Option<CellState>,
+}
+
+impl Obj {
+    fn new(class: ObjClass) -> Self {
+        Obj {
+            class,
+            release: VClock::default(),
+            owner: None,
+            readers: Vec::new(),
+            waiters: Vec::new(),
+            once_state: 0,
+            cell: if class == ObjClass::Cell {
+                Some(CellState { last_write: None, reads: Vec::new() })
+            } else {
+                None
+            },
+        }
+    }
+}
+
+struct ScopeState {
+    live: usize,
+}
+
+/// One DFS decision level: how many candidates existed and which index
+/// was taken.
+pub(crate) struct Level {
+    pub(crate) cands: usize,
+    pub(crate) idx: usize,
+}
+
+pub(crate) enum Abort {
+    Deadlock(String),
+    StepLimit,
+    /// A thread panicked for real; the payload is in `State::failure`.
+    Failure,
+    /// Parent scope unwinding; tear everyone down quietly.
+    Teardown,
+}
+
+/// What one explored schedule produced.
+pub(crate) struct IterSummary {
+    pub(crate) fingerprint: u64,
+    pub(crate) depth: usize,
+    pub(crate) preemptions: usize,
+    pub(crate) races: Vec<RaceReport>,
+    pub(crate) cycles: Vec<String>,
+    pub(crate) edges: Vec<(String, String)>,
+    pub(crate) levels: Vec<Level>,
+    pub(crate) aborted: Option<Abort>,
+    pub(crate) failure: Option<Box<dyn Any + Send>>,
+    pub(crate) divergent: bool,
+}
+
+struct State {
+    gen: u32,
+    threads: Vec<Thread>,
+    scopes: Vec<ScopeState>,
+    objects: Vec<Obj>,
+    running: usize,
+    abort: Option<Abort>,
+    failure: Option<Box<dyn Any + Send>>,
+    // Decision machinery.
+    prefix: Vec<usize>,
+    levels: Vec<Level>,
+    depth: usize,
+    yields: u64,
+    preemptions: usize,
+    divergent: bool,
+    rng: u64,
+    min_priority: u64,
+    change_points: Vec<u64>,
+    fingerprint: u64,
+    // Findings.
+    races: Vec<RaceReport>,
+    cycles: Vec<String>,
+    edges: Vec<(String, String)>,
+    locks: LockGraph,
+}
+
+impl State {
+    fn fresh(gen: u32, prefix: Vec<usize>, seed: u64, cfg: &Config, est_depth: u64) -> Self {
+        let mut rng = seed;
+        let root_priority = splitmix64(&mut rng) | 1;
+        let mut change_points = Vec::new();
+        if cfg.strategy == Strategy::Pct {
+            for _ in 0..cfg.depth {
+                change_points.push(splitmix64(&mut rng) % est_depth.max(1) + 1);
+            }
+        }
+        let mut root_clock = VClock::default();
+        root_clock.tick(0);
+        State {
+            gen,
+            threads: vec![Thread {
+                status: Status::Runnable,
+                clock: root_clock,
+                held: Vec::new(),
+                scope: None,
+                priority: root_priority,
+            }],
+            scopes: Vec::new(),
+            objects: Vec::new(),
+            running: 0,
+            abort: None,
+            failure: None,
+            prefix,
+            levels: Vec::new(),
+            depth: 0,
+            yields: 0,
+            preemptions: 0,
+            divergent: false,
+            rng,
+            min_priority: 0,
+            change_points,
+            fingerprint: 0x51ED_D5EE_D000_0001,
+            races: Vec::new(),
+            cycles: Vec::new(),
+            edges: Vec::new(),
+            locks: LockGraph::default(),
+        }
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn obj_name(&self, oid: u32) -> String {
+        format!("{}#{}", self.objects[oid as usize].class.name(), oid)
+    }
+
+    fn describe_stuck(&self) -> String {
+        let mut msg = String::from("no runnable thread;");
+        for (tid, t) in self.threads.iter().enumerate() {
+            if let Status::Blocked(b) = &t.status {
+                let what = match b {
+                    Block::Lock(o) => format!("waiting for {}", self.obj_name(*o)),
+                    Block::Cond(o) => format!("waiting on {}", self.obj_name(*o)),
+                    Block::Once(o) => format!("waiting on {}", self.obj_name(*o)),
+                    Block::Join(c) => format!("joining thread {c}"),
+                    Block::Scope(s) => format!("joining scope {s}"),
+                };
+                msg.push_str(&format!(" thread {tid} {what}"));
+                if !t.held.is_empty() {
+                    msg.push_str(" holding");
+                    for (o, site) in &t.held {
+                        msg.push_str(&format!(" {}(acquired at {})", self.obj_name(*o), site));
+                    }
+                }
+                msg.push(';');
+            }
+        }
+        msg
+    }
+
+    /// Marks every thread parked waiting for `pred` as runnable.
+    fn wake_where(&mut self, pred: impl Fn(&Block) -> bool) {
+        for t in &mut self.threads {
+            if let Status::Blocked(b) = &t.status {
+                if pred(b) {
+                    t.status = Status::Runnable;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// One model-check session: shared by every thread of every schedule of
+/// a single `check()` run.
+pub(crate) struct Session {
+    cfg: Config,
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+impl Session {
+    pub(crate) fn new(cfg: Config) -> Self {
+        let est = 64;
+        let state = State::fresh(0, Vec::new(), cfg.seed, &cfg, est);
+        Session { cfg, state: StdMutex::new(state), cv: StdCondvar::new() }
+    }
+
+    fn st(&self) -> StdGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub(crate) fn begin_iteration(&self, gen: u32, prefix: Vec<usize>, seed: u64, est_depth: u64) {
+        let mut st = self.st();
+        *st = State::fresh(gen, prefix, seed, &self.cfg, est_depth);
+    }
+
+    pub(crate) fn end_iteration(&self) -> IterSummary {
+        let mut st = self.st();
+        IterSummary {
+            fingerprint: st.fingerprint,
+            depth: st.depth,
+            preemptions: st.preemptions,
+            races: std::mem::take(&mut st.races),
+            cycles: std::mem::take(&mut st.cycles),
+            edges: std::mem::take(&mut st.edges),
+            levels: std::mem::take(&mut st.levels),
+            aborted: st.abort.take(),
+            failure: st.failure.take(),
+            divergent: st.divergent,
+        }
+    }
+
+    // -- object registry ----------------------------------------------------
+
+    /// Stable per-schedule id for the sync object owning `tag`;
+    /// registers it on first touch this schedule.
+    pub(crate) fn object_id(&self, tag: &AtomicU64, class: ObjClass) -> u32 {
+        let mut st = self.st();
+        let t = tag.load(Ordering::Relaxed);
+        if (t >> 32) as u32 == st.gen && ((t as u32) as usize) < st.objects.len() {
+            return t as u32;
+        }
+        let id = st.objects.len() as u32;
+        st.objects.push(Obj::new(class));
+        tag.store(((st.gen as u64) << 32) | id as u64, Ordering::Relaxed);
+        id
+    }
+
+    // -- token handoff ------------------------------------------------------
+
+    /// Parks until this thread holds the token; panics with the abort
+    /// marker if the schedule is being torn down.
+    pub(crate) fn park(&self, me: usize) {
+        let mut st = self.st();
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            if st.running == me {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn abort_with(&self, mut st: StdGuard<'_, State>, abort: Abort) -> ! {
+        if st.abort.is_none() {
+            st.abort = Some(abort);
+        }
+        drop(st);
+        self.cv.notify_all();
+        panic_abort();
+    }
+
+    /// Picks who runs next among `enabled` (≥ 1 entries), updating the
+    /// fingerprint, DFS levels and preemption count.
+    fn choose(&self, st: &mut State, me: usize, enabled: &[usize]) -> usize {
+        st.depth += 1;
+        let chosen = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            match self.cfg.strategy {
+                Strategy::RandomWalk => {
+                    let r = splitmix64(&mut st.rng);
+                    enabled[(r % enabled.len() as u64) as usize]
+                }
+                Strategy::Pct => {
+                    if let Some(pos) = st.change_points.iter().position(|&p| p == st.depth as u64) {
+                        st.change_points.swap_remove(pos);
+                        // Deprioritize the currently strongest enabled
+                        // thread, forcing a context switch here.
+                        if let Some(&top) =
+                            enabled.iter().max_by_key(|&&t| st.threads[t].priority)
+                        {
+                            st.min_priority = st.min_priority.wrapping_sub(1);
+                            st.threads[top].priority = st.min_priority;
+                        }
+                    }
+                    *enabled
+                        .iter()
+                        .max_by_key(|&&t| st.threads[t].priority)
+                        .expect("non-empty enabled set")
+                }
+                Strategy::Dfs => {
+                    let default = if enabled.contains(&me) { me } else { enabled[0] };
+                    let mut cands = vec![default];
+                    // Switching away from a still-runnable thread costs
+                    // preemption budget; forced switches are free.
+                    let free_switch = !enabled.contains(&me);
+                    if free_switch || st.preemptions < self.cfg.preemption_bound {
+                        cands.extend(enabled.iter().copied().filter(|&t| t != default));
+                    }
+                    let level = st.levels.len();
+                    let idx = if level < st.prefix.len() {
+                        let want = st.prefix[level];
+                        if want >= cands.len() {
+                            st.divergent = true;
+                            0
+                        } else {
+                            want
+                        }
+                    } else {
+                        0
+                    };
+                    st.levels.push(Level { cands: cands.len(), idx });
+                    cands[idx]
+                }
+            }
+        };
+        if chosen != me && st.threads.get(me).map(|t| t.status == Status::Runnable).unwrap_or(false)
+        {
+            st.preemptions += 1;
+        }
+        let mut mix = st.fingerprint
+            ^ ((st.depth as u64) << 32)
+            ^ ((chosen as u64) << 8)
+            ^ enabled.len() as u64;
+        st.fingerprint = splitmix64(&mut mix);
+        chosen
+    }
+
+    /// A schedule decision point for the running thread. With
+    /// `force = false` the configured yield stride may skip it.
+    pub(crate) fn decision_point(&self, me: usize, force: bool) {
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        debug_assert_eq!(st.running, me, "decision by a thread without the token");
+        st.yields += 1;
+        if !force && !st.yields.is_multiple_of(self.cfg.yield_stride) {
+            return;
+        }
+        if st.depth as u64 >= self.cfg.max_steps {
+            self.abort_with(st, Abort::StepLimit);
+        }
+        let enabled = st.enabled();
+        if enabled.len() < 2 {
+            return;
+        }
+        let chosen = self.choose(&mut st, me, &enabled);
+        if chosen == me {
+            return;
+        }
+        st.running = chosen;
+        drop(st);
+        self.cv.notify_all();
+        self.park(me);
+    }
+
+    /// The running thread just blocked (its status is already set):
+    /// hand the token to someone else and park until it comes back.
+    fn switch_from_blocked(&self, mut st: StdGuard<'_, State>, me: usize) {
+        let enabled = st.enabled();
+        if enabled.is_empty() {
+            let desc = st.describe_stuck();
+            self.abort_with(st, Abort::Deadlock(desc));
+        }
+        let chosen = self.choose(&mut st, me, &enabled);
+        st.running = chosen;
+        drop(st);
+        self.cv.notify_all();
+        self.park(me);
+    }
+
+    // -- mutex --------------------------------------------------------------
+
+    fn acquire_lock_edges(&self, st: &mut State, me: usize, oid: u32, site: Site) {
+        let held = st.threads[me].held.clone();
+        for (h_oid, h_site) in held {
+            if h_oid == oid {
+                continue;
+            }
+            let names: Vec<String> = (0..st.objects.len() as u32).map(|o| st.obj_name(o)).collect();
+            let (cycle, pair) =
+                st.locks.add_edge(h_oid, h_site, oid, site, |o| {
+                    names.get(o as usize).cloned().unwrap_or_else(|| format!("Lock#{o}"))
+                });
+            if let Some(c) = cycle {
+                if !st.cycles.contains(&c) {
+                    st.cycles.push(c);
+                }
+            }
+            if !st.edges.contains(&pair) {
+                st.edges.push(pair);
+            }
+        }
+    }
+
+    pub(crate) fn mutex_lock(&self, me: usize, oid: u32, site: Site) {
+        loop {
+            self.decision_point(me, true);
+            let mut st = self.st();
+            if st.abort.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            if st.objects[oid as usize].owner.is_none() {
+                self.acquire_lock_edges(&mut st, me, oid, site);
+                st.objects[oid as usize].owner = Some(me);
+                let release = st.objects[oid as usize].release.clone();
+                let t = &mut st.threads[me];
+                t.clock.join(&release);
+                t.held.push((oid, site));
+                return;
+            }
+            st.threads[me].status = Status::Blocked(Block::Lock(oid));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    /// Non-blocking acquire; false if held by someone else.
+    pub(crate) fn mutex_try_lock(&self, me: usize, oid: u32, site: Site) -> bool {
+        self.decision_point(me, true);
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        if st.objects[oid as usize].owner.is_some() {
+            return false;
+        }
+        self.acquire_lock_edges(&mut st, me, oid, site);
+        st.objects[oid as usize].owner = Some(me);
+        let release = st.objects[oid as usize].release.clone();
+        let t = &mut st.threads[me];
+        t.clock.join(&release);
+        t.held.push((oid, site));
+        true
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, oid: u32) {
+        let mut st = self.st();
+        let clock = st.threads[me].clock.clone();
+        st.objects[oid as usize].release.join(&clock);
+        st.objects[oid as usize].owner = None;
+        st.threads[me].clock.tick(me);
+        st.threads[me].held.retain(|&(o, _)| o != oid);
+        st.wake_where(|b| *b == Block::Lock(oid));
+        // No decision point: unlock never blocks, and during an abort
+        // unwind this must stay panic-free.
+    }
+
+    // -- rwlock -------------------------------------------------------------
+
+    pub(crate) fn rw_lock(&self, me: usize, oid: u32, write: bool, site: Site) {
+        loop {
+            self.decision_point(me, true);
+            let mut st = self.st();
+            if st.abort.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            let free = {
+                let o = &st.objects[oid as usize];
+                o.owner.is_none() && (!write || o.readers.is_empty())
+            };
+            if free {
+                self.acquire_lock_edges(&mut st, me, oid, site);
+                if write {
+                    st.objects[oid as usize].owner = Some(me);
+                } else {
+                    st.objects[oid as usize].readers.push(me);
+                }
+                let release = st.objects[oid as usize].release.clone();
+                let t = &mut st.threads[me];
+                t.clock.join(&release);
+                t.held.push((oid, site));
+                return;
+            }
+            st.threads[me].status = Status::Blocked(Block::Lock(oid));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    pub(crate) fn rw_unlock(&self, me: usize, oid: u32, write: bool) {
+        let mut st = self.st();
+        if write {
+            let clock = st.threads[me].clock.clone();
+            st.objects[oid as usize].release.join(&clock);
+            st.objects[oid as usize].owner = None;
+        } else {
+            st.objects[oid as usize].readers.retain(|&t| t != me);
+        }
+        st.threads[me].clock.tick(me);
+        st.threads[me].held.retain(|&(o, _)| o != oid);
+        st.wake_where(|b| *b == Block::Lock(oid));
+    }
+
+    // -- condvar ------------------------------------------------------------
+
+    /// Parks on the condvar (the caller has already released the paired
+    /// mutex) until notified; joins the notifier's published clock.
+    pub(crate) fn cond_wait(&self, me: usize, oid: u32, _site: Site) {
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        st.objects[oid as usize].waiters.push(me);
+        st.threads[me].status = Status::Blocked(Block::Cond(oid));
+        self.switch_from_blocked(st, me);
+        let mut st = self.st();
+        let release = st.objects[oid as usize].release.clone();
+        st.threads[me].clock.join(&release);
+    }
+
+    pub(crate) fn cond_notify(&self, me: usize, oid: u32, all: bool) {
+        let mut st = self.st();
+        let clock = st.threads[me].clock.clone();
+        st.objects[oid as usize].release.join(&clock);
+        st.threads[me].clock.tick(me);
+        let woken: Vec<usize> = if all {
+            std::mem::take(&mut st.objects[oid as usize].waiters)
+        } else if st.objects[oid as usize].waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![st.objects[oid as usize].waiters.remove(0)]
+        };
+        for tid in woken {
+            if st.threads[tid].status == Status::Blocked(Block::Cond(oid)) {
+                st.threads[tid].status = Status::Runnable;
+            }
+        }
+    }
+
+    // -- oncelock -----------------------------------------------------------
+
+    pub(crate) fn once_begin(&self, me: usize, oid: u32, std_ready: bool, _site: Site) -> OnceRole {
+        self.decision_point(me, true);
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        if std_ready && st.objects[oid as usize].once_state != 2 {
+            // Initialized outside this schedule (e.g. a static touched
+            // by an earlier schedule); adopt it.
+            st.objects[oid as usize].once_state = 2;
+        }
+        match st.objects[oid as usize].once_state {
+            2 => {
+                let release = st.objects[oid as usize].release.clone();
+                st.threads[me].clock.join(&release);
+                OnceRole::Done
+            }
+            0 => {
+                st.objects[oid as usize].once_state = 1;
+                st.objects[oid as usize].owner = Some(me);
+                OnceRole::Init
+            }
+            _ => OnceRole::Wait,
+        }
+    }
+
+    pub(crate) fn once_wait(&self, me: usize, oid: u32) {
+        let mut st = self.st();
+        if st.abort.is_some() {
+            drop(st);
+            panic_abort();
+        }
+        if st.objects[oid as usize].once_state == 2 {
+            return; // finished between our check and the block
+        }
+        st.threads[me].status = Status::Blocked(Block::Once(oid));
+        self.switch_from_blocked(st, me);
+    }
+
+    pub(crate) fn once_finish(&self, me: usize, oid: u32) {
+        let mut st = self.st();
+        let clock = st.threads[me].clock.clone();
+        st.objects[oid as usize].release.join(&clock);
+        st.objects[oid as usize].once_state = 2;
+        st.objects[oid as usize].owner = None;
+        st.threads[me].clock.tick(me);
+        st.wake_where(|b| *b == Block::Once(oid));
+    }
+
+    pub(crate) fn once_read(&self, me: usize, oid: u32, _site: Site) {
+        let mut st = self.st();
+        if st.objects[oid as usize].once_state == 2 {
+            let release = st.objects[oid as usize].release.clone();
+            st.threads[me].clock.join(&release);
+        }
+    }
+
+    // -- atomics ------------------------------------------------------------
+
+    pub(crate) fn atomic_op(&self, me: usize, oid: u32, acquire: bool, release: bool, _site: Site) {
+        self.decision_point(me, false);
+        let mut st = self.st();
+        if release {
+            let clock = st.threads[me].clock.clone();
+            st.objects[oid as usize].release.join(&clock);
+            st.threads[me].clock.tick(me);
+        }
+        if acquire {
+            let rel = st.objects[oid as usize].release.clone();
+            st.threads[me].clock.join(&rel);
+        }
+    }
+
+    // -- tracked cells (race detection) -------------------------------------
+
+    pub(crate) fn cell_access(&self, me: usize, oid: u32, write: bool, site: Site) {
+        self.decision_point(me, true);
+        let mut st = self.st();
+        let epoch = st.threads[me].clock.get(me);
+        let my_clock = st.threads[me].clock.clone();
+        let name = st.obj_name(oid);
+        let mut found: Vec<RaceReport> = Vec::new();
+        let cell = st.objects[oid as usize].cell.as_mut().expect("cell state");
+        if let Some((w_tid, w_epoch, w_site)) = cell.last_write {
+            if w_tid != me && !my_clock.covers(w_tid, w_epoch) {
+                found.push(RaceReport {
+                    cell: name.clone(),
+                    kind: if write { "write-write" } else { "write-read" },
+                    first: w_site.to_string(),
+                    second: site.to_string(),
+                });
+            }
+        }
+        if write {
+            for (r_tid, slot) in cell.reads.iter().enumerate() {
+                if let Some((r_epoch, r_site)) = slot {
+                    if r_tid != me && !my_clock.covers(r_tid, *r_epoch) {
+                        found.push(RaceReport {
+                            cell: name.clone(),
+                            kind: "read-write",
+                            first: r_site.to_string(),
+                            second: site.to_string(),
+                        });
+                    }
+                }
+            }
+            cell.last_write = Some((me, epoch, site));
+            cell.reads.iter_mut().for_each(|s| *s = None);
+        } else {
+            if cell.reads.len() <= me {
+                cell.reads.resize(me + 1, None);
+            }
+            cell.reads[me] = Some((epoch, site));
+        }
+        st.threads[me].clock.tick(me);
+        st.races.extend(found);
+    }
+
+    // -- threads and scopes -------------------------------------------------
+
+    pub(crate) fn new_scope(&self) -> u32 {
+        let mut st = self.st();
+        st.scopes.push(ScopeState { live: 0 });
+        (st.scopes.len() - 1) as u32
+    }
+
+    pub(crate) fn register_child(&self, parent: usize, scope: u32) -> usize {
+        let mut st = self.st();
+        let tid = st.threads.len();
+        st.threads[parent].clock.tick(parent);
+        let mut clock = st.threads[parent].clock.clone();
+        clock.tick(tid);
+        let mut rng_val = splitmix64(&mut st.rng);
+        rng_val |= 1;
+        st.threads.push(Thread {
+            status: Status::Runnable,
+            clock,
+            held: Vec::new(),
+            scope: Some(scope),
+            priority: rng_val,
+        });
+        st.scopes[scope as usize].live += 1;
+        tid
+    }
+
+    /// Cooperative join on a single thread (explicit `join()` call).
+    pub(crate) fn join_thread(&self, me: usize, child: usize) {
+        loop {
+            let mut st = self.st();
+            if st.abort.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            if st.threads[child].status == Status::Finished {
+                let child_clock = st.threads[child].clock.clone();
+                st.threads[me].clock.join(&child_clock);
+                st.threads[me].clock.tick(me);
+                return;
+            }
+            st.threads[me].status = Status::Blocked(Block::Join(child));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    /// End of a `thread::scope` closure. On the normal path the parent
+    /// blocks cooperatively until every child of the scope finished; on
+    /// the panic path the whole schedule is torn down first so no child
+    /// is left parked when std's scope join runs.
+    pub(crate) fn scope_end(&self, me: usize, scope: u32, panicked: bool) {
+        if panicked {
+            {
+                let mut st = self.st();
+                if st.abort.is_none() {
+                    st.abort =
+                        Some(if st.failure.is_some() { Abort::Failure } else { Abort::Teardown });
+                }
+            }
+            self.cv.notify_all();
+            // OS-level wait: children are unwinding via the abort
+            // marker and will flag Finished as they go.
+            let mut st = self.st();
+            while st.scopes[scope as usize].live > 0 {
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+            return;
+        }
+        loop {
+            let mut st = self.st();
+            if st.abort.is_some() {
+                drop(st);
+                panic_abort();
+            }
+            if st.scopes[scope as usize].live == 0 {
+                // Adopt every child's final clock (scope join edge).
+                let clocks: Vec<VClock> = st
+                    .threads
+                    .iter()
+                    .filter(|t| t.scope == Some(scope))
+                    .map(|t| t.clock.clone())
+                    .collect();
+                for c in &clocks {
+                    st.threads[me].clock.join(c);
+                }
+                st.threads[me].clock.tick(me);
+                return;
+            }
+            st.threads[me].status = Status::Blocked(Block::Scope(scope));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    pub(crate) fn record_failure(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.st();
+        if st.failure.is_none() {
+            st.failure = Some(payload);
+        }
+        if st.abort.is_none() {
+            st.abort = Some(Abort::Failure);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Thread teardown (runs from `ThreadGuard::drop`, including on
+    /// panic): mark finished, wake joiners, hand the token on.
+    fn thread_exit(&self, me: usize) {
+        let mut st = self.st();
+        st.threads[me].status = Status::Finished;
+        // Locks can only still be held here if a guard was leaked;
+        // release them so siblings aren't stuck forever.
+        let leaked: Vec<u32> = st.threads[me].held.drain(..).map(|(o, _)| o).collect();
+        for oid in leaked {
+            st.objects[oid as usize].owner = None;
+            st.wake_where(|b| *b == Block::Lock(oid));
+        }
+        if let Some(scope) = st.threads[me].scope {
+            st.scopes[scope as usize].live -= 1;
+            if st.scopes[scope as usize].live == 0 {
+                st.wake_where(|b| *b == Block::Scope(scope));
+            }
+        }
+        st.wake_where(|b| *b == Block::Join(me));
+        if st.abort.is_some() {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        if st.running == me {
+            let enabled = st.enabled();
+            if enabled.is_empty() {
+                if st.threads.iter().any(|t| matches!(t.status, Status::Blocked(_))) {
+                    let desc = st.describe_stuck();
+                    if st.abort.is_none() {
+                        st.abort = Some(Abort::Deadlock(desc));
+                    }
+                }
+                drop(st);
+                self.cv.notify_all();
+                return;
+            }
+            let chosen = self.choose(&mut st, me, &enabled);
+            st.running = chosen;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Releases a model thread's slot on drop, even when the thread is
+/// unwinding — a panicking worker must still hand the token on so its
+/// siblings aren't parked forever.
+pub(crate) struct ThreadGuard {
+    sess: Arc<Session>,
+    tid: usize,
+}
+
+impl ThreadGuard {
+    pub(crate) fn new(sess: Arc<Session>, tid: usize) -> Self {
+        ThreadGuard { sess, tid }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.sess.thread_exit(self.tid);
+    }
+}

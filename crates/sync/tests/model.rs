@@ -1,0 +1,325 @@
+//! Model-checker self-tests: determinism of seeded schedules, the
+//! vector-clock race detector firing on an unprotected cell (and
+//! staying quiet on a locked one), actual-deadlock detection with
+//! lock-order cycle reports, condvar wakeups, and bounded-exhaustive
+//! DFS observing a lost update that a single OS schedule would
+//! almost never produce.
+#![cfg(feature = "model")]
+
+use jedd_sync::atomic::{AtomicUsize, Ordering};
+use jedd_sync::model::{check, Config, Report, TrackedCell};
+use jedd_sync::{thread, Condvar, Mutex};
+
+fn racy_increments(threads: usize) -> Report {
+    check(Config::random(7, 40), move || {
+        let cell = TrackedCell::new(0u64);
+        thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let v = cell.get();
+                    cell.set(v + 1);
+                });
+            }
+        });
+    })
+}
+
+#[test]
+fn race_detector_fires_on_unprotected_cell() {
+    let report = racy_increments(2);
+    assert!(
+        !report.races.is_empty(),
+        "two unsynchronized read-modify-writes must race: {report:?}"
+    );
+    assert!(report.races.iter().any(|r| r.kind == "write-write" || r.kind == "read-write"));
+    // Reports carry real source locations from this file.
+    assert!(report.races[0].second.contains("model.rs"), "{:?}", report.races[0]);
+}
+
+#[test]
+fn race_detector_stays_quiet_under_a_lock() {
+    let report = check(Config::random(7, 40), || {
+        let cell = TrackedCell::new(0u64);
+        let lock = Mutex::new(());
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _g = lock.lock();
+                    let v = cell.get();
+                    cell.set(v + 1);
+                });
+            }
+        });
+    });
+    assert!(report.races.is_empty(), "lock-ordered accesses must not race: {report:?}");
+    assert_eq!(report.deadlocks, 0);
+    report.assert_clean();
+}
+
+#[test]
+fn release_acquire_atomic_publishes_order() {
+    // Writer publishes the cell with a Release store; reader only
+    // touches it after observing the flag with an Acquire load. No race.
+    let report = check(Config::random(11, 60), || {
+        let cell = TrackedCell::new(0u64);
+        let flag = jedd_sync::atomic::AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                cell.set(42);
+                flag.store(true, Ordering::Release);
+            });
+            s.spawn(|| {
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(cell.get(), 42);
+                }
+            });
+        });
+    });
+    assert!(report.races.is_empty(), "release/acquire must order the cell: {report:?}");
+}
+
+#[test]
+fn relaxed_atomic_publishes_nothing() {
+    // Same protocol but Relaxed: the flag still transfers the value at
+    // the machine level, yet establishes no happens-before — the
+    // detector must flag the cell.
+    let report = check(Config::random(11, 60), || {
+        let cell = TrackedCell::new(0u64);
+        let flag = jedd_sync::atomic::AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                cell.set(42);
+                flag.store(true, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                if flag.load(Ordering::Relaxed) {
+                    let _ = cell.get();
+                }
+            });
+        });
+    });
+    assert!(!report.races.is_empty(), "relaxed flag must not order the cell: {report:?}");
+}
+
+#[test]
+fn same_seed_reproduces_schedules_bit_for_bit() {
+    let a = racy_increments(3);
+    let b = racy_increments(3);
+    assert_eq!(a.fingerprints, b.fingerprints, "same seed must replay the same schedules");
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    let c = check(Config::random(8, 40), move || {
+        let cell = TrackedCell::new(0u64);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let v = cell.get();
+                    cell.set(v + 1);
+                });
+            }
+        });
+    });
+    assert_ne!(a.fingerprint(), c.fingerprint(), "a different seed must explore differently");
+}
+
+#[test]
+fn ab_ba_deadlock_is_detected_and_reported() {
+    let report = check(Config::random(3, 200), || {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            });
+            s.spawn(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            });
+        });
+    });
+    assert!(report.deadlocks > 0, "AB-BA must actually deadlock under some schedule: {report:?}");
+    let desc = report.first_deadlock.as_deref().expect("deadlock description");
+    assert!(desc.contains("Mutex#") && desc.contains("model.rs"), "{desc}");
+    // The lock-order graph must also flag the inversion, with both
+    // acquisition sites named.
+    assert!(!report.lock_cycles.is_empty(), "lock-order cycle expected: {report:?}");
+    assert!(report.lock_cycles[0].contains("model.rs"), "{}", report.lock_cycles[0]);
+    assert!(report.lock_edges >= 2);
+}
+
+#[test]
+fn consistent_lock_order_has_no_cycles() {
+    let report = check(Config::random(3, 100), || {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                });
+            }
+        });
+    });
+    assert_eq!(report.deadlocks, 0, "{report:?}");
+    assert!(report.lock_cycles.is_empty(), "{report:?}");
+    assert!(report.lock_edges >= 1, "the a->b edge must be recorded: {report:?}");
+}
+
+#[test]
+fn condvar_wakeup_is_not_lost() {
+    // Classic ready-flag handoff: under every explored schedule the
+    // consumer must see the producer's value, whether it parks first or
+    // the producer signals first.
+    let report = check(Config::pct(13, 60, 3), || {
+        let slot = Mutex::new(None::<u32>);
+        let cv = Condvar::new();
+        thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = slot.lock();
+                *g = Some(99);
+                drop(g);
+                cv.notify_one();
+            });
+            s.spawn(|| {
+                let mut g = slot.lock();
+                while g.is_none() {
+                    g = cv.wait(g);
+                }
+                assert_eq!(*g, Some(99));
+            });
+        });
+    });
+    assert_eq!(report.deadlocks, 0, "{report:?}");
+    report.assert_clean();
+}
+
+#[test]
+fn dfs_exhausts_tiny_protocols_and_finds_the_lost_update() {
+    // Two unsynchronized load/store increments: DFS must (a) terminate
+    // with `complete` on this tiny space and (b) visit a schedule where
+    // both threads read 0 and the final value is 1 — the lost update an
+    // OS schedule almost never shows.
+    let lost = std::sync::Mutex::new(false);
+    let finals = std::sync::Mutex::new(std::collections::BTreeSet::new());
+    let report = check(Config::dfs(2), || {
+        let ctr = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let v = ctr.load(Ordering::Relaxed);
+                    ctr.store(v + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        let v = ctr.load(Ordering::Relaxed);
+        finals.lock().unwrap().insert(v);
+        if v == 1 {
+            *lost.lock().unwrap() = true;
+        }
+    });
+    assert!(report.complete, "DFS must exhaust the bounded space: {report:?}");
+    assert!(report.schedules > 1, "{report:?}");
+    assert!(*lost.lock().unwrap(), "bounded DFS must exhibit the lost update: {finals:?}");
+    assert_eq!(*finals.lock().unwrap(), [1usize, 2].into_iter().collect());
+}
+
+#[test]
+fn dfs_on_a_correct_cas_loop_sees_only_the_right_answer() {
+    let finals = std::sync::Mutex::new(std::collections::BTreeSet::new());
+    let report = check(Config::dfs(2), || {
+        let ctr = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| loop {
+                    let v = ctr.load(Ordering::Relaxed);
+                    if ctr
+                        .compare_exchange_weak(v, v + 1, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                });
+            }
+        });
+        finals.lock().unwrap().insert(ctr.load(Ordering::Relaxed));
+    });
+    assert!(report.complete, "{report:?}");
+    assert_eq!(*finals.lock().unwrap(), [2usize].into_iter().collect(), "{report:?}");
+}
+
+#[test]
+fn join_handles_propagate_results_under_the_model() {
+    let report = check(Config::random(21, 20), || {
+        let n = thread::scope(|s| {
+            let h1 = s.spawn(|| 20u32);
+            let h2 = s.spawn(|| 22u32);
+            h1.join().expect("worker 1") + h2.join().expect("worker 2")
+        });
+        assert_eq!(n, 42);
+    });
+    assert_eq!(report.deadlocks, 0);
+    report.assert_clean();
+}
+
+#[test]
+fn once_lock_initializes_exactly_once_under_contention() {
+    let inits = std::sync::Mutex::new(0u32);
+    let report = check(Config::random(5, 60), || {
+        *inits.lock().unwrap() = 0;
+        let once = jedd_sync::OnceLock::new();
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let v = *once.get_or_init(|| {
+                        *inits.lock().unwrap() += 1;
+                        7u64
+                    });
+                    assert_eq!(v, 7);
+                });
+            }
+        });
+        assert_eq!(*inits.lock().unwrap(), 1, "initializer ran more than once");
+    });
+    report.assert_clean();
+}
+
+#[test]
+fn env_config_round_trips() {
+    // Not set => None (the harness never sets JEDD_SCHED for this
+    // binary's default run).
+    if std::env::var("JEDD_SCHED").is_err() {
+        assert!(Config::from_env().is_none());
+    }
+    let cfg = Config::random(99, 10);
+    assert_eq!(cfg.seed, 99);
+    let d = Config::dfs(3);
+    assert_eq!(d.preemption_bound, 3);
+}
+
+#[test]
+fn counters_accumulate_across_sessions() {
+    let before = jedd_sync::counters();
+    let _ = racy_increments(2);
+    let after = jedd_sync::counters();
+    assert!(after.schedules > before.schedules);
+    assert!(after.races >= before.races);
+}
+
+#[test]
+fn passthrough_outside_sessions_still_works() {
+    // No session active: the wrappers behave like std.
+    assert!(!jedd_sync::model_active());
+    let m = Mutex::new(5u32);
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 6);
+    let ctr = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                ctr.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(ctr.load(Ordering::Relaxed), 4);
+}

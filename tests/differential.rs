@@ -347,6 +347,11 @@ struct CaseOpts {
     churn: bool,
     chained: bool,
     page_cache: Option<usize>,
+    /// Override of the universe's parallel engagement cutoff (the world
+    /// default is 64). The scheduled-replay mode drops it to 2 so even
+    /// fuzz-sized operands reach the parallel engine under the model
+    /// scheduler.
+    par_cutoff: Option<usize>,
 }
 
 fn run_case(seed: u64) {
@@ -359,6 +364,9 @@ fn run_case_with(seed: u64, opts: CaseOpts) -> jedd::bdd::KernelStats {
     let w = World::new_with(opts.chained, opts.page_cache);
     if let Some(t) = opts.threads {
         w.u.bdd_manager().set_threads(t);
+    }
+    if let Some(c) = opts.par_cutoff {
+        w.u.bdd_manager().set_par_cutoff(c);
     }
     let mut rng = XorShift64Star::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
     let mut pool: Vec<Rel3> = (0..3).map(|_| make_base(&w, &mut rng, None)).collect();
@@ -493,6 +501,7 @@ fn differential_fuzz_thread_sweep_with_churn() {
                     churn: true,
                     chained: false,
                     page_cache: None,
+                    par_cutoff: None,
                 },
             );
         }
@@ -587,8 +596,51 @@ fn differential_fuzz_chained_thread_sweep_with_churn() {
                     churn: true,
                     chained: true,
                     page_cache: None,
+                    par_cutoff: None,
                 },
             );
         }
     }
+}
+
+/// `JEDD_SCHED` mode: one thread-sweep case replayed under the
+/// `jedd-sync` deterministic scheduler. `JEDD_SCHED=<seed>` (plus the
+/// optional `JEDD_SCHED_*` knobs) picks the schedule stream; without it
+/// a fixed default seed is used. Two runs of the same configuration must
+/// be bit-for-bit identical — the same number of schedules with the same
+/// per-schedule decision fingerprints — which is what makes a failing
+/// seed from CI replayable at a desk.
+#[cfg(feature = "model")]
+#[test]
+fn differential_fuzz_scheduled_replay_is_bit_identical() {
+    use jedd::sync::model::{check, Config};
+    let cfg = Config::from_env().unwrap_or_else(|| Config::random(42, 4));
+    let sweep = || {
+        check(cfg.clone(), || {
+            run_case_with(
+                0,
+                CaseOpts {
+                    threads: Some(2),
+                    churn: false,
+                    chained: false,
+                    page_cache: None,
+                    par_cutoff: Some(2),
+                },
+            );
+        })
+    };
+    let first = sweep();
+    let second = sweep();
+    first.assert_clean();
+    assert_eq!(first.schedules, second.schedules, "schedule counts diverged");
+    assert_eq!(
+        first.fingerprints, second.fingerprints,
+        "same JEDD_SCHED seed must replay the same schedules bit-for-bit"
+    );
+    let distinct: std::collections::BTreeSet<u64> = first.fingerprints.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "every schedule hashed identically — the case produced no scheduling \
+         decisions, so the sweep checked nothing"
+    );
 }
